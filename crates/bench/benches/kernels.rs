@@ -1,0 +1,50 @@
+//! Criterion microbenches for the numeric kernels underlying inference:
+//! matmul variants, softmax, layer norm, and the tokenizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use taste_nn::Matrix;
+use taste_tokenizer::{Tokenizer, VocabBuilder};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (256, 64, 64), (256, 16, 256)] {
+        let a = Matrix::full(m, k, 0.5);
+        let b = Matrix::full(k, n, 0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{k}x{n}")), &(a, b), |bench, (a, b)| {
+            bench.iter(|| black_box(a.matmul(b)))
+        });
+    }
+    // Transpose-free attention-score kernels.
+    let q = Matrix::full(128, 16, 0.5);
+    let kk = Matrix::full(128, 16, 0.25);
+    group.bench_function("scores_matmul_bt_128x128x16", |b| b.iter(|| black_box(q.matmul_bt(&kk))));
+    group.finish();
+}
+
+fn bench_rowwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowwise");
+    let x = Matrix::full(256, 256, 0.1);
+    group.bench_function("softmax_rows_256x256", |b| b.iter(|| black_box(x.softmax_rows())));
+    group.bench_function("transpose_256x256", |b| b.iter(|| black_box(x.transpose())));
+    group.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let mut vb = VocabBuilder::new();
+    for w in ["customer", "orders", "city", "phone", "number", "shipment", "address"] {
+        for _ in 0..3 {
+            vb.add_word(w);
+        }
+    }
+    let tok = Tokenizer::new(vb.build(1000, 1));
+    let text = "customer_shipment_address city phone_number 4111111111111111 orders2024 unknownword";
+    c.bench_function("tokenizer_encode_mixed_text", |b| b.iter(|| black_box(tok.encode(black_box(text)))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_rowwise, bench_tokenizer
+}
+criterion_main!(benches);

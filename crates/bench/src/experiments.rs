@@ -1,0 +1,372 @@
+//! One reproduction function per table / figure of the paper (§6).
+//!
+//! Every function is self-contained: it builds (or reloads from cache)
+//! the corpora and models it needs, runs the measurement, prints an
+//! aligned table, and writes `results/<exp>.json`.
+
+use crate::datasets::{build_bundle, Bundle, DatasetKind};
+use crate::fmt::{pct, print_table, score, secs, write_json};
+use crate::models::{self, TrainedModels};
+use crate::scale::Scale;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Duration;
+use taste_core::Result;
+use taste_data::load::{load_split, LoadedSplit};
+use taste_data::splits::Split;
+use taste_db::LatencyProfile;
+use taste_framework::baseline_run::{run_baseline, BaselineRunConfig};
+use taste_framework::config::ScanKind;
+use taste_framework::{evaluate_report, DetectionReport, TasteConfig, TasteEngine};
+use taste_model::Adtd;
+
+fn run_taste(model: &Arc<Adtd>, split: &LoadedSplit, cfg: TasteConfig) -> Result<DetectionReport> {
+    let engine = TasteEngine::new(Arc::clone(model), cfg)?;
+    engine.detect_batch(&split.db, &split.db.table_ids())
+}
+
+fn mean_std(samples: &[Duration]) -> (f64, f64) {
+    let xs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// The seven Fig. 4 execution-time variants, in paper order.
+const VARIANTS: [&str; 7] = [
+    "TURL",
+    "Doduo",
+    "TASTE",
+    "TASTE w/ histogram",
+    "TASTE w/o pipelining",
+    "TASTE w/o caching",
+    "TASTE w/ sampling",
+];
+
+/// Runs one named variant once against the appropriate test database.
+fn run_variant(name: &str, bundle: &Bundle, models: &TrainedModels, timed: bool) -> Result<DetectionReport> {
+    let split = if timed { &bundle.test_timed } else { &bundle.test_fast };
+    let hist_split = if timed { &bundle.test_timed_hist } else { &bundle.test_fast_hist };
+    let base = TasteConfig { l: bundle.kind.default_l(), ..TasteConfig::default() };
+    match name {
+        "TURL" => run_baseline(&models.turl, &split.db, &split.db.table_ids(), &BaselineRunConfig::default()),
+        "Doduo" => run_baseline(&models.doduo, &split.db, &split.db.table_ids(), &BaselineRunConfig::default()),
+        "TASTE" => run_taste(&models.taste, split, base),
+        "TASTE w/ histogram" => run_taste(
+            &models.taste_hist,
+            hist_split,
+            TasteConfig { use_histograms: true, ..base },
+        ),
+        "TASTE w/o pipelining" => run_taste(&models.taste, split, TasteConfig { pipelining: false, ..base }),
+        "TASTE w/o caching" => run_taste(&models.taste, split, TasteConfig { caching: false, ..base }),
+        "TASTE w/ sampling" => run_taste(
+            &models.taste,
+            split,
+            TasteConfig { scan: ScanKind::Sample { seed: 0 }, ..base },
+        ),
+        other => unreachable!("unknown variant {other}"),
+    }
+}
+
+/// Table 2 — dataset summary.
+pub fn table2(scale: &Scale) -> Result<()> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Wiki, DatasetKind::Git] {
+        let corpus = taste_data::Corpus::generate(kind.spec(scale));
+        for split in [None, Some(Split::Train), Some(Split::Valid), Some(Split::Test)] {
+            let s = corpus.summarize(split);
+            rows.push(vec![
+                s.name.clone(),
+                s.tables.to_string(),
+                s.columns.to_string(),
+                s.types.to_string(),
+                format!("{:.2}%", s.pct_without_types),
+            ]);
+            out.push(json!({
+                "name": s.name, "tables": s.tables, "columns": s.columns,
+                "types": s.types, "pct_without_types": s.pct_without_types,
+            }));
+        }
+    }
+    print_table(
+        "Table 2: summary of the synthetic datasets",
+        &["dataset", "# tables", "# cols", "# types", "% col w/o types"],
+        &rows,
+    );
+    write_json("table2", &json!(out));
+    Ok(())
+}
+
+/// Fig. 4 — end-to-end execution time of every variant on both datasets.
+pub fn fig4(scale: &Scale) -> Result<()> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Wiki, DatasetKind::Git] {
+        let bundle = build_bundle(kind, scale)?;
+        let models = models::train_all(&bundle, scale)?;
+        for name in VARIANTS {
+            let mut times = Vec::with_capacity(scale.timing_runs);
+            for _ in 0..scale.timing_runs {
+                let report = run_variant(name, &bundle, &models, true)?;
+                times.push(report.wall_time);
+            }
+            let (mean, std) = mean_std(&times);
+            rows.push(vec![
+                kind.label().to_string(),
+                name.to_string(),
+                format!("{mean:.3}s"),
+                format!("±{std:.3}s"),
+            ]);
+            out.push(json!({
+                "dataset": kind.label(), "approach": name,
+                "mean_s": mean, "std_s": std, "runs": scale.timing_runs,
+            }));
+        }
+    }
+    print_table(
+        "Fig 4: end-to-end execution time",
+        &["dataset", "approach", "mean", "std"],
+        &rows,
+    );
+    write_json("fig4", &json!(out));
+    Ok(())
+}
+
+/// Table 3 — precision / recall / F1 of every accuracy-relevant variant.
+pub fn table3(scale: &Scale) -> Result<()> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Wiki, DatasetKind::Git] {
+        let bundle = build_bundle(kind, scale)?;
+        let models = models::train_all(&bundle, scale)?;
+        for name in ["TURL", "Doduo", "TASTE", "TASTE w/ histogram", "TASTE w/ sampling"] {
+            let report = run_variant(name, &bundle, &models, false)?;
+            let split = if name == "TASTE w/ histogram" { &bundle.test_fast_hist } else { &bundle.test_fast };
+            let scores = evaluate_report(&report, &split.truth, split.ntypes);
+            rows.push(vec![
+                kind.label().to_string(),
+                name.to_string(),
+                score(scores.precision),
+                score(scores.recall),
+                score(scores.f1),
+            ]);
+            out.push(json!({
+                "dataset": kind.label(), "approach": name,
+                "precision": scores.precision, "recall": scores.recall, "f1": scores.f1,
+            }));
+        }
+    }
+    print_table(
+        "Table 3: F1 scores (content available)",
+        &["dataset", "approach", "precision", "recall", "F1"],
+        &rows,
+    );
+    write_json("table3", &json!(out));
+    Ok(())
+}
+
+/// Table 4 — metadata-only robustness (strict privacy setting).
+pub fn table4(scale: &Scale) -> Result<()> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Wiki, DatasetKind::Git] {
+        let bundle = build_bundle(kind, scale)?;
+        let models = models::train_all(&bundle, scale)?;
+        let split = &bundle.test_fast;
+        let no_content = BaselineRunConfig { with_content: false, ..Default::default() };
+        let cases: Vec<(&str, DetectionReport)> = vec![
+            (
+                "TURL w/o content",
+                run_baseline(&models.turl, &split.db, &split.db.table_ids(), &no_content)?,
+            ),
+            (
+                "Doduo w/o content",
+                run_baseline(&models.doduo, &split.db, &split.db.table_ids(), &no_content)?,
+            ),
+            (
+                "TASTE w/o P2",
+                run_taste(&models.taste, split, TasteConfig::default().without_p2())?,
+            ),
+        ];
+        for (name, report) in cases {
+            assert_eq!(report.ledger.columns_scanned, 0, "{name} must not scan content");
+            let scores = evaluate_report(&report, &split.truth, split.ntypes);
+            rows.push(vec![
+                kind.label().to_string(),
+                name.to_string(),
+                score(scores.precision),
+                score(scores.recall),
+                score(scores.f1),
+            ]);
+            out.push(json!({
+                "dataset": kind.label(), "approach": name,
+                "precision": scores.precision, "recall": scores.recall, "f1": scores.f1,
+            }));
+        }
+    }
+    print_table(
+        "Table 4: F1 scores with metadata only (strict privacy)",
+        &["dataset", "approach", "precision", "recall", "F1"],
+        &rows,
+    );
+    write_json("table4", &json!(out));
+    Ok(())
+}
+
+/// Fig. 5 — ratio of scanned columns.
+pub fn fig5(scale: &Scale) -> Result<()> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Wiki, DatasetKind::Git] {
+        let bundle = build_bundle(kind, scale)?;
+        let models = models::train_all(&bundle, scale)?;
+        for name in ["TURL", "Doduo", "TASTE", "TASTE w/ histogram"] {
+            let report = run_variant(name, &bundle, &models, false)?;
+            rows.push(vec![kind.label().to_string(), name.to_string(), pct(report.scanned_ratio())]);
+            out.push(json!({
+                "dataset": kind.label(), "approach": name, "scanned_ratio": report.scanned_ratio(),
+            }));
+        }
+    }
+    print_table("Fig 5: ratio of scanned columns", &["dataset", "approach", "scanned"], &rows);
+    write_json("fig5", &json!(out));
+    Ok(())
+}
+
+/// Fig. 6 — behavior as the ratio of columns without any type grows
+/// (retained type sets `S_k` on the Wiki corpus).
+pub fn fig6(scale: &Scale) -> Result<()> {
+    let bundle = build_bundle(DatasetKind::Wiki, scale)?;
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    // Two retained-set sizes bound the sweep (each k costs a full
+    // fine-tuning run on one CPU core).
+    for k in [scale.fig6_ks[0], scale.fig6_ks[3]] {
+        let (tuned, _mask) = bundle.corpus.retain_types(k, scale.seed);
+        let model = models::taste_model_for_corpus(
+            &tuned,
+            &bundle.tokenizer,
+            DatasetKind::Wiki.label(),
+            scale,
+            &format!("s{k}"),
+        )?;
+        let timed = load_split(&tuned, Split::Test, LatencyProfile::cloud(), None)?;
+        let report = run_taste(&model, &timed, TasteConfig::default())?;
+        let scores = evaluate_report(&report, &timed.truth, timed.ntypes);
+        let eta = {
+            let s = tuned.summarize(Some(Split::Test));
+            s.pct_without_types / 100.0
+        };
+        rows.push(vec![
+            format!("k={k}"),
+            pct(eta),
+            secs(report.wall_time),
+            score(scores.f1),
+            pct(report.scanned_ratio()),
+        ]);
+        out.push(json!({
+            "k": k, "eta": eta, "time_s": report.wall_time.as_secs_f64(),
+            "f1": scores.f1, "scanned_ratio": report.scanned_ratio(),
+        }));
+    }
+    print_table(
+        "Fig 6: columns without any types (WikiTable-S_k)",
+        &["retained", "eta (% cols w/o type)", "time", "F1", "scanned"],
+        &rows,
+    );
+    write_json("fig6", &json!(out));
+    Ok(())
+}
+
+/// Fig. 7 — sensitivity to `α` and `β` on the Wiki corpus.
+pub fn fig7(scale: &Scale) -> Result<()> {
+    let bundle = build_bundle(DatasetKind::Wiki, scale)?;
+    let models = models::train_all(&bundle, scale)?;
+    let split = &bundle.test_fast;
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut run_point = |alpha: f32, beta: f32| -> Result<()> {
+        let cfg = TasteConfig { alpha, beta, ..Default::default() };
+        let report = run_taste(&models.taste, split, cfg)?;
+        let scores = evaluate_report(&report, &split.truth, split.ntypes);
+        let not_scanned = 1.0 - report.scanned_ratio();
+        rows.push(vec![
+            format!("{alpha:.1}"),
+            format!("{beta:.1}"),
+            score(scores.f1),
+            pct(not_scanned),
+        ]);
+        out.push(json!({
+            "alpha": alpha, "beta": beta, "f1": scores.f1, "not_scanned_ratio": not_scanned,
+        }));
+        Ok(())
+    };
+    for alpha in [0.1f32, 0.2, 0.3, 0.4, 0.5] {
+        run_point(alpha, 0.9)?;
+    }
+    for beta in [0.5f32, 0.6, 0.7, 0.8] {
+        run_point(0.1, beta)?;
+    }
+    print_table(
+        "Fig 7: effects of alpha and beta (SynthWiki)",
+        &["alpha", "beta", "F1", "not scanned"],
+        &rows,
+    );
+    write_json("fig7", &json!(out));
+    Ok(())
+}
+
+/// Fig. 8 — impact of the column-split threshold `l` and the cell count
+/// `n` on the Wiki corpus.
+pub fn fig8(scale: &Scale) -> Result<()> {
+    let bundle = build_bundle(DatasetKind::Wiki, scale)?;
+    let models = models::train_all(&bundle, scale)?;
+    let split = &bundle.test_timed;
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for l in [4usize, 8, 12, 16, 20] {
+        let cfg = TasteConfig { l, ..Default::default() };
+        let report = run_taste(&models.taste, split, cfg)?;
+        let scores = evaluate_report(&report, &split.truth, split.ntypes);
+        rows.push(vec![
+            format!("l={l}, n=10"),
+            secs(report.wall_time),
+            score(scores.f1),
+        ]);
+        out.push(json!({
+            "sweep": "l", "l": l, "n": 10,
+            "time_s": report.wall_time.as_secs_f64(), "f1": scores.f1,
+        }));
+    }
+    for n in [2usize, 4, 6, 8, 10] {
+        let cfg = TasteConfig { n, ..Default::default() };
+        let report = run_taste(&models.taste, split, cfg)?;
+        let scores = evaluate_report(&report, &split.truth, split.ntypes);
+        rows.push(vec![
+            format!("l=20, n={n}"),
+            secs(report.wall_time),
+            score(scores.f1),
+        ]);
+        out.push(json!({
+            "sweep": "n", "l": 20, "n": n,
+            "time_s": report.wall_time.as_secs_f64(), "f1": scores.f1,
+        }));
+    }
+    print_table("Fig 8: impact of l and n (SynthWiki)", &["setting", "time", "F1"], &rows);
+    write_json("fig8", &json!(out));
+    Ok(())
+}
+
+/// Runs every experiment in paper order.
+pub fn all(scale: &Scale) -> Result<()> {
+    table2(scale)?;
+    fig4(scale)?;
+    table3(scale)?;
+    table4(scale)?;
+    fig5(scale)?;
+    fig6(scale)?;
+    fig7(scale)?;
+    fig8(scale)?;
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Report formatting: aligned text tables and JSON result files.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(r: f64) -> String {
+    format!("{:.1}%", r * 100.0)
+}
+
+/// Formats a score to four decimals (the paper's convention).
+pub fn score(s: f64) -> String {
+    format!("{s:.4}")
+}
+
+/// The results directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = root.canonicalize().unwrap_or(root).join("results");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Writes an experiment's JSON result file.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  -> wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500s");
+        assert_eq!(pct(0.451), "45.1%");
+        assert_eq!(score(0.93456), "0.9346");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table("t", &["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into(), "4".into()]]);
+    }
+}

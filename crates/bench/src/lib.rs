@@ -1,0 +1,25 @@
+//! # taste-bench
+//!
+//! The reproduction harness: everything needed to regenerate every table
+//! and figure of the paper's evaluation (§6), plus Criterion microbenches
+//! for the mechanisms (latent cache, pipelining, attention kernels).
+//!
+//! The `repro` binary is the entry point:
+//!
+//! ```text
+//! cargo run -p taste-bench --release --bin repro -- all
+//! cargo run -p taste-bench --release --bin repro -- fig4
+//! ```
+//!
+//! Results print as aligned text tables and are also written as JSON
+//! under `results/`, which `EXPERIMENTS.md` references.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod fmt;
+pub mod models;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,95 @@
+//! Experiment scale presets.
+//!
+//! The paper trains on 397K (WikiTable) / 80K (GitTables) tables on a
+//! GPU; the reproduction's default scale is sized so the entire
+//! experiment suite (all models, all figures) finishes on a single CPU
+//! core in tens of minutes while keeping every comparison meaningful.
+//! `TASTE_REPRO_SCALE=quick` shrinks everything further for smoke runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Corpus and training sizes for the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// SynthWiki table count.
+    pub wiki_tables: usize,
+    /// SynthGit table count.
+    pub git_tables: usize,
+    /// Fine-tuning epochs (paper: 20).
+    pub epochs: usize,
+    /// MLM pre-training epochs.
+    pub pretrain_epochs: usize,
+    /// Cap on MLM pre-training sequences.
+    pub pretrain_sequences: usize,
+    /// Root seed for every derived stream.
+    pub seed: u64,
+    /// Repetitions for timing experiments (paper: 10 runs).
+    pub timing_runs: usize,
+    /// Retained-type-set sizes `k` for the Fig. 6 sweep.
+    pub fig6_ks: [usize; 4],
+}
+
+impl Scale {
+    /// The default reproduction scale.
+    pub fn default_scale() -> Scale {
+        Scale {
+            wiki_tables: 700,
+            git_tables: 300,
+            epochs: 12,
+            pretrain_epochs: 2,
+            pretrain_sequences: 500,
+            seed: 0,
+            timing_runs: 3,
+            fig6_ks: [10, 25, 40, 55],
+        }
+    }
+
+    /// A fast smoke-test scale.
+    pub fn quick() -> Scale {
+        Scale {
+            wiki_tables: 60,
+            git_tables: 40,
+            epochs: 2,
+            pretrain_epochs: 1,
+            pretrain_sequences: 80,
+            seed: 0,
+            timing_runs: 1,
+            fig6_ks: [10, 25, 40, 55],
+        }
+    }
+
+    /// Resolves the scale from the `TASTE_REPRO_SCALE` environment
+    /// variable (`quick` or `default`, defaulting to the default scale).
+    pub fn from_env() -> Scale {
+        match std::env::var("TASTE_REPRO_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            _ => Scale::default_scale(),
+        }
+    }
+
+    /// A stable fingerprint used in checkpoint cache keys.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "w{}g{}e{}p{}s{}q{}",
+            self.wiki_tables, self.git_tables, self.epochs, self.pretrain_epochs, self.seed, self.pretrain_sequences
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let d = Scale::default_scale();
+        let q = Scale::quick();
+        assert!(q.wiki_tables < d.wiki_tables);
+        assert!(q.epochs <= d.epochs);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_scales() {
+        assert_ne!(Scale::default_scale().fingerprint(), Scale::quick().fingerprint());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared across the TASTE workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TasteError>;
+
+/// Unified error type for the TASTE reproduction.
+///
+/// Variants are deliberately coarse: each crate maps its internal failure
+/// modes onto one of these categories so callers can match on the *kind*
+/// of failure without depending on crate internals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TasteError {
+    /// A lookup referenced a table, column, or semantic type that does not
+    /// exist in the relevant registry or catalog.
+    NotFound(String),
+    /// An argument violated a documented precondition (e.g. `alpha > beta`,
+    /// zero-width tensor, empty vocabulary).
+    InvalidArgument(String),
+    /// Two components disagreed about shape or dimensionality (tensor
+    /// shapes, sequence lengths, classifier head widths, ...).
+    ShapeMismatch(String),
+    /// The simulated database rejected an operation (connection limits,
+    /// unknown schema object, malformed scan request).
+    Database(String),
+    /// Serialization or deserialization of a checkpoint / report failed.
+    Serde(String),
+    /// The pipelined scheduler reached an inconsistent state (a stage ran
+    /// before its predecessor, a worker panicked, ...).
+    Scheduler(String),
+    /// Training diverged or produced a non-finite loss.
+    Training(String),
+}
+
+impl TasteError {
+    /// Shorthand for [`TasteError::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        TasteError::NotFound(what.into())
+    }
+
+    /// Shorthand for [`TasteError::InvalidArgument`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        TasteError::InvalidArgument(what.into())
+    }
+
+    /// Shorthand for [`TasteError::ShapeMismatch`].
+    pub fn shape(what: impl Into<String>) -> Self {
+        TasteError::ShapeMismatch(what.into())
+    }
+}
+
+impl fmt::Display for TasteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TasteError::NotFound(s) => write!(f, "not found: {s}"),
+            TasteError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            TasteError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            TasteError::Database(s) => write!(f, "database error: {s}"),
+            TasteError::Serde(s) => write!(f, "serialization error: {s}"),
+            TasteError::Scheduler(s) => write!(f, "scheduler error: {s}"),
+            TasteError::Training(s) => write!(f, "training error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TasteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = TasteError::not_found("table t1");
+        assert_eq!(e.to_string(), "not found: table t1");
+        let e = TasteError::invalid("alpha > beta");
+        assert_eq!(e.to_string(), "invalid argument: alpha > beta");
+        let e = TasteError::shape("312 vs 64");
+        assert_eq!(e.to_string(), "shape mismatch: 312 vs 64");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TasteError::not_found("x"), TasteError::not_found("x"));
+        assert_ne!(TasteError::not_found("x"), TasteError::invalid("x"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Column histograms — the optional statistics metadata of the
+//! *TASTE with histogram* variant (§6.2).
+//!
+//! MySQL 8.0 builds either *singleton* or *equi-height* histograms via
+//! `ANALYZE TABLE ... UPDATE HISTOGRAM`. We implement the two families the
+//! paper names (equal-width and equal-height/equal-depth) over the numeric
+//! view of a column. Text columns are histogrammed over rendered length,
+//! which preserves the distribution-shape signal the model exploits
+//! (e.g. credit card numbers have constant length 16, phone numbers 10-11).
+
+use serde::{Deserialize, Serialize};
+
+/// Which construction rule produced the histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistogramKind {
+    /// Buckets of equal value-range width.
+    EqualWidth,
+    /// Buckets of (approximately) equal row counts; MySQL's "equi-height".
+    EqualDepth,
+}
+
+impl HistogramKind {
+    /// Stable token used when featurizing the histogram kind.
+    pub fn token(self) -> &'static str {
+        match self {
+            HistogramKind::EqualWidth => "equal_width",
+            HistogramKind::EqualDepth => "equal_depth",
+        }
+    }
+}
+
+/// A single histogram bucket `[lo, hi]` holding `count` rows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+    /// Number of rows falling in the bucket.
+    pub count: u64,
+}
+
+/// A column histogram over the numeric view of the column's values
+/// (values themselves for numeric columns, rendered length for text).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Construction rule.
+    pub kind: HistogramKind,
+    /// Buckets in ascending bound order.
+    pub buckets: Vec<Bucket>,
+    /// Total number of (non-null) rows histogrammed.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Builds an equal-width histogram with `nbuckets` buckets.
+    ///
+    /// Returns `None` when `values` is empty or `nbuckets == 0`. A column
+    /// of constant value yields a single bucket covering that point.
+    pub fn equal_width(values: &[f64], nbuckets: usize) -> Option<Histogram> {
+        if values.is_empty() || nbuckets == 0 {
+            return None;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return None;
+        }
+        if lo == hi {
+            return Some(Histogram {
+                kind: HistogramKind::EqualWidth,
+                buckets: vec![Bucket { lo, hi, count: values.len() as u64 }],
+                total: values.len() as u64,
+            });
+        }
+        let width = (hi - lo) / nbuckets as f64;
+        let mut counts = vec![0u64; nbuckets];
+        for &v in values {
+            let mut b = ((v - lo) / width) as usize;
+            if b >= nbuckets {
+                b = nbuckets - 1; // v == hi lands in the last bucket
+            }
+            counts[b] += 1;
+        }
+        let buckets = counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, count)| Bucket {
+                lo: lo + width * i as f64,
+                hi: lo + width * (i + 1) as f64,
+                count,
+            })
+            .collect();
+        Some(Histogram {
+            kind: HistogramKind::EqualWidth,
+            buckets,
+            total: values.len() as u64,
+        })
+    }
+
+    /// Builds an equal-depth (equi-height) histogram with `nbuckets`
+    /// buckets. Values are sorted and cut into runs of near-equal size;
+    /// runs of identical values are never split across buckets, so the
+    /// realized bucket count can be below `nbuckets`.
+    pub fn equal_depth(values: &[f64], nbuckets: usize) -> Option<Histogram> {
+        if values.is_empty() || nbuckets == 0 {
+            return None;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let target = (n as f64 / nbuckets as f64).ceil() as usize;
+        let mut buckets = Vec::with_capacity(nbuckets);
+        let mut start = 0usize;
+        while start < n {
+            let mut end = (start + target).min(n);
+            // Extend past ties so equal values stay in one bucket.
+            while end < n && sorted[end] == sorted[end - 1] {
+                end += 1;
+            }
+            buckets.push(Bucket {
+                lo: sorted[start],
+                hi: sorted[end - 1],
+                count: (end - start) as u64,
+            });
+            start = end;
+        }
+        Some(Histogram {
+            kind: HistogramKind::EqualDepth,
+            buckets,
+            total: n as u64,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn nbuckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// A fixed-width feature vector summarizing the histogram for model
+    /// input: `[kind, nbuckets/64, normalized bucket mass...]` padded or
+    /// truncated to `dim` entries. This is the `M_n^c` featurization the
+    /// *with histogram* variant adds.
+    pub fn features(&self, dim: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(dim);
+        if dim == 0 {
+            return out;
+        }
+        out.push(match self.kind {
+            HistogramKind::EqualWidth => 0.0,
+            HistogramKind::EqualDepth => 1.0,
+        });
+        if dim > 1 {
+            out.push(self.nbuckets() as f32 / 64.0);
+        }
+        let total = self.total.max(1) as f32;
+        for b in &self.buckets {
+            if out.len() == dim {
+                break;
+            }
+            out.push(b.count as f32 / total);
+        }
+        out.resize(dim, 0.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_counts_sum_to_total() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::equal_width(&vals, 10).unwrap();
+        assert_eq!(h.nbuckets(), 10);
+        assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), 100);
+        assert_eq!(h.total, 100);
+        // Uniform data: each bucket holds 10.
+        assert!(h.buckets.iter().all(|b| b.count == 10));
+    }
+
+    #[test]
+    fn equal_width_constant_column_single_bucket() {
+        let vals = vec![5.0; 17];
+        let h = Histogram::equal_width(&vals, 8).unwrap();
+        assert_eq!(h.nbuckets(), 1);
+        assert_eq!(h.buckets[0].count, 17);
+        assert_eq!(h.buckets[0].lo, 5.0);
+        assert_eq!(h.buckets[0].hi, 5.0);
+    }
+
+    #[test]
+    fn equal_width_max_value_in_last_bucket() {
+        let vals = vec![0.0, 10.0];
+        let h = Histogram::equal_width(&vals, 4).unwrap();
+        assert_eq!(h.buckets.last().unwrap().count, 1);
+        assert_eq!(h.buckets.first().unwrap().count, 1);
+    }
+
+    #[test]
+    fn equal_depth_balances_counts() {
+        let vals: Vec<f64> = (0..97).map(|i| i as f64).collect();
+        let h = Histogram::equal_depth(&vals, 10).unwrap();
+        assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), 97);
+        for b in &h.buckets {
+            assert!(b.count <= 11, "bucket too deep: {b:?}");
+        }
+    }
+
+    #[test]
+    fn equal_depth_never_splits_ties() {
+        let mut vals = vec![1.0; 50];
+        vals.extend(vec![2.0; 2]);
+        let h = Histogram::equal_depth(&vals, 5).unwrap();
+        // All 1.0s must share one bucket despite the depth target of 11.
+        assert_eq!(h.buckets[0].count, 50);
+        assert_eq!(h.buckets[1].count, 2);
+    }
+
+    #[test]
+    fn bucket_bounds_ascend() {
+        let vals: Vec<f64> = (0..50).map(|i| (i * i) as f64).collect();
+        for h in [
+            Histogram::equal_width(&vals, 7).unwrap(),
+            Histogram::equal_depth(&vals, 7).unwrap(),
+        ] {
+            for w in h.buckets.windows(2) {
+                assert!(w[0].hi <= w[1].lo + 1e-9, "{:?} then {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_or_degenerate_inputs_yield_none() {
+        assert!(Histogram::equal_width(&[], 4).is_none());
+        assert!(Histogram::equal_depth(&[], 4).is_none());
+        assert!(Histogram::equal_width(&[1.0], 0).is_none());
+        assert!(Histogram::equal_width(&[f64::NAN], 4).is_none());
+    }
+
+    #[test]
+    fn feature_vector_has_requested_dim_and_mass_normalized() {
+        let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let h = Histogram::equal_depth(&vals, 8).unwrap();
+        let f = h.features(12);
+        assert_eq!(f.len(), 12);
+        assert_eq!(f[0], 1.0); // equal-depth marker
+        let mass: f32 = f[2..].iter().sum();
+        assert!((mass - 1.0).abs() < 1e-5, "mass {mass}");
+        assert!(h.features(0).is_empty());
+        assert_eq!(h.features(1).len(), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Multi-label admitted-type sets (`A^c` in the paper).
+//!
+//! A column can carry zero, one, or several semantic types. The empty set
+//! is semantically the background type (`type: null`). Sets are small
+//! (typically 0-3 labels), so a sorted `Vec<TypeId>` beats a hash set.
+
+use crate::types::TypeId;
+use serde::{Deserialize, Serialize};
+
+/// A sorted, deduplicated set of semantic type labels for one column.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabelSet {
+    ids: Vec<TypeId>,
+}
+
+impl LabelSet {
+    /// The empty set (background / `type: null`).
+    pub fn empty() -> Self {
+        LabelSet { ids: Vec::new() }
+    }
+
+    /// Builds a set from any iterator of ids, sorting and deduplicating.
+    /// The background id [`TypeId::NULL`] is never stored explicitly:
+    /// "has no real labels" *is* the background state.
+    ///
+    /// Intentionally shadows `FromIterator::from_iter` (which delegates
+    /// here) so callers get the documented semantics without importing
+    /// the trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(iter: impl IntoIterator<Item = TypeId>) -> Self {
+        let mut ids: Vec<TypeId> = iter.into_iter().filter(|id| !id.is_null()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        LabelSet { ids }
+    }
+
+    /// Inserts a label; returns whether the set changed.
+    pub fn insert(&mut self, id: TypeId) -> bool {
+        if id.is_null() {
+            return false;
+        }
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes a label; returns whether it was present.
+    pub fn remove(&mut self, id: TypeId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: TypeId) -> bool {
+        if id.is_null() {
+            return self.ids.is_empty();
+        }
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Number of real labels (the background type does not count).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the column carries no real semantic type (background).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates over the real labels in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Retains only labels in `keep`, dropping the rest. This is the
+    /// *retained type set* reduction of §6.6 (WikiTable-S_k): a column
+    /// left with no labels becomes background.
+    pub fn retain_in(&mut self, keep: &[bool]) {
+        self.ids.retain(|id| keep.get(id.index()).copied().unwrap_or(false));
+    }
+
+    /// Intersection size with another set.
+    pub fn intersection_len(&self, other: &LabelSet) -> usize {
+        let mut count = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Dense multi-hot encoding of width `ntypes`. Index 0 (background)
+    /// is set exactly when the set is empty, matching the paper's
+    /// `type: null` assignment for unlabeled columns.
+    pub fn to_multi_hot(&self, ntypes: usize) -> Vec<f32> {
+        let mut v = vec![0.0f32; ntypes];
+        if self.ids.is_empty() {
+            if ntypes > 0 {
+                v[0] = 1.0;
+            }
+        } else {
+            for id in &self.ids {
+                if id.index() < ntypes {
+                    v[id.index()] = 1.0;
+                }
+            }
+        }
+        v
+    }
+}
+
+impl FromIterator<TypeId> for LabelSet {
+    fn from_iter<I: IntoIterator<Item = TypeId>>(iter: I) -> Self {
+        LabelSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s = LabelSet::from_iter([TypeId(5), TypeId(2), TypeId(5), TypeId(9)]);
+        let ids: Vec<_> = s.iter().collect();
+        assert_eq!(ids, vec![TypeId(2), TypeId(5), TypeId(9)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn null_is_never_stored() {
+        let s = LabelSet::from_iter([TypeId::NULL, TypeId(1)]);
+        assert_eq!(s.len(), 1);
+        let mut s2 = LabelSet::empty();
+        assert!(!s2.insert(TypeId::NULL));
+        assert!(s2.is_empty());
+    }
+
+    #[test]
+    fn contains_null_means_empty() {
+        assert!(LabelSet::empty().contains(TypeId::NULL));
+        assert!(!LabelSet::from_iter([TypeId(1)]).contains(TypeId::NULL));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = LabelSet::empty();
+        assert!(s.insert(TypeId(3)));
+        assert!(!s.insert(TypeId(3)));
+        assert!(s.contains(TypeId(3)));
+        assert!(s.remove(TypeId(3)));
+        assert!(!s.remove(TypeId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn multi_hot_background_at_zero() {
+        let empty = LabelSet::empty().to_multi_hot(4);
+        assert_eq!(empty, vec![1.0, 0.0, 0.0, 0.0]);
+        let labeled = LabelSet::from_iter([TypeId(2)]).to_multi_hot(4);
+        assert_eq!(labeled, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn retain_in_drops_unkept_types() {
+        let mut s = LabelSet::from_iter([TypeId(1), TypeId(2), TypeId(3)]);
+        let keep = vec![false, true, false, true];
+        s.retain_in(&keep);
+        let ids: Vec<_> = s.iter().collect();
+        assert_eq!(ids, vec![TypeId(1), TypeId(3)]);
+        // Out-of-range ids are dropped too.
+        let mut s = LabelSet::from_iter([TypeId(10)]);
+        s.retain_in(&keep);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersection_len_counts_common_labels() {
+        let a = LabelSet::from_iter([TypeId(1), TypeId(3), TypeId(5)]);
+        let b = LabelSet::from_iter([TypeId(3), TypeId(5), TypeId(7)]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.intersection_len(&LabelSet::empty()), 0);
+    }
+}

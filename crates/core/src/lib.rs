@@ -1,0 +1,35 @@
+//! # taste-core
+//!
+//! Shared domain vocabulary for the TASTE semantic type detection
+//! reproduction (EDBT 2025).
+//!
+//! This crate defines the types every other crate in the workspace speaks:
+//!
+//! * [`SemanticType`] / [`TypeId`] / [`TypeRegistry`] — the domain set `S`
+//!   of semantic types and an interning registry over it.
+//! * [`table`] — logical tables, columns, and the metadata the paper's
+//!   Phase 1 consumes ([`table::ColumnMeta`], [`table::TableMeta`]).
+//! * [`histogram`] — equal-width / equal-depth column histograms, the
+//!   optional statistics metadata of the *TASTE with histogram* variant.
+//! * [`labels`] — multi-label admitted-type sets (`A^c` in the paper).
+//! * [`metrics`] — micro / macro precision, recall, and F1 for the
+//!   multi-label classification evaluation (Tables 3 and 4).
+//! * [`rng`] — deterministic seed derivation so every experiment in the
+//!   reproduction is replayable.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod histogram;
+pub mod labels;
+pub mod metrics;
+pub mod rng;
+pub mod table;
+pub mod types;
+
+pub use error::{Result, TasteError};
+pub use histogram::{Histogram, HistogramKind};
+pub use labels::LabelSet;
+pub use metrics::{EvalAccumulator, EvalScores};
+pub use table::{Cell, ColumnId, ColumnMeta, RawType, Table, TableId, TableMeta};
+pub use types::{SemanticType, TypeId, TypeRegistry};

@@ -1,0 +1,258 @@
+//! Multi-label precision / recall / F1 — the prediction-quality metrics of
+//! Tables 3 and 4.
+//!
+//! The paper evaluates a multi-label classification task; following the
+//! convention of TURL and Doduo (and of the paper), scores are
+//! *micro-averaged* over (column, type) decisions: every predicted label is
+//! one decision, true positives are predicted labels that appear in the
+//! ground truth. Columns with no real type are scored through the explicit
+//! background label (`type: null`), exactly as §6.1.1 assigns it.
+
+use crate::labels::LabelSet;
+use serde::{Deserialize, Serialize};
+
+/// Final precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalScores {
+    /// Micro precision: TP / (TP + FP).
+    pub precision: f64,
+    /// Micro recall: TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl EvalScores {
+    /// Computes F1 from raw counts; conventions: 0/0 = 0.
+    pub fn from_counts(tp: u64, fp: u64, fn_: u64) -> EvalScores {
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        EvalScores { precision, recall, f1 }
+    }
+}
+
+/// Streaming accumulator of multi-label confusion counts.
+///
+/// Feed it `(predicted, truth)` pairs with [`EvalAccumulator::observe`]
+/// and read the micro scores with [`EvalAccumulator::scores`]. Per-type
+/// counts are tracked too, enabling macro averaging and per-type drill
+/// down in the experiment reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalAccumulator {
+    ntypes: usize,
+    tp: Vec<u64>,
+    fp: Vec<u64>,
+    fn_: Vec<u64>,
+    columns: u64,
+}
+
+impl EvalAccumulator {
+    /// Creates an accumulator for a domain of `ntypes` types (index 0 is
+    /// the background type).
+    pub fn new(ntypes: usize) -> Self {
+        EvalAccumulator {
+            ntypes,
+            tp: vec![0; ntypes],
+            fp: vec![0; ntypes],
+            fn_: vec![0; ntypes],
+            columns: 0,
+        }
+    }
+
+    /// Records one column's decisions. Empty sets are mapped to the
+    /// background label on both sides, so "correctly predicted nothing"
+    /// counts as a background true positive (the paper's `type: null`).
+    pub fn observe(&mut self, predicted: &LabelSet, truth: &LabelSet) {
+        self.columns += 1;
+        let bg = 0usize;
+        if predicted.is_empty() && truth.is_empty() {
+            self.tp[bg] += 1;
+            return;
+        }
+        if predicted.is_empty() {
+            // Predicted background, truth has labels.
+            self.fp[bg] += 1;
+            for t in truth.iter() {
+                if t.index() < self.ntypes {
+                    self.fn_[t.index()] += 1;
+                }
+            }
+            return;
+        }
+        if truth.is_empty() {
+            self.fn_[bg] += 1;
+            for p in predicted.iter() {
+                if p.index() < self.ntypes {
+                    self.fp[p.index()] += 1;
+                }
+            }
+            return;
+        }
+        for p in predicted.iter() {
+            if p.index() >= self.ntypes {
+                continue;
+            }
+            if truth.contains(p) {
+                self.tp[p.index()] += 1;
+            } else {
+                self.fp[p.index()] += 1;
+            }
+        }
+        for t in truth.iter() {
+            if t.index() < self.ntypes && !predicted.contains(t) {
+                self.fn_[t.index()] += 1;
+            }
+        }
+    }
+
+    /// Micro-averaged scores over all (column, type) decisions.
+    pub fn scores(&self) -> EvalScores {
+        let tp: u64 = self.tp.iter().sum();
+        let fp: u64 = self.fp.iter().sum();
+        let fn_: u64 = self.fn_.iter().sum();
+        EvalScores::from_counts(tp, fp, fn_)
+    }
+
+    /// Macro-averaged F1 over types that appear in predictions or truth.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for i in 0..self.ntypes {
+            if self.tp[i] + self.fp[i] + self.fn_[i] == 0 {
+                continue;
+            }
+            sum += EvalScores::from_counts(self.tp[i], self.fp[i], self.fn_[i]).f1;
+            n += 1;
+        }
+        if n == 0 { 0.0 } else { sum / n as f64 }
+    }
+
+    /// Per-type `(tp, fp, fn)` counts for drill-down reporting.
+    pub fn type_counts(&self, type_index: usize) -> Option<(u64, u64, u64)> {
+        if type_index >= self.ntypes {
+            return None;
+        }
+        Some((self.tp[type_index], self.fp[type_index], self.fn_[type_index]))
+    }
+
+    /// Number of columns observed.
+    pub fn columns(&self) -> u64 {
+        self.columns
+    }
+
+    /// Merges another accumulator (same domain width) into this one.
+    pub fn merge(&mut self, other: &EvalAccumulator) {
+        assert_eq!(self.ntypes, other.ntypes, "accumulator domain widths differ");
+        for i in 0..self.ntypes {
+            self.tp[i] += other.tp[i];
+            self.fp[i] += other.fp[i];
+            self.fn_[i] += other.fn_[i];
+        }
+        self.columns += other.columns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeId;
+
+    fn ls(ids: &[u32]) -> LabelSet {
+        LabelSet::from_iter(ids.iter().map(|&i| TypeId(i)))
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let mut acc = EvalAccumulator::new(5);
+        acc.observe(&ls(&[1, 2]), &ls(&[1, 2]));
+        acc.observe(&ls(&[]), &ls(&[]));
+        let s = acc.scores();
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(acc.columns(), 2);
+    }
+
+    #[test]
+    fn all_wrong_scores_zero() {
+        let mut acc = EvalAccumulator::new(5);
+        acc.observe(&ls(&[3]), &ls(&[1]));
+        let s = acc.scores();
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_counts_correctly() {
+        let mut acc = EvalAccumulator::new(5);
+        // Predicted {1,3}, truth {1,2}: TP=1 (type1), FP=1 (type3), FN=1 (type2).
+        acc.observe(&ls(&[1, 3]), &ls(&[1, 2]));
+        let s = acc.scores();
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn background_column_misprediction_penalized_both_ways() {
+        let mut acc = EvalAccumulator::new(5);
+        // Truth background, predicted type 1: one FP (type1) and one FN (bg).
+        acc.observe(&ls(&[1]), &ls(&[]));
+        let (tp0, fp0, fn0) = acc.type_counts(0).unwrap();
+        assert_eq!((tp0, fp0, fn0), (0, 0, 1));
+        let (tp1, fp1, fn1) = acc.type_counts(1).unwrap();
+        assert_eq!((tp1, fp1, fn1), (0, 1, 0));
+
+        // Truth type 2, predicted background: FP (bg) and FN (type2).
+        acc.observe(&ls(&[]), &ls(&[2]));
+        let (_, fp0, _) = acc.type_counts(0).unwrap();
+        assert_eq!(fp0, 1);
+        let (_, _, fn2) = acc.type_counts(2).unwrap();
+        assert_eq!(fn2, 1);
+    }
+
+    #[test]
+    fn macro_f1_ignores_untouched_types() {
+        let mut acc = EvalAccumulator::new(100);
+        acc.observe(&ls(&[1]), &ls(&[1])); // type1: F1 = 1
+        acc.observe(&ls(&[2]), &ls(&[3])); // type2: F1 = 0, type3: F1 = 0
+        let macro_f1 = acc.macro_f1();
+        assert!((macro_f1 - (1.0 + 0.0 + 0.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let mut a = EvalAccumulator::new(4);
+        a.observe(&ls(&[1]), &ls(&[1]));
+        let mut b = EvalAccumulator::new(4);
+        b.observe(&ls(&[2]), &ls(&[1]));
+        a.merge(&b);
+        assert_eq!(a.columns(), 2);
+        let s = a.scores();
+        assert!((s.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counts_give_zero_not_nan() {
+        let acc = EvalAccumulator::new(3);
+        let s = acc.scores();
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(acc.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_type_is_ignored() {
+        let mut acc = EvalAccumulator::new(2);
+        acc.observe(&ls(&[9]), &ls(&[9]));
+        // Both sides carried only out-of-domain labels; nothing counted.
+        let s = acc.scores();
+        assert_eq!(s.f1, 0.0);
+        assert!(acc.type_counts(9).is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic seed derivation.
+//!
+//! Every randomized component in the reproduction (corpus generation,
+//! sampling scans, weight initialization, MLM masking) derives its RNG from
+//! a root seed through a labeled path, so experiments replay bit-for-bit
+//! and sub-components stay independent of each other's draw counts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a child seed from `root` and a textual `label` using the
+/// SplitMix64 finalizer over an FNV-1a hash of the label. Stable across
+/// platforms and releases (no reliance on `std::hash`).
+pub fn derive_seed(root: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(root ^ h)
+}
+
+/// One step of the SplitMix64 mixing function.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded [`StdRng`] for the labeled sub-component.
+pub fn rng_for(root: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(root, label))
+}
+
+/// A seeded [`StdRng`] for the `index`-th item of a labeled stream
+/// (e.g. per-table generators that must not depend on generation order).
+pub fn rng_for_indexed(root: u64, label: &str, index: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(derive_seed(root, label) ^ splitmix64(index)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(0, "corpus"), derive_seed(0, "corpus"));
+        assert_eq!(derive_seed(42, "x"), derive_seed(42, "x"));
+    }
+
+    #[test]
+    fn labels_decorrelate_streams() {
+        assert_ne!(derive_seed(0, "corpus"), derive_seed(0, "weights"));
+        assert_ne!(derive_seed(0, "a"), derive_seed(1, "a"));
+    }
+
+    #[test]
+    fn indexed_rngs_differ_per_index() {
+        let mut a = rng_for_indexed(7, "tables", 0);
+        let mut b = rng_for_indexed(7, "tables", 1);
+        let va: u64 = a.gen();
+        let vb: u64 = b.gen();
+        assert_ne!(va, vb);
+        // Same index replays identically.
+        let mut a2 = rng_for_indexed(7, "tables", 0);
+        let va2: u64 = a2.gen();
+        assert_eq!(va, va2);
+    }
+
+    #[test]
+    fn splitmix_is_not_identity_and_spreads_bits() {
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "poor avalanche: {:064b}", a ^ b);
+    }
+}

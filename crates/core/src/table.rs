@@ -1,0 +1,387 @@
+//! Logical tables, columns, cells, and the metadata consumed by Phase 1.
+//!
+//! The paper splits column information into textual metadata `M_t^c`
+//! (names, comments), non-textual metadata `M_n^c` (data type, statistics,
+//! histograms), and column content `D^c` (cell values). [`ColumnMeta`]
+//! carries `M^c = (M_t^c, M_n^c)`; content lives in the simulated database
+//! and is only materialized by Phase 2 scans.
+
+use crate::histogram::Histogram;
+use crate::labels::LabelSet;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a table within a database (dense per database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column within its table (ordinal position, 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColumnId {
+    /// Owning table.
+    pub table: TableId,
+    /// Ordinal position within the table, 0-based.
+    pub ordinal: u16,
+}
+
+impl ColumnId {
+    /// Builds a column id from a table id and ordinal position.
+    pub fn new(table: TableId, ordinal: u16) -> Self {
+        ColumnId { table, ordinal }
+    }
+}
+
+/// Raw (storage-level) data type of a column, as a database would report it
+/// through `information_schema.columns.data_type`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RawType {
+    /// Integer-valued column (`INT`, `BIGINT`, ...).
+    Integer,
+    /// Floating-point column (`FLOAT`, `DOUBLE`, `DECIMAL`).
+    Float,
+    /// Variable-length text (`VARCHAR`, `TEXT`).
+    Text,
+    /// Calendar date (`DATE`).
+    Date,
+    /// Timestamp with time (`DATETIME`, `TIMESTAMP`).
+    Timestamp,
+    /// Boolean flag (`BOOL`, `TINYINT(1)`).
+    Boolean,
+}
+
+impl RawType {
+    /// Stable token used when featurizing the raw type for the model input.
+    pub fn token(self) -> &'static str {
+        match self {
+            RawType::Integer => "int",
+            RawType::Float => "float",
+            RawType::Text => "text",
+            RawType::Date => "date",
+            RawType::Timestamp => "timestamp",
+            RawType::Boolean => "bool",
+        }
+    }
+
+    /// All raw types, in their featurization order.
+    pub const ALL: [RawType; 6] = [
+        RawType::Integer,
+        RawType::Float,
+        RawType::Text,
+        RawType::Date,
+        RawType::Timestamp,
+        RawType::Boolean,
+    ];
+
+    /// One-hot index of this raw type within [`RawType::ALL`].
+    pub fn one_hot_index(self) -> usize {
+        RawType::ALL.iter().position(|&t| t == self).expect("member of ALL")
+    }
+}
+
+/// A single cell value. The simulated database stores typed cells; the
+/// model consumes their textual rendering (the paper feeds cell text).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+    /// Text value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Cell {
+    /// Whether the cell is SQL NULL or empty text. The paper's reading
+    /// strategy skips empty cells when collecting the first `n` values.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Cell::Null => true,
+            Cell::Text(s) => s.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Textual rendering used as model input.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Null => String::new(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{v}"),
+            Cell::Text(s) => s.clone(),
+            Cell::Bool(b) => if *b { "true".into() } else { "false".into() },
+        }
+    }
+
+    /// Numeric view of the cell, if it has one (used by histogram builds).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(v) => Some(*v as f64),
+            Cell::Float(v) => Some(*v),
+            Cell::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+}
+
+/// Column-level statistics a database exposes through its catalog.
+///
+/// These are part of the non-textual metadata `M_n^c`; all fields are
+/// optional because real databases only populate them after `ANALYZE`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of distinct values (NDV).
+    pub ndv: Option<u64>,
+    /// Fraction of NULL cells in `[0, 1]`.
+    pub null_frac: Option<f64>,
+    /// Minimum numeric value (numeric columns only).
+    pub min: Option<f64>,
+    /// Maximum numeric value (numeric columns only).
+    pub max: Option<f64>,
+    /// Mean rendered-text length of non-null cells.
+    pub avg_len: Option<f64>,
+}
+
+/// Column metadata `M^c`: everything Phase 1 may consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Which column this metadata describes.
+    pub id: ColumnId,
+    /// Column name, as defined in the user schema (textual metadata).
+    pub name: String,
+    /// Optional column comment (textual metadata).
+    pub comment: Option<String>,
+    /// Raw storage type (non-textual metadata).
+    pub raw_type: RawType,
+    /// Whether the column is declared nullable (non-textual metadata).
+    pub nullable: bool,
+    /// Catalog statistics, if `ANALYZE` has run (non-textual metadata).
+    pub stats: ColumnStats,
+    /// Column histogram, if `ANALYZE TABLE ... UPDATE HISTOGRAM` has run.
+    pub histogram: Option<Histogram>,
+}
+
+impl ColumnMeta {
+    /// Concatenated textual metadata `M_t^c` (name plus comment).
+    pub fn textual(&self) -> String {
+        match &self.comment {
+            Some(c) if !c.is_empty() => format!("{} {}", self.name, c),
+            _ => self.name.clone(),
+        }
+    }
+}
+
+/// Table-level metadata: name and comment, shared by all columns of the
+/// table when packing model input (the paper reserves 150 tokens for it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Which table this metadata describes.
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Optional table comment (the reproduction maps page/section titles
+    /// of the source corpus here, as the paper does for MySQL).
+    pub comment: Option<String>,
+    /// Number of rows currently stored.
+    pub row_count: u64,
+}
+
+impl TableMeta {
+    /// Concatenated textual table metadata.
+    pub fn textual(&self) -> String {
+        match &self.comment {
+            Some(c) if !c.is_empty() => format!("{} {}", self.name, c),
+            _ => self.name.clone(),
+        }
+    }
+}
+
+/// A fully materialized logical table: metadata, per-column metadata,
+/// row-major content, and (for labeled corpora) ground-truth labels.
+///
+/// This is the unit the corpus generators emit and the unit loaded into
+/// the simulated database. The detection framework itself never sees a
+/// `Table` directly — it goes through the database connection like a real
+/// cloud service would.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table-level metadata.
+    pub meta: TableMeta,
+    /// Per-column metadata, ordered by ordinal.
+    pub columns: Vec<ColumnMeta>,
+    /// Row-major cell storage; every row has `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+    /// Ground-truth semantic labels per column (empty set = background).
+    pub labels: Vec<LabelSet>,
+}
+
+impl Table {
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Checks the internal consistency invariants of the table:
+    /// label/column parity, uniform row width, and ordinal agreement.
+    pub fn validate(&self) -> crate::Result<()> {
+        use crate::error::TasteError;
+        if self.labels.len() != self.columns.len() {
+            return Err(TasteError::shape(format!(
+                "table {}: {} labels for {} columns",
+                self.meta.name,
+                self.labels.len(),
+                self.columns.len()
+            )));
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            if col.id.ordinal as usize != i {
+                return Err(TasteError::invalid(format!(
+                    "table {}: column {} has ordinal {}",
+                    self.meta.name, i, col.id.ordinal
+                )));
+            }
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            if row.len() != self.columns.len() {
+                return Err(TasteError::shape(format!(
+                    "table {}: row {} has width {} (expected {})",
+                    self.meta.name,
+                    r,
+                    row.len(),
+                    self.columns.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The first `n` non-empty cell renderings of column `ordinal`,
+    /// looking at the supplied rows only (the paper's reading strategy:
+    /// retrieve `m` rows, keep the first `n ≤ m` non-empty values).
+    pub fn first_nonempty_values(&self, ordinal: usize, n: usize) -> Vec<String> {
+        let mut out = Vec::with_capacity(n);
+        for row in &self.rows {
+            let cell = &row[ordinal];
+            if !cell.is_empty() {
+                out.push(cell.render());
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeId;
+
+    fn mk_table() -> Table {
+        let tid = TableId(7);
+        Table {
+            meta: TableMeta {
+                id: tid,
+                name: "orders".into(),
+                comment: Some("sales orders".into()),
+                row_count: 2,
+            },
+            columns: vec![
+                ColumnMeta {
+                    id: ColumnId::new(tid, 0),
+                    name: "id".into(),
+                    comment: None,
+                    raw_type: RawType::Integer,
+                    nullable: false,
+                    stats: ColumnStats::default(),
+                    histogram: None,
+                },
+                ColumnMeta {
+                    id: ColumnId::new(tid, 1),
+                    name: "city".into(),
+                    comment: Some("ship-to city".into()),
+                    raw_type: RawType::Text,
+                    nullable: true,
+                    stats: ColumnStats::default(),
+                    histogram: None,
+                },
+            ],
+            rows: vec![
+                vec![Cell::Int(1), Cell::Null],
+                vec![Cell::Int(2), Cell::Text("Shenzhen".into())],
+            ],
+            labels: vec![LabelSet::empty(), LabelSet::from_iter([TypeId(3)])],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_table() {
+        assert!(mk_table().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_ragged_rows() {
+        let mut t = mk_table();
+        t.rows[1].pop();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_label_mismatch() {
+        let mut t = mk_table();
+        t.labels.pop();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ordinals() {
+        let mut t = mk_table();
+        t.columns[1].id.ordinal = 5;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn first_nonempty_skips_nulls_and_empties() {
+        let t = mk_table();
+        assert_eq!(t.first_nonempty_values(1, 10), vec!["Shenzhen".to_owned()]);
+        assert_eq!(t.first_nonempty_values(0, 1), vec!["1".to_owned()]);
+    }
+
+    #[test]
+    fn textual_metadata_concatenates_comment() {
+        let t = mk_table();
+        assert_eq!(t.meta.textual(), "orders sales orders");
+        assert_eq!(t.columns[0].textual(), "id");
+        assert_eq!(t.columns[1].textual(), "city ship-to city");
+    }
+
+    #[test]
+    fn cell_rendering_and_numeric_views() {
+        assert_eq!(Cell::Int(-4).render(), "-4");
+        assert_eq!(Cell::Bool(true).render(), "true");
+        assert_eq!(Cell::Null.render(), "");
+        assert!(Cell::Null.is_empty());
+        assert!(Cell::Text(String::new()).is_empty());
+        assert!(!Cell::Int(0).is_empty());
+        assert_eq!(Cell::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Cell::Text("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn raw_type_one_hot_indices_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for t in RawType::ALL {
+            assert!(seen.insert(t.one_hot_index()));
+            assert!(!t.token().is_empty());
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

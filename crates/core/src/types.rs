@@ -1,0 +1,196 @@
+//! Semantic types and the interning registry over the domain set `S`.
+
+use crate::error::{Result, TasteError};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Dense integer handle for a semantic type inside a [`TypeRegistry`].
+///
+/// `TypeId(0)` is reserved for the *background* type (`type: null` in the
+/// paper, §6.1.1): columns that carry no semantic type at all. Classifier
+/// heads index their output units by `TypeId`, so ids are dense and stable
+/// for the lifetime of a registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// The reserved background type (`type: null`).
+    pub const NULL: TypeId = TypeId(0);
+
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the background type.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A semantic type: a named, domain-specific concept a column can denote
+/// (e.g. `person.name`, `finance.credit_card_number`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemanticType {
+    /// Dense id within the owning registry.
+    pub id: TypeId,
+    /// Canonical dotted name, `domain.concept` (e.g. `location.city`).
+    pub name: String,
+    /// The broad domain this type belongs to (`person`, `finance`, ...).
+    pub domain: String,
+}
+
+impl SemanticType {
+    /// The concept part of the dotted name (`city` for `location.city`).
+    pub fn concept(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+}
+
+/// Interning registry for the semantic type domain set `S`.
+///
+/// The registry always contains the background type `null` at id 0, so
+/// `len() >= 1` and classifier output width equals `len()`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TypeRegistry {
+    types: Vec<SemanticType>,
+    #[serde(skip)]
+    by_name: FxHashMap<String, TypeId>,
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeRegistry {
+    /// Creates a registry containing only the background type.
+    pub fn new() -> Self {
+        let mut reg = TypeRegistry {
+            types: Vec::new(),
+            by_name: FxHashMap::default(),
+        };
+        reg.types.push(SemanticType {
+            id: TypeId::NULL,
+            name: "null".to_owned(),
+            domain: "background".to_owned(),
+        });
+        reg.by_name.insert("null".to_owned(), TypeId::NULL);
+        reg
+    }
+
+    /// Registers a semantic type under `domain.concept`, returning its id.
+    /// Registering the same name twice returns the existing id.
+    pub fn register(&mut self, domain: &str, concept: &str) -> TypeId {
+        let name = format!("{domain}.{concept}");
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = TypeId(self.types.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.types.push(SemanticType {
+            id,
+            name,
+            domain: domain.to_owned(),
+        });
+        id
+    }
+
+    /// Number of types in the registry, including the background type.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// A registry is never empty (the background type is always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Looks up a type by dense id.
+    pub fn get(&self, id: TypeId) -> Result<&SemanticType> {
+        self.types
+            .get(id.index())
+            .ok_or_else(|| TasteError::not_found(format!("semantic type id {}", id.0)))
+    }
+
+    /// Looks up a type by its dotted name.
+    pub fn by_name(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all types including the background type.
+    pub fn iter(&self) -> impl Iterator<Item = &SemanticType> {
+        self.types.iter()
+    }
+
+    /// Iterates over all *real* (non-background) types.
+    pub fn iter_real(&self) -> impl Iterator<Item = &SemanticType> {
+        self.types.iter().skip(1)
+    }
+
+    /// Rebuilds the name index after deserialization (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .types
+            .iter()
+            .map(|t| (t.name.clone(), t.id))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_starts_with_background_type() {
+        let reg = TypeRegistry::new();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.by_name("null"), Some(TypeId::NULL));
+        assert!(TypeId::NULL.is_null());
+    }
+
+    #[test]
+    fn register_is_idempotent_and_dense() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.register("person", "name");
+        let b = reg.register("location", "city");
+        let a2 = reg.register("person", "name");
+        assert_eq!(a, a2);
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.get(b).unwrap().concept(), "city");
+        assert_eq!(reg.get(b).unwrap().domain, "location");
+    }
+
+    #[test]
+    fn unknown_lookup_errors() {
+        let reg = TypeRegistry::new();
+        assert!(reg.get(TypeId(42)).is_err());
+        assert_eq!(reg.by_name("nope"), None);
+    }
+
+    #[test]
+    fn iter_real_skips_background() {
+        let mut reg = TypeRegistry::new();
+        reg.register("person", "name");
+        reg.register("person", "age");
+        let real: Vec<_> = reg.iter_real().map(|t| t.name.clone()).collect();
+        assert_eq!(real, vec!["person.name", "person.age"]);
+        assert_eq!(reg.iter().count(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let mut reg = TypeRegistry::new();
+        reg.register("finance", "credit_card_number");
+        let json = serde_json::to_string(&reg).unwrap();
+        let mut back: TypeRegistry = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.by_name("finance.credit_card_number"), reg.by_name("finance.credit_card_number"));
+    }
+}

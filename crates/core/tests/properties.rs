@@ -1,0 +1,122 @@
+//! Property-based tests for core invariants: label sets, histograms,
+//! and the multi-label metrics.
+
+use proptest::prelude::*;
+use taste_core::{EvalAccumulator, Histogram, LabelSet, TypeId};
+
+fn label_set_strategy() -> impl Strategy<Value = LabelSet> {
+    prop::collection::vec(0u32..40, 0..6)
+        .prop_map(|ids| LabelSet::from_iter(ids.into_iter().map(TypeId)))
+}
+
+proptest! {
+    #[test]
+    fn label_sets_are_sorted_and_unique(ids in prop::collection::vec(0u32..100, 0..20)) {
+        let ls = LabelSet::from_iter(ids.iter().map(|&i| TypeId(i)));
+        let collected: Vec<TypeId> = ls.iter().collect();
+        let mut sorted = collected.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(collected, sorted);
+        // Every non-null input id is present.
+        for &i in &ids {
+            if i != 0 {
+                prop_assert!(ls.contains(TypeId(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_hot_roundtrip(ls in label_set_strategy()) {
+        let hot = ls.to_multi_hot(40);
+        prop_assert_eq!(hot.len(), 40);
+        let back = LabelSet::from_iter(
+            hot.iter().enumerate().filter(|(_, &v)| v == 1.0).map(|(i, _)| TypeId(i as u32)),
+        );
+        prop_assert_eq!(back, ls.clone());
+        // Background bit set exactly when empty.
+        prop_assert_eq!(hot[0] == 1.0, ls.is_empty());
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_bounded(a in label_set_strategy(), b in label_set_strategy()) {
+        prop_assert_eq!(a.intersection_len(&b), b.intersection_len(&a));
+        prop_assert!(a.intersection_len(&b) <= a.len().min(b.len()));
+        prop_assert_eq!(a.intersection_len(&a), a.len());
+    }
+
+    #[test]
+    fn histogram_mass_conservation(values in prop::collection::vec(-1e6f64..1e6, 1..300), nbuckets in 1usize..32) {
+        for h in [
+            Histogram::equal_width(&values, nbuckets).unwrap(),
+            Histogram::equal_depth(&values, nbuckets).unwrap(),
+        ] {
+            prop_assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), values.len() as u64);
+            prop_assert_eq!(h.total, values.len() as u64);
+            // Bounds ascend and cover all values.
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &v in &values {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            prop_assert!(h.buckets.first().unwrap().lo <= lo + 1e-9);
+            prop_assert!(h.buckets.last().unwrap().hi >= hi - 1e-9);
+            for w in h.buckets.windows(2) {
+                prop_assert!(w[0].hi <= w[1].lo + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_depth_buckets_never_split_ties(reps in prop::collection::vec((0i32..20, 1usize..30), 1..10), nbuckets in 1usize..8) {
+        let mut values = Vec::new();
+        for (v, count) in &reps {
+            values.extend(std::iter::repeat_n(f64::from(*v), *count));
+        }
+        let h = Histogram::equal_depth(&values, nbuckets).unwrap();
+        // No value may appear in two buckets: bucket ranges are disjoint
+        // except possibly at shared boundaries with zero overlap mass.
+        for w in h.buckets.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo || (w[0].hi - w[1].lo).abs() > 0.0 || w[0].hi <= w[1].lo);
+            prop_assert!(w[0].hi <= w[1].lo);
+        }
+    }
+
+    #[test]
+    fn metric_scores_are_bounded(pairs in prop::collection::vec((label_set_strategy(), label_set_strategy()), 1..50)) {
+        let mut acc = EvalAccumulator::new(40);
+        for (pred, truth) in &pairs {
+            acc.observe(pred, truth);
+        }
+        let s = acc.scores();
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        prop_assert!((0.0..=1.0).contains(&s.recall));
+        prop_assert!((0.0..=1.0).contains(&s.f1));
+        prop_assert!(s.f1 <= s.precision.max(s.recall) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&acc.macro_f1()));
+        prop_assert_eq!(acc.columns(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn perfect_predictions_always_score_one(truths in prop::collection::vec(label_set_strategy(), 1..30)) {
+        let mut acc = EvalAccumulator::new(40);
+        for t in &truths {
+            acc.observe(t, t);
+        }
+        let s = acc.scores();
+        prop_assert_eq!(s.precision, 1.0);
+        prop_assert_eq!(s.recall, 1.0);
+        prop_assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn retain_in_is_monotone(ls in label_set_strategy(), keep in prop::collection::vec(any::<bool>(), 40)) {
+        let mut retained = ls.clone();
+        retained.retain_in(&keep);
+        prop_assert!(retained.len() <= ls.len());
+        for id in retained.iter() {
+            prop_assert!(ls.contains(id));
+            prop_assert!(keep[id.index()]);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # taste-data
+//!
+//! Synthetic table corpora standing in for the paper's WikiTable and
+//! GitTables datasets (the substitution is documented in `DESIGN.md`):
+//!
+//! * [`values`] — per-concept cell value generators (names, cities,
+//!   card numbers, URLs, ISBNs, ...), all seed-deterministic.
+//! * [`registry`] — the built-in semantic type catalog: ~60 types across
+//!   9 domains, each with descriptive and *ambiguous* column-name pools,
+//!   comment templates, and confusion groups (types that share ambiguous
+//!   names like `num`, exactly the paper's motivating example of a column
+//!   "num" that could be a phone number or a credit card number).
+//! * [`corpus`] — table generation under a [`corpus::CorpusSpec`]
+//!   (column/row ranges, metadata quality, fraction of unlabeled
+//!   columns), with the `SynthWiki` and `SynthGit` presets calibrated to
+//!   the two open datasets' contrasting properties.
+//! * [`splits`] — deterministic train/validation/test assignment and the
+//!   dataset summary of Table 2.
+//! * [`retained`] — the WikiTable-`S_k` retained-type-set reduction used
+//!   by the §6.6 experiment (columns whose labels are all removed become
+//!   background).
+//! * [`load`] — loading a corpus split into a [`taste_db::Database`]
+//!   together with the ground-truth label index kept *outside* the
+//!   database.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod load;
+pub mod registry;
+pub mod retained;
+pub mod splits;
+pub mod values;
+
+pub use corpus::{Corpus, CorpusSpec, MetadataQuality};
+pub use load::LoadedSplit;
+pub use registry::BuiltinRegistry;
+pub use splits::{DatasetSummary, Split};

@@ -1,0 +1,535 @@
+//! The built-in semantic type catalog.
+//!
+//! Every type carries: a value generator, the raw storage type of its
+//! columns, a pool of *descriptive* column names (from which a tenant
+//! with good schema hygiene would pick), a pool of comment templates, and
+//! membership in a *confusion group* — a set of types whose columns, when
+//! named carelessly, share the same ambiguous names (`num`, `value`,
+//! `name`, ...). Confusion groups are what make Phase 2 necessary: a
+//! metadata-only model cannot distinguish a column named `num` holding
+//! phone numbers from one holding credit card numbers — the paper's own
+//! motivating example (§1).
+
+use crate::values;
+use rand::rngs::StdRng;
+use rand::Rng;
+use taste_core::{Cell, RawType, TypeId, TypeRegistry};
+
+/// Generator function for one type's cell values.
+pub type ValueGen = fn(&mut StdRng) -> Cell;
+
+/// Static definition of one built-in semantic type.
+pub struct TypeDef {
+    /// Domain part of the dotted name.
+    pub domain: &'static str,
+    /// Concept part of the dotted name.
+    pub concept: &'static str,
+    /// Raw storage type of columns of this semantic type.
+    pub raw_type: RawType,
+    /// Descriptive column-name pool.
+    pub names: &'static [&'static str],
+    /// Comment templates (chosen when a comment is generated).
+    pub comments: &'static [&'static str],
+    /// Confusion group key, when the type can be ambiguously named.
+    pub confusion: Option<&'static str>,
+    /// Dotted name of a broader type that co-occurs as a second label,
+    /// with its probability (multi-label generation).
+    pub co_label: Option<(&'static str, f64)>,
+    /// Whether the type may appear as a standalone column label (broader
+    /// co-label-only types never do).
+    pub standalone: bool,
+    /// Value generator.
+    pub gen: ValueGen,
+}
+
+macro_rules! pool_gen {
+    ($name:ident, $pool:expr) => {
+        fn $name(rng: &mut StdRng) -> Cell {
+            Cell::Text(values::pick(rng, $pool).to_string())
+        }
+    };
+}
+
+pool_gen!(gen_first_name, values::FIRST_NAMES);
+pool_gen!(gen_last_name, values::LAST_NAMES);
+pool_gen!(gen_city, values::CITIES);
+pool_gen!(gen_country, values::COUNTRIES);
+pool_gen!(gen_state, values::STATES);
+pool_gen!(gen_category, values::CATEGORIES);
+pool_gen!(gen_brand, values::BRANDS);
+pool_gen!(gen_color, values::COLORS);
+pool_gen!(gen_job_title, values::JOB_TITLES);
+pool_gen!(gen_genre, values::GENRES);
+pool_gen!(gen_language, values::LANGUAGES);
+pool_gen!(gen_nationality, values::NATIONALITIES);
+pool_gen!(gen_position, values::POSITIONS);
+pool_gen!(gen_award, values::AWARDS);
+pool_gen!(gen_department, values::DEPARTMENTS);
+pool_gen!(gen_industry, values::INDUSTRIES);
+pool_gen!(gen_currency, values::CURRENCY_CODES);
+pool_gen!(gen_weekday, values::WEEKDAYS);
+pool_gen!(gen_month, values::MONTHS);
+
+fn gen_full_name(rng: &mut StdRng) -> Cell {
+    Cell::Text(format!(
+        "{} {}",
+        values::pick(rng, values::FIRST_NAMES),
+        values::pick(rng, values::LAST_NAMES)
+    ))
+}
+
+fn gen_company(rng: &mut StdRng) -> Cell {
+    Cell::Text(format!(
+        "{} {}",
+        values::pick(rng, values::COMPANY_STEMS),
+        values::pick(rng, values::COMPANY_SUFFIX)
+    ))
+}
+
+fn gen_team(rng: &mut StdRng) -> Cell {
+    Cell::Text(format!(
+        "{} {}",
+        values::pick(rng, values::CITIES),
+        values::pick(rng, values::TEAM_STEMS)
+    ))
+}
+
+fn gen_artist(rng: &mut StdRng) -> Cell {
+    gen_full_name(rng)
+}
+
+fn gen_gender(rng: &mut StdRng) -> Cell {
+    Cell::Text(values::pick(rng, &["male", "female", "other"]).to_string())
+}
+
+fn gen_age(rng: &mut StdRng) -> Cell {
+    Cell::Int(rng.gen_range(18..=90))
+}
+
+fn gen_year(rng: &mut StdRng) -> Cell {
+    Cell::Int(rng.gen_range(1900..=2025))
+}
+
+fn gen_quantity(rng: &mut StdRng) -> Cell {
+    Cell::Int(rng.gen_range(1..=500))
+}
+
+fn gen_rating(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(10..=50)) / 10.0)
+}
+
+fn gen_price(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(99..=99999)) / 100.0)
+}
+
+fn gen_salary(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(30..=300)) * 1000.0)
+}
+
+fn gen_balance(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(-500_000..=5_000_000)) / 100.0)
+}
+
+fn gen_txn_amount(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(1..=500_000)) / 100.0)
+}
+
+fn gen_tax_rate(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(0..=400)) / 1000.0)
+}
+
+fn gen_percentage(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(0..=1000)) / 10.0)
+}
+
+fn gen_temperature(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(-400..=450)) / 10.0)
+}
+
+fn gen_weight(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(1..=50000)) / 100.0)
+}
+
+fn gen_duration(rng: &mut StdRng) -> Cell {
+    Cell::Int(rng.gen_range(1..=600))
+}
+
+fn gen_latitude(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(-90_000..=90_000)) / 1000.0)
+}
+
+fn gen_longitude(rng: &mut StdRng) -> Cell {
+    Cell::Float(f64::from(rng.gen_range(-180_000..=180_000)) / 1000.0)
+}
+
+fn gen_bool_flag(rng: &mut StdRng) -> Cell {
+    Cell::Bool(rng.gen())
+}
+
+fn gen_passport(rng: &mut StdRng) -> Cell {
+    let c = char::from(b'a' + rng.gen_range(0..26u8));
+    Cell::Text(format!("{c}{}", values::digits(rng, 8)))
+}
+
+fn gen_user_agent(rng: &mut StdRng) -> Cell {
+    Cell::Text(format!(
+        "mozilla/5.0 ({}) {}/{}",
+        values::pick(rng, &["windows", "macintosh", "linux", "android", "iphone"]),
+        values::pick(rng, &["chrome", "firefox", "safari", "edge"]),
+        rng.gen_range(70..=125)
+    ))
+}
+
+fn gen_domain_name(rng: &mut StdRng) -> Cell {
+    Cell::Text(format!(
+        "{}.{}",
+        values::pick(rng, values::COMPANY_STEMS),
+        values::pick(rng, values::TLDS)
+    ))
+}
+
+fn gen_birth_date(rng: &mut StdRng) -> Cell {
+    Cell::Text(format!(
+        "{}-{:02}-{:02}",
+        rng.gen_range(1940..=2007),
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28)
+    ))
+}
+
+fn gen_product_name(rng: &mut StdRng) -> Cell {
+    Cell::Text(format!(
+        "{} {}",
+        values::pick(rng, values::BRANDS),
+        values::pick(rng, values::CATEGORIES)
+    ))
+}
+
+#[allow(clippy::too_many_arguments)] // one row of the static type table
+const fn t(
+    domain: &'static str,
+    concept: &'static str,
+    raw_type: RawType,
+    names: &'static [&'static str],
+    comments: &'static [&'static str],
+    confusion: Option<&'static str>,
+    co_label: Option<(&'static str, f64)>,
+    standalone: bool,
+    gen: ValueGen,
+) -> TypeDef {
+    TypeDef { domain, concept, raw_type, names, comments, confusion, co_label, standalone, gen }
+}
+
+/// The full built-in type table. Order defines [`TypeId`] assignment
+/// (background `null` is id 0; the first entry here is id 1).
+pub static BUILTIN_TYPES: &[TypeDef] = &[
+    // person
+    t("person", "first_name", RawType::Text, &["first_name", "fname", "given_name"], &["given name of the person", "first name"], Some("nametext"), Some(("person.name", 0.3)), true, gen_first_name),
+    t("person", "last_name", RawType::Text, &["last_name", "lname", "surname", "family_name"], &["family name", "surname of the person"], Some("nametext"), Some(("person.name", 0.3)), true, gen_last_name),
+    t("person", "full_name", RawType::Text, &["full_name", "person_name", "customer_name", "employee_name"], &["full name of the person", "customer full name"], Some("nametext"), Some(("person.name", 0.3)), true, gen_full_name),
+    t("person", "age", RawType::Integer, &["age", "person_age", "customer_age"], &["age in years"], Some("amount"), None, true, gen_age),
+    t("person", "gender", RawType::Text, &["gender", "sex"], &["gender of the person"], Some("catcode"), None, true, gen_gender),
+    t("person", "birth_date", RawType::Date, &["birth_date", "dob", "date_of_birth"], &["date of birth"], Some("timeval"), None, true, gen_birth_date),
+    t("person", "email", RawType::Text, &["email", "email_address", "contact_email"], &["contact email address"], Some("nametext"), None, true, values_email),
+    t("person", "phone_number", RawType::Text, &["phone", "phone_number", "mobile", "telephone"], &["contact phone number", "mobile phone"], Some("numcode"), None, true, values_phone),
+    t("person", "ssn", RawType::Text, &["ssn", "social_security_number"], &["social security number", "pii: ssn"], Some("numcode"), None, true, values_ssn),
+    t("person", "passport_number", RawType::Text, &["passport_number", "passport_no"], &["passport document number"], Some("numcode"), None, true, gen_passport),
+    t("person", "job_title", RawType::Text, &["job_title", "title", "role", "occupation"], &["job title of the employee"], Some("catcode"), None, true, gen_job_title),
+    t("person", "name", RawType::Text, &["name"], &["name"], Some("nametext"), None, false, gen_full_name),
+    // location
+    t("location", "city", RawType::Text, &["city", "city_name", "ship_city", "home_city"], &["city name", "ship-to city"], Some("nametext"), Some(("location.place", 0.3)), true, gen_city),
+    t("location", "country", RawType::Text, &["country", "country_name", "nation"], &["country name"], Some("nametext"), Some(("location.place", 0.3)), true, gen_country),
+    t("location", "state", RawType::Text, &["state", "province", "region_name"], &["state or province"], Some("nametext"), Some(("location.place", 0.25)), true, gen_state),
+    t("location", "zip_code", RawType::Text, &["zip", "zip_code", "postal_code", "postcode"], &["postal code"], Some("numcode"), None, true, values_zip),
+    t("location", "street_address", RawType::Text, &["address", "street_address", "addr_line1"], &["street address line"], Some("nametext"), None, true, values_street),
+    t("location", "latitude", RawType::Float, &["latitude", "lat"], &["latitude in degrees"], Some("amount"), None, true, gen_latitude),
+    t("location", "longitude", RawType::Float, &["longitude", "lon", "lng"], &["longitude in degrees"], Some("amount"), None, true, gen_longitude),
+    t("location", "place", RawType::Text, &["place", "location"], &["place"], Some("nametext"), None, false, gen_city),
+    // finance
+    t("finance", "credit_card_number", RawType::Text, &["credit_card", "card_number", "cc_number", "pan"], &["payment card number", "pii: credit card"], Some("numcode"), None, true, values_cc),
+    t("finance", "iban", RawType::Text, &["iban", "bank_account", "account_number"], &["international bank account number"], Some("numcode"), None, true, values_iban),
+    t("finance", "currency_code", RawType::Text, &["currency", "currency_code", "ccy"], &["iso currency code"], Some("catcode"), None, true, gen_currency),
+    t("finance", "price", RawType::Float, &["price", "unit_price", "list_price"], &["unit price"], Some("amount"), None, true, gen_price),
+    t("finance", "salary", RawType::Float, &["salary", "annual_salary", "compensation"], &["annual salary"], Some("amount"), None, true, gen_salary),
+    t("finance", "account_balance", RawType::Float, &["balance", "account_balance"], &["current account balance"], Some("amount"), None, true, gen_balance),
+    t("finance", "transaction_amount", RawType::Float, &["amount", "txn_amount", "payment_amount"], &["transaction amount"], Some("amount"), None, true, gen_txn_amount),
+    t("finance", "tax_rate", RawType::Float, &["tax_rate", "vat_rate"], &["applicable tax rate"], Some("amount"), None, true, gen_tax_rate),
+    // organization
+    t("organization", "company_name", RawType::Text, &["company", "company_name", "vendor", "supplier"], &["company name", "vendor name"], Some("nametext"), None, true, gen_company),
+    t("organization", "department", RawType::Text, &["department", "dept", "division"], &["department name"], Some("catcode"), None, true, gen_department),
+    t("organization", "team_name", RawType::Text, &["team", "team_name", "club"], &["sports team name"], Some("nametext"), None, true, gen_team),
+    t("organization", "industry", RawType::Text, &["industry", "sector"], &["industry sector"], Some("catcode"), None, true, gen_industry),
+    // time
+    t("time", "year", RawType::Integer, &["year", "yr", "season_year"], &["calendar year"], Some("timeval"), None, true, gen_year),
+    t("time", "date", RawType::Date, &["date", "event_date", "order_date", "created_date"], &["calendar date"], Some("timeval"), None, true, values_date),
+    t("time", "timestamp", RawType::Timestamp, &["timestamp", "created_at", "updated_at", "event_time"], &["event timestamp"], Some("timeval"), None, true, values_timestamp),
+    t("time", "month", RawType::Text, &["month", "month_name"], &["month of the year"], Some("timeval"), None, true, gen_month),
+    t("time", "weekday", RawType::Text, &["weekday", "day_of_week"], &["day of the week"], Some("timeval"), None, true, gen_weekday),
+    t("time", "duration_minutes", RawType::Integer, &["duration", "duration_min", "runtime"], &["duration in minutes"], Some("amount"), None, true, gen_duration),
+    // product
+    t("product", "product_name", RawType::Text, &["product", "product_name", "item_name"], &["product display name"], Some("nametext"), None, true, gen_product_name),
+    t("product", "sku", RawType::Text, &["sku", "item_code", "product_code"], &["stock keeping unit"], Some("refcode"), None, true, values_sku),
+    t("product", "category", RawType::Text, &["category", "product_category"], &["product category"], Some("catcode"), None, true, gen_category),
+    t("product", "brand", RawType::Text, &["brand", "brand_name", "manufacturer"], &["brand name"], Some("nametext"), None, true, gen_brand),
+    t("product", "rating", RawType::Float, &["rating", "avg_rating", "score"], &["average review rating"], Some("amount"), None, true, gen_rating),
+    t("product", "quantity", RawType::Integer, &["quantity", "qty", "stock", "units"], &["units in stock"], Some("amount"), None, true, gen_quantity),
+    t("product", "weight_kg", RawType::Float, &["weight", "weight_kg", "mass"], &["weight in kilograms"], Some("amount"), None, true, gen_weight),
+    t("product", "color", RawType::Text, &["color", "colour"], &["product color"], Some("catcode"), None, true, gen_color),
+    // web
+    t("web", "url", RawType::Text, &["url", "link", "website", "homepage"], &["web address"], Some("nametext"), None, true, values_url),
+    t("web", "ip_address", RawType::Text, &["ip", "ip_address", "client_ip"], &["client ip address"], Some("numcode"), None, true, values_ip),
+    t("web", "user_agent", RawType::Text, &["user_agent", "ua_string"], &["browser user agent"], None, None, true, gen_user_agent),
+    t("web", "domain_name", RawType::Text, &["domain", "domain_name", "host"], &["dns domain name"], Some("nametext"), None, true, gen_domain_name),
+    t("web", "uuid", RawType::Text, &["uuid", "guid", "request_id"], &["unique identifier"], Some("refcode"), None, true, values_uuid),
+    // culture (the WikiTable-flavored types)
+    t("culture", "album", RawType::Text, &["album", "album_title"], &["music album title"], Some("nametext"), Some(("culture.creative_work", 0.3)), true, values_title),
+    t("culture", "artist", RawType::Text, &["artist", "performer", "musician"], &["performing artist"], Some("nametext"), None, true, gen_artist),
+    t("culture", "film_title", RawType::Text, &["film", "movie", "film_title"], &["film title"], Some("nametext"), Some(("culture.creative_work", 0.3)), true, values_title),
+    t("culture", "book_title", RawType::Text, &["book", "book_title", "novel"], &["book title"], Some("nametext"), Some(("culture.creative_work", 0.3)), true, values_title),
+    t("culture", "genre", RawType::Text, &["genre", "style"], &["genre"], Some("catcode"), None, true, gen_genre),
+    t("culture", "language", RawType::Text, &["language", "lang"], &["language"], Some("catcode"), None, true, gen_language),
+    t("culture", "nationality", RawType::Text, &["nationality", "citizenship"], &["nationality"], Some("catcode"), None, true, gen_nationality),
+    t("culture", "award", RawType::Text, &["award", "prize", "honor"], &["award received"], Some("nametext"), None, true, gen_award),
+    t("culture", "position", RawType::Text, &["position", "playing_position"], &["playing position"], Some("catcode"), None, true, gen_position),
+    t("culture", "creative_work", RawType::Text, &["work", "title_of_work"], &["creative work"], Some("nametext"), None, false, values_title),
+    // science / misc
+    t("misc", "isbn", RawType::Text, &["isbn", "isbn13"], &["isbn-13 identifier"], Some("numcode"), None, true, values_isbn),
+    t("misc", "doi", RawType::Text, &["doi", "paper_doi"], &["digital object identifier"], Some("refcode"), None, true, values_doi),
+    t("misc", "temperature", RawType::Float, &["temperature", "temp_c"], &["temperature in celsius"], Some("amount"), None, true, gen_temperature),
+    t("misc", "percentage", RawType::Float, &["percentage", "pct", "percent"], &["percentage value"], Some("amount"), None, true, gen_percentage),
+    t("misc", "boolean_flag", RawType::Boolean, &["is_active", "enabled", "verified", "in_stock"], &["boolean flag"], None, None, true, gen_bool_flag),
+    t("misc", "notes", RawType::Text, &["notes", "description", "remark"], &["free-text notes"], None, None, true, values_note),
+];
+
+// Thin wrappers: `values::*` generators are generic over `impl Rng`, the
+// registry needs concrete `fn(&mut StdRng)` pointers.
+fn values_email(rng: &mut StdRng) -> Cell { values::email(rng) }
+fn values_phone(rng: &mut StdRng) -> Cell { values::phone_number(rng) }
+fn values_ssn(rng: &mut StdRng) -> Cell { values::ssn(rng) }
+fn values_zip(rng: &mut StdRng) -> Cell { values::zip_code(rng) }
+fn values_street(rng: &mut StdRng) -> Cell { values::street_address(rng) }
+fn values_cc(rng: &mut StdRng) -> Cell { values::credit_card(rng) }
+fn values_iban(rng: &mut StdRng) -> Cell { values::iban(rng) }
+fn values_date(rng: &mut StdRng) -> Cell { values::date(rng) }
+fn values_timestamp(rng: &mut StdRng) -> Cell { values::timestamp(rng) }
+fn values_sku(rng: &mut StdRng) -> Cell { values::sku(rng) }
+fn values_url(rng: &mut StdRng) -> Cell { values::url(rng) }
+fn values_ip(rng: &mut StdRng) -> Cell { values::ip_address(rng) }
+fn values_uuid(rng: &mut StdRng) -> Cell { values::uuid(rng) }
+fn values_title(rng: &mut StdRng) -> Cell { values::title(rng) }
+fn values_isbn(rng: &mut StdRng) -> Cell { values::isbn(rng) }
+fn values_doi(rng: &mut StdRng) -> Cell { values::doi(rng) }
+fn values_note(rng: &mut StdRng) -> Cell { values::note(rng) }
+
+/// Ambiguous column-name pools, keyed by confusion group.
+pub fn ambiguous_names(group: &str) -> &'static [&'static str] {
+    match group {
+        "numcode" => &["num", "number", "no", "code", "val"],
+        "nametext" => &["name", "title", "label", "text", "entry"],
+        "amount" => &["value", "amt", "total", "x", "v"],
+        "timeval" => &["dt", "time", "d", "t", "when"],
+        "catcode" => &["type", "cat", "kind", "grp", "class"],
+        "refcode" => &["ref", "key", "uid", "ext_id"],
+        _ => &["col", "field", "data"],
+    }
+}
+
+/// Generic names used by *unlabeled* (background) columns.
+pub const BACKGROUND_NAMES: &[&str] = &[
+    "misc", "data1", "data2", "aux", "tmp_field", "extra", "raw_blob", "internal_code",
+    "legacy_col", "spare", "reserved1", "sys_marker",
+];
+
+/// The built-in catalog bound to a concrete [`TypeRegistry`].
+pub struct BuiltinRegistry {
+    registry: TypeRegistry,
+}
+
+impl Default for BuiltinRegistry {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl BuiltinRegistry {
+    /// Registers every built-in type. `TypeId(i + 1)` corresponds to
+    /// `BUILTIN_TYPES[i]` (id 0 is the background type).
+    pub fn full() -> BuiltinRegistry {
+        let mut registry = TypeRegistry::new();
+        for def in BUILTIN_TYPES {
+            registry.register(def.domain, def.concept);
+        }
+        BuiltinRegistry { registry }
+    }
+
+    /// The underlying interning registry (domain set `S`).
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// Static definition for a (non-background) type id.
+    ///
+    /// # Panics
+    /// Panics for the background id or out-of-range ids.
+    pub fn def(&self, id: TypeId) -> &'static TypeDef {
+        assert!(!id.is_null(), "background type has no definition");
+        &BUILTIN_TYPES[id.index() - 1]
+    }
+
+    /// All standalone (generatable) type ids.
+    pub fn standalone_ids(&self) -> Vec<TypeId> {
+        BUILTIN_TYPES
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.standalone)
+            .map(|(i, _)| TypeId((i + 1) as u32))
+            .collect()
+    }
+
+    /// Samples a cell value for the type.
+    pub fn sample_value(&self, id: TypeId, rng: &mut StdRng) -> Cell {
+        (self.def(id).gen)(rng)
+    }
+
+    /// Samples a column name: a descriptive one from the type's own pool,
+    /// or an ambiguous one from its confusion group.
+    pub fn sample_column_name(&self, id: TypeId, descriptive: bool, rng: &mut StdRng) -> String {
+        let def = self.def(id);
+        if descriptive {
+            values::pick(rng, def.names).to_string()
+        } else {
+            let pool = def.confusion.map(ambiguous_names).unwrap_or(ambiguous_names(""));
+            // Occasionally suffix with a digit, as real lazy schemas do.
+            let base = values::pick(rng, pool);
+            if rng.gen_bool(0.3) {
+                format!("{base}{}", rng.gen_range(1..=9))
+            } else {
+                base.to_string()
+            }
+        }
+    }
+
+    /// Samples a comment for the type.
+    pub fn sample_comment(&self, id: TypeId, rng: &mut StdRng) -> String {
+        values::pick(rng, self.def(id).comments).to_string()
+    }
+
+    /// The co-label (if any) for a type, rolled against its probability.
+    pub fn roll_co_label(&self, id: TypeId, rng: &mut StdRng) -> Option<TypeId> {
+        let (name, p) = self.def(id).co_label?;
+        if rng.gen_bool(p) {
+            self.registry.by_name(name)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn catalog_has_expected_scale() {
+        let b = BuiltinRegistry::full();
+        assert!(BUILTIN_TYPES.len() >= 60, "catalog has {} types", BUILTIN_TYPES.len());
+        assert_eq!(b.registry().len(), BUILTIN_TYPES.len() + 1);
+        // Definitions align with ids.
+        for (i, def) in BUILTIN_TYPES.iter().enumerate() {
+            let id = TypeId((i + 1) as u32);
+            let st = b.registry().get(id).unwrap();
+            assert_eq!(st.name, format!("{}.{}", def.domain, def.concept));
+            assert!(std::ptr::eq(b.def(id), def));
+        }
+    }
+
+    #[test]
+    fn every_standalone_type_generates_consistent_raw_type() {
+        let b = BuiltinRegistry::full();
+        let mut r = rng();
+        for id in b.standalone_ids() {
+            let def = b.def(id);
+            for _ in 0..5 {
+                let cell = b.sample_value(id, &mut r);
+                match (def.raw_type, &cell) {
+                    (RawType::Integer, Cell::Int(_))
+                    | (RawType::Float, Cell::Float(_))
+                    | (RawType::Boolean, Cell::Bool(_))
+                    | (RawType::Text | RawType::Date | RawType::Timestamp, Cell::Text(_)) => {}
+                    other => panic!("{}.{}: mismatched cell {other:?}", def.domain, def.concept),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn descriptive_names_come_from_own_pool() {
+        let b = BuiltinRegistry::full();
+        let mut r = rng();
+        let phone = b.registry().by_name("person.phone_number").unwrap();
+        for _ in 0..10 {
+            let name = b.sample_column_name(phone, true, &mut r);
+            assert!(b.def(phone).names.contains(&name.as_str()), "unexpected {name}");
+        }
+    }
+
+    #[test]
+    fn ambiguous_names_are_shared_across_the_confusion_group() {
+        let b = BuiltinRegistry::full();
+        let mut r = rng();
+        let phone = b.registry().by_name("person.phone_number").unwrap();
+        let cc = b.registry().by_name("finance.credit_card_number").unwrap();
+        let pool = ambiguous_names("numcode");
+        for id in [phone, cc] {
+            let name = b.sample_column_name(id, false, &mut r);
+            let stem: String = name.trim_end_matches(|c: char| c.is_ascii_digit()).to_string();
+            assert!(pool.contains(&stem.as_str()), "{name} not from numcode pool");
+        }
+    }
+
+    #[test]
+    fn co_labels_roll_only_for_configured_types() {
+        let b = BuiltinRegistry::full();
+        let mut r = rng();
+        let city = b.registry().by_name("location.city").unwrap();
+        let mut hits = 0;
+        for _ in 0..200 {
+            if let Some(co) = b.roll_co_label(city, &mut r) {
+                assert_eq!(b.registry().get(co).unwrap().name, "location.place");
+                hits += 1;
+            }
+        }
+        assert!(hits > 20 && hits < 120, "co-label rate off: {hits}/200");
+        let ssn = b.registry().by_name("person.ssn").unwrap();
+        assert!(b.roll_co_label(ssn, &mut r).is_none());
+    }
+
+    #[test]
+    fn non_standalone_types_are_excluded_from_generation() {
+        let b = BuiltinRegistry::full();
+        let place = b.registry().by_name("location.place").unwrap();
+        assert!(!b.standalone_ids().contains(&place));
+        assert!(b.standalone_ids().len() >= 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "background type")]
+    fn background_has_no_def() {
+        let b = BuiltinRegistry::full();
+        let _ = b.def(TypeId::NULL);
+    }
+
+    #[test]
+    fn comments_are_sampled_from_templates() {
+        let b = BuiltinRegistry::full();
+        let mut r = rng();
+        let cc = b.registry().by_name("finance.credit_card_number").unwrap();
+        let c = b.sample_comment(cc, &mut r);
+        assert!(b.def(cc).comments.contains(&c.as_str()));
+    }
+}

@@ -1,0 +1,119 @@
+//! The WikiTable-`S_k` retained-type-set reduction (§6.6, Fig. 6).
+//!
+//! The paper mimics real-world cloud workloads — where most columns carry
+//! no type of interest — by randomly selecting `k` semantic types to
+//! *retain* and stripping every other label; a column left with no labels
+//! becomes background (`type: null`). Sweeping `k` sweeps the ratio `η`
+//! of columns without any type.
+
+use crate::corpus::Corpus;
+use rand::seq::SliceRandom;
+use taste_core::rng::rng_for;
+use taste_core::TypeId;
+
+/// Randomly selects a retained type set of `k` real types (seeded), and
+/// returns the keep-mask indexed by type id.
+pub fn retained_mask(corpus: &Corpus, k: usize, seed: u64) -> Vec<bool> {
+    let ntypes = corpus.ntypes();
+    let mut real_ids: Vec<u32> = (1..ntypes as u32).collect();
+    let mut rng = rng_for(seed, "retained-type-set");
+    real_ids.shuffle(&mut rng);
+    real_ids.truncate(k);
+    let mut keep = vec![false; ntypes];
+    for id in real_ids {
+        keep[id as usize] = true;
+    }
+    keep
+}
+
+impl Corpus {
+    /// Produces the tuned corpus `<name>-S_k`: identical tables, with
+    /// labels outside the retained set removed. Returns the new corpus
+    /// and the retained-set mask.
+    pub fn retain_types(&self, k: usize, seed: u64) -> (Corpus, Vec<bool>) {
+        let keep = retained_mask(self, k, seed);
+        let mut spec = self.spec.clone();
+        spec.name = format!("{}-S{k}", spec.name);
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                for label in &mut t.labels {
+                    label.retain_in(&keep);
+                }
+                t
+            })
+            .collect();
+        (
+            Corpus { spec, builtin: crate::registry::BuiltinRegistry::full(), tables },
+            keep,
+        )
+    }
+}
+
+/// Convenience: the retained set as type ids.
+pub fn mask_to_ids(mask: &[bool]) -> Vec<TypeId> {
+    mask.iter()
+        .enumerate()
+        .filter(|(_, &k)| k)
+        .map(|(i, _)| TypeId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+
+    #[test]
+    fn mask_has_exactly_k_types() {
+        let corpus = Corpus::generate(CorpusSpec::synth_wiki(10, 0));
+        for k in [5, 20, 50] {
+            let mask = retained_mask(&corpus, k, 0);
+            assert_eq!(mask.iter().filter(|&&b| b).count(), k);
+            assert!(!mask[0], "background never in the retained set");
+        }
+    }
+
+    #[test]
+    fn mask_is_seed_deterministic() {
+        let corpus = Corpus::generate(CorpusSpec::synth_wiki(10, 0));
+        assert_eq!(retained_mask(&corpus, 10, 7), retained_mask(&corpus, 10, 7));
+        assert_ne!(retained_mask(&corpus, 10, 7), retained_mask(&corpus, 10, 8));
+    }
+
+    #[test]
+    fn retention_strips_labels_and_grows_unlabeled_fraction() {
+        let corpus = Corpus::generate(CorpusSpec::synth_wiki(100, 0));
+        assert_eq!(corpus.unlabeled_fraction(), 0.0);
+        let (small, mask) = corpus.retain_types(10, 0);
+        assert!(small.unlabeled_fraction() > 0.5, "eta {}", small.unlabeled_fraction());
+        // Remaining labels are all in the retained set.
+        for t in &small.tables {
+            for l in &t.labels {
+                for ty in l.iter() {
+                    assert!(mask[ty.index()]);
+                }
+            }
+        }
+        // Content untouched.
+        assert_eq!(small.tables[0].rows, corpus.tables[0].rows);
+        assert!(small.spec.name.ends_with("-S10"));
+    }
+
+    #[test]
+    fn larger_k_retains_more_labels() {
+        let corpus = Corpus::generate(CorpusSpec::synth_wiki(150, 0));
+        let (c10, _) = corpus.retain_types(10, 0);
+        let (c50, _) = corpus.retain_types(50, 0);
+        assert!(c50.unlabeled_fraction() < c10.unlabeled_fraction());
+    }
+
+    #[test]
+    fn mask_to_ids_roundtrip() {
+        let mask = vec![false, true, false, true];
+        let ids = mask_to_ids(&mask);
+        assert_eq!(ids, vec![TypeId(1), TypeId(3)]);
+    }
+}

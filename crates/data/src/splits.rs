@@ -1,0 +1,168 @@
+//! Train / validation / test splits and the Table 2 dataset summary.
+
+use crate::corpus::Corpus;
+use serde::{Deserialize, Serialize};
+use taste_core::rng::splitmix64;
+use taste_core::Table;
+
+/// Dataset split membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// Training set (80%).
+    Train,
+    /// Validation set (10%).
+    Valid,
+    /// Testing set (10%).
+    Test,
+}
+
+impl Split {
+    /// All splits in reporting order.
+    pub const ALL: [Split; 3] = [Split::Train, Split::Valid, Split::Test];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Split::Train => "training",
+            Split::Valid => "validation",
+            Split::Test => "testing",
+        }
+    }
+}
+
+/// Deterministic split assignment of table `index` under `seed`
+/// (80/10/10, hash-based so membership does not depend on corpus size).
+pub fn assign_split(seed: u64, index: usize) -> Split {
+    let h = splitmix64(seed ^ splitmix64(index as u64 ^ 0xA5A5_5A5A));
+    match h % 10 {
+        0..=7 => Split::Train,
+        8 => Split::Valid,
+        _ => Split::Test,
+    }
+}
+
+impl Corpus {
+    /// The tables belonging to `split`, in id order.
+    pub fn split_tables(&self, split: Split) -> Vec<&Table> {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| assign_split(self.spec.seed, *i) == split)
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// The Table 2 summary row for one split (or the whole corpus).
+    pub fn summarize(&self, split: Option<Split>) -> DatasetSummary {
+        let tables: Vec<&Table> = match split {
+            Some(s) => self.split_tables(s),
+            None => self.tables.iter().collect(),
+        };
+        let mut cols = 0usize;
+        let mut unlabeled = 0usize;
+        let mut types_present = std::collections::HashSet::new();
+        for t in &tables {
+            cols += t.width();
+            for l in &t.labels {
+                if l.is_empty() {
+                    unlabeled += 1;
+                } else {
+                    for ty in l.iter() {
+                        types_present.insert(ty);
+                    }
+                }
+            }
+        }
+        DatasetSummary {
+            name: match split {
+                Some(s) => format!("{} - {}", self.spec.name, s.label()),
+                None => self.spec.name.clone(),
+            },
+            tables: tables.len(),
+            columns: cols,
+            types: types_present.len(),
+            pct_without_types: if cols == 0 { 0.0 } else { 100.0 * unlabeled as f64 / cols as f64 },
+        }
+    }
+}
+
+/// One row of the Table 2 dataset summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Dataset / split label.
+    pub name: String,
+    /// Number of tables.
+    pub tables: usize,
+    /// Number of columns.
+    pub columns: usize,
+    /// Number of distinct semantic types appearing.
+    pub types: usize,
+    /// Percentage of columns carrying no semantic type.
+    pub pct_without_types: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+
+    #[test]
+    fn split_proportions_are_roughly_80_10_10() {
+        let counts = (0..10_000).fold([0usize; 3], |mut acc, i| {
+            match assign_split(0, i) {
+                Split::Train => acc[0] += 1,
+                Split::Valid => acc[1] += 1,
+                Split::Test => acc[2] += 1,
+            }
+            acc
+        });
+        assert!((counts[0] as f64 / 10_000.0 - 0.8).abs() < 0.02, "{counts:?}");
+        assert!((counts[1] as f64 / 10_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[2] as f64 / 10_000.0 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn assignment_is_stable_and_seed_dependent() {
+        assert_eq!(assign_split(5, 17), assign_split(5, 17));
+        let differs = (0..100).any(|i| assign_split(1, i) != assign_split(2, i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn splits_partition_the_corpus() {
+        let corpus = Corpus::generate(CorpusSpec::synth_wiki(200, 3));
+        let n: usize = Split::ALL.iter().map(|&s| corpus.split_tables(s).len()).sum();
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn summary_counts_add_up() {
+        let corpus = Corpus::generate(CorpusSpec::synth_git(100, 0));
+        let whole = corpus.summarize(None);
+        assert_eq!(whole.tables, 100);
+        assert_eq!(whole.columns, corpus.total_columns());
+        assert!(whole.types > 30, "only {} types present", whole.types);
+        assert!((whole.pct_without_types / 100.0 - corpus.unlabeled_fraction()).abs() < 1e-9);
+
+        let split_cols: usize = Split::ALL
+            .iter()
+            .map(|&s| corpus.summarize(Some(s)).columns)
+            .sum();
+        assert_eq!(split_cols, whole.columns);
+    }
+
+    #[test]
+    fn wiki_summary_has_zero_unlabeled() {
+        let corpus = Corpus::generate(CorpusSpec::synth_wiki(50, 0));
+        for s in Split::ALL {
+            assert_eq!(corpus.summarize(Some(s)).pct_without_types, 0.0);
+        }
+    }
+
+    #[test]
+    fn split_labels() {
+        assert_eq!(Split::Train.label(), "training");
+        assert_eq!(Split::Valid.label(), "validation");
+        assert_eq!(Split::Test.label(), "testing");
+    }
+}

@@ -1,0 +1,459 @@
+//! Seed-deterministic cell value generators for the built-in semantic
+//! types.
+//!
+//! Each generator produces realistic-shaped values for one concept; the
+//! registry wires them to type definitions. Generators take an explicit
+//! RNG so corpus generation is replayable per table.
+
+use rand::Rng;
+use taste_core::Cell;
+
+/// A pool of first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "wei", "fatima", "carlos", "yuki", "anna", "omar", "li", "sofia", "ivan",
+    "chloe", "raj", "elena", "tao", "lucas", "nina", "amir", "julia", "sam", "maria", "chen",
+    "aisha", "david", "laura", "kofi", "emma", "jorge", "priya", "tom",
+];
+
+/// A pool of last names.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "garcia", "wang", "mueller", "tanaka", "silva", "kim", "ivanov", "nguyen", "brown",
+    "rossi", "kumar", "chen", "lopez", "sato", "novak", "ali", "jones", "petrov", "haddad",
+    "olsen", "costa", "zhang", "dubois", "okafor", "schmidt", "park", "moreau", "liang", "oconnor",
+];
+
+/// A pool of cities.
+pub const CITIES: &[&str] = &[
+    "shenzhen", "london", "tokyo", "paris", "mumbai", "lagos", "berlin", "seoul", "madrid",
+    "cairo", "toronto", "sydney", "beijing", "lima", "oslo", "vienna", "dubai", "chicago",
+    "guangzhou", "milan", "prague", "nairobi", "boston", "kyoto", "lyon", "porto", "hanoi",
+    "quito", "perth", "denver",
+];
+
+/// A pool of countries.
+pub const COUNTRIES: &[&str] = &[
+    "china", "france", "japan", "brazil", "india", "nigeria", "germany", "korea", "spain",
+    "egypt", "canada", "australia", "peru", "norway", "austria", "mexico", "italy", "kenya",
+    "vietnam", "ecuador", "poland", "chile", "greece", "sweden", "turkey",
+];
+
+/// A pool of company name stems.
+pub const COMPANY_STEMS: &[&str] = &[
+    "acme", "globex", "initech", "umbrella", "hooli", "stark", "wayne", "cyberdyne", "tyrell",
+    "aperture", "vandelay", "wonka", "dunder", "oscorp", "massive", "pied", "soylent", "virtucon",
+    "octan", "zorg",
+];
+
+/// Company suffixes.
+pub const COMPANY_SUFFIX: &[&str] = &["inc", "ltd", "corp", "llc", "group", "holdings", "labs", "tech"];
+
+/// Product category names.
+pub const CATEGORIES: &[&str] = &[
+    "electronics", "clothing", "furniture", "groceries", "toys", "sports", "books", "beauty",
+    "automotive", "garden", "music", "office",
+];
+
+/// Brand names.
+pub const BRANDS: &[&str] = &[
+    "zenith", "apex", "nova", "orion", "vertex", "lumen", "pulse", "atlas", "echo", "prism",
+    "quanta", "solace",
+];
+
+/// Color names.
+pub const COLORS: &[&str] = &[
+    "red", "blue", "green", "black", "white", "silver", "gold", "purple", "orange", "teal",
+    "maroon", "navy",
+];
+
+/// Job titles.
+pub const JOB_TITLES: &[&str] = &[
+    "engineer", "manager", "analyst", "designer", "director", "accountant", "consultant",
+    "developer", "architect", "technician", "scientist", "administrator",
+];
+
+/// Music/film genres.
+pub const GENRES: &[&str] = &[
+    "rock", "jazz", "pop", "classical", "hiphop", "electronic", "folk", "metal", "blues",
+    "country", "drama", "comedy", "thriller", "documentary",
+];
+
+/// Languages.
+pub const LANGUAGES: &[&str] = &[
+    "english", "mandarin", "spanish", "hindi", "arabic", "french", "russian", "portuguese",
+    "japanese", "german", "korean", "italian",
+];
+
+/// Nationalities (adjective form).
+pub const NATIONALITIES: &[&str] = &[
+    "chinese", "french", "japanese", "brazilian", "indian", "nigerian", "german", "korean",
+    "spanish", "egyptian", "canadian", "australian",
+];
+
+/// Sports team name stems.
+pub const TEAM_STEMS: &[&str] = &[
+    "tigers", "eagles", "sharks", "wolves", "dragons", "hawks", "lions", "bears", "falcons",
+    "panthers", "ravens", "bulls",
+];
+
+/// Sports positions.
+pub const POSITIONS: &[&str] = &[
+    "goalkeeper", "defender", "midfielder", "forward", "striker", "winger", "center", "guard",
+    "pitcher", "catcher",
+];
+
+/// Award names.
+pub const AWARDS: &[&str] = &[
+    "grammy", "oscar", "emmy", "booker prize", "pulitzer", "golden globe", "nobel prize",
+    "bafta", "palme dor", "hugo award",
+];
+
+/// Album/film/book title word pools.
+pub const TITLE_WORDS_A: &[&str] = &[
+    "midnight", "golden", "silent", "electric", "crimson", "endless", "broken", "hidden",
+    "distant", "burning", "frozen", "velvet",
+];
+
+/// Second word pool for titles.
+pub const TITLE_WORDS_B: &[&str] = &[
+    "river", "dream", "empire", "garden", "horizon", "mirror", "symphony", "journey", "shadow",
+    "harvest", "lantern", "voyage",
+];
+
+/// Street name stems.
+pub const STREETS: &[&str] = &[
+    "main", "oak", "maple", "cedar", "elm", "park", "lake", "hill", "river", "sunset", "church",
+    "market",
+];
+
+/// University/department names.
+pub const DEPARTMENTS: &[&str] = &[
+    "engineering", "marketing", "finance", "operations", "research", "legal", "sales", "support",
+    "logistics", "procurement",
+];
+
+/// Industries.
+pub const INDUSTRIES: &[&str] = &[
+    "software", "retail", "banking", "telecom", "healthcare", "energy", "manufacturing",
+    "insurance", "media", "transport",
+];
+
+/// Currency ISO codes.
+pub const CURRENCY_CODES: &[&str] = &[
+    "usd", "eur", "cny", "jpy", "gbp", "inr", "brl", "krw", "cad", "aud", "chf", "sek",
+];
+
+/// US-style state / province names.
+pub const STATES: &[&str] = &[
+    "california", "texas", "ontario", "bavaria", "guangdong", "queensland", "catalonia",
+    "hokkaido", "sao paulo", "punjab", "zhejiang", "normandy",
+];
+
+/// Weekday names.
+pub const WEEKDAYS: &[&str] = &[
+    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday",
+];
+
+/// Month names.
+pub const MONTHS: &[&str] = &[
+    "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+/// Top-level domains for URLs/emails.
+pub const TLDS: &[&str] = &["com", "org", "net", "io", "cn", "de", "jp", "co"];
+
+/// Free-text note fragments.
+pub const NOTE_WORDS: &[&str] = &[
+    "pending", "review", "approved", "urgent", "follow", "up", "customer", "requested",
+    "shipped", "delayed", "verified", "duplicate", "escalated", "resolved",
+];
+
+/// Picks one item from a pool.
+pub fn pick<'a>(rng: &mut impl Rng, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Digit string of exactly `len` digits (first digit non-zero).
+pub fn digits(rng: &mut impl Rng, len: usize) -> String {
+    let mut s = String::with_capacity(len);
+    for i in 0..len {
+        let d = if i == 0 { rng.gen_range(1..=9) } else { rng.gen_range(0..=9) };
+        s.push(char::from(b'0' + d));
+    }
+    s
+}
+
+/// A phone number: 11-digit mobile-style string.
+pub fn phone_number(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!("1{}", digits(rng, 10)))
+}
+
+/// A credit card number: 16 digits with a Luhn-valid check digit.
+pub fn credit_card(rng: &mut impl Rng) -> Cell {
+    let mut num: Vec<u8> = Vec::with_capacity(16);
+    num.push(4); // Visa-style prefix
+    for _ in 0..14 {
+        num.push(rng.gen_range(0..=9));
+    }
+    // Luhn check digit over the 15 digits.
+    let mut sum = 0u32;
+    for (i, &d) in num.iter().rev().enumerate() {
+        let mut v = u32::from(d);
+        if i % 2 == 0 {
+            v *= 2;
+            if v > 9 {
+                v -= 9;
+            }
+        }
+        sum += v;
+    }
+    num.push((10 - (sum % 10) as u8) % 10);
+    Cell::Text(num.iter().map(|d| char::from(b'0' + d)).collect())
+}
+
+/// A US-style social security number `AAA-GG-SSSS`.
+pub fn ssn(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!("{}-{}-{}", digits(rng, 3), digits(rng, 2), digits(rng, 4)))
+}
+
+/// An email address built from the name pools.
+pub fn email(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!(
+        "{}.{}@{}.{}",
+        pick(rng, FIRST_NAMES),
+        pick(rng, LAST_NAMES),
+        pick(rng, COMPANY_STEMS),
+        pick(rng, TLDS)
+    ))
+}
+
+/// A URL.
+pub fn url(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!(
+        "https://www.{}.{}/{}",
+        pick(rng, COMPANY_STEMS),
+        pick(rng, TLDS),
+        pick(rng, CATEGORIES)
+    ))
+}
+
+/// An IPv4 address.
+pub fn ip_address(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!(
+        "{}.{}.{}.{}",
+        rng.gen_range(1..=254),
+        rng.gen_range(0..=255),
+        rng.gen_range(0..=255),
+        rng.gen_range(1..=254)
+    ))
+}
+
+/// A UUID-shaped hex string.
+pub fn uuid(rng: &mut impl Rng) -> Cell {
+    let hex = |rng: &mut dyn rand::RngCore, n: usize| -> String {
+        (0..n).map(|_| char::from_digit(rng.gen_range(0..16), 16).unwrap()).collect()
+    };
+    Cell::Text(format!(
+        "{}-{}-{}-{}-{}",
+        hex(rng, 8),
+        hex(rng, 4),
+        hex(rng, 4),
+        hex(rng, 4),
+        hex(rng, 12)
+    ))
+}
+
+/// An ISBN-13 string with hyphens.
+pub fn isbn(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!("978-{}-{}-{}-{}", digits(rng, 1), digits(rng, 3), digits(rng, 5), digits(rng, 1)))
+}
+
+/// A DOI string.
+pub fn doi(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!("10.{}/{}.{}", digits(rng, 4), pick(rng, COMPANY_STEMS), digits(rng, 6)))
+}
+
+/// A `YYYY-MM-DD` date.
+pub fn date(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!(
+        "{}-{:02}-{:02}",
+        rng.gen_range(1950..=2025),
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28)
+    ))
+}
+
+/// A `YYYY-MM-DD hh:mm:ss` timestamp.
+pub fn timestamp(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!(
+        "{}-{:02}-{:02} {:02}:{:02}:{:02}",
+        rng.gen_range(2000..=2025),
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+        rng.gen_range(0..24),
+        rng.gen_range(0..60),
+        rng.gen_range(0..60)
+    ))
+}
+
+/// A zip / postal code (5 digits).
+pub fn zip_code(rng: &mut impl Rng) -> Cell {
+    Cell::Text(digits(rng, 5))
+}
+
+/// A street address line.
+pub fn street_address(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!("{} {} street", rng.gen_range(1..=9999), pick(rng, STREETS)))
+}
+
+/// An IBAN-shaped account string.
+pub fn iban(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!("de{}", digits(rng, 20)))
+}
+
+/// A SKU code like `ZX-10482`.
+pub fn sku(rng: &mut impl Rng) -> Cell {
+    let a = char::from(b'a' + rng.gen_range(0..26u8));
+    let b = char::from(b'a' + rng.gen_range(0..26u8));
+    Cell::Text(format!("{a}{b}-{}", digits(rng, 5)))
+}
+
+/// A two-word synthetic title (album / film / book).
+pub fn title(rng: &mut impl Rng) -> Cell {
+    Cell::Text(format!("{} {}", pick(rng, TITLE_WORDS_A), pick(rng, TITLE_WORDS_B)))
+}
+
+/// A short free-text note.
+pub fn note(rng: &mut impl Rng) -> Cell {
+    let n = rng.gen_range(2..=5);
+    let words: Vec<&str> = (0..n).map(|_| pick(rng, NOTE_WORDS)).collect();
+    Cell::Text(words.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn text(c: Cell) -> String {
+        match c {
+            Cell::Text(s) => s,
+            other => panic!("expected text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn credit_cards_are_luhn_valid_16_digits() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = text(credit_card(&mut r));
+            assert_eq!(s.len(), 16);
+            assert!(s.bytes().all(|b| b.is_ascii_digit()));
+            let mut sum = 0u32;
+            for (i, b) in s.bytes().rev().enumerate() {
+                let mut v = u32::from(b - b'0');
+                if i % 2 == 1 {
+                    v *= 2;
+                    if v > 9 {
+                        v -= 9;
+                    }
+                }
+                sum += v;
+            }
+            assert_eq!(sum % 10, 0, "Luhn failure for {s}");
+        }
+    }
+
+    #[test]
+    fn phone_numbers_are_11_digits_starting_with_1() {
+        let mut r = rng();
+        let s = text(phone_number(&mut r));
+        assert_eq!(s.len(), 11);
+        assert!(s.starts_with('1'));
+        assert!(s.bytes().all(|b| b.is_ascii_digit()));
+    }
+
+    #[test]
+    fn ssn_matches_pattern() {
+        let mut r = rng();
+        let s = text(ssn(&mut r));
+        let parts: Vec<&str> = s.split('-').collect();
+        assert_eq!(parts.len(), 3);
+        assert_eq!((parts[0].len(), parts[1].len(), parts[2].len()), (3, 2, 4));
+    }
+
+    #[test]
+    fn email_and_url_have_expected_shape() {
+        let mut r = rng();
+        let e = text(email(&mut r));
+        assert!(e.contains('@') && e.contains('.'));
+        let u = text(url(&mut r));
+        assert!(u.starts_with("https://www."));
+    }
+
+    #[test]
+    fn ip_octets_in_range() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let s = text(ip_address(&mut r));
+            let octets: Vec<u32> = s.split('.').map(|p| p.parse().unwrap()).collect();
+            assert_eq!(octets.len(), 4);
+            assert!(octets.iter().all(|&o| o <= 255));
+        }
+    }
+
+    #[test]
+    fn uuid_shape() {
+        let mut r = rng();
+        let s = text(uuid(&mut r));
+        let lens: Vec<usize> = s.split('-').map(str::len).collect();
+        assert_eq!(lens, vec![8, 4, 4, 4, 12]);
+    }
+
+    #[test]
+    fn dates_and_timestamps_parse_fields() {
+        let mut r = rng();
+        let d = text(date(&mut r));
+        assert_eq!(d.len(), 10);
+        let ts = text(timestamp(&mut r));
+        assert_eq!(ts.len(), 19);
+        assert!(ts.contains(' '));
+    }
+
+    #[test]
+    fn isbn_starts_with_978() {
+        let mut r = rng();
+        assert!(text(isbn(&mut r)).starts_with("978-"));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..10 {
+            assert_eq!(email(&mut a), email(&mut b));
+        }
+    }
+
+    #[test]
+    fn digits_respects_length_and_leading_nonzero() {
+        let mut r = rng();
+        for len in 1..20 {
+            let s = digits(&mut r, len);
+            assert_eq!(s.len(), len);
+            assert_ne!(s.as_bytes()[0], b'0');
+        }
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [FIRST_NAMES, CITIES, COUNTRIES, CURRENCY_CODES, GENRES, AWARDS] {
+            assert!(!pool.is_empty());
+            assert!(pool.iter().all(|w| w.chars().all(|c| !c.is_ascii_uppercase())));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Database connections — the only sanctioned access path for the
+//! detection service.
+//!
+//! Opening a connection pays the handshake cost; every query pays its
+//! modeled latency and records into the ledger. The paper recommends
+//! batching tables of one database so the (costly) connection can be
+//! reused — the framework's scheduler does exactly that with one
+//! connection per preparation worker.
+
+use crate::engine::{Database, ScanMethod};
+use crate::latency::LatencyProfile;
+use std::sync::Arc;
+use taste_core::{Cell, ColumnMeta, Result, TableId, TableMeta};
+
+/// An open connection to a [`Database`].
+pub struct Connection {
+    db: Arc<Database>,
+}
+
+impl Database {
+    /// Opens a connection, paying the connect cost.
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        LatencyProfile::pay(self.latency().connect);
+        self.ledger().record_connection();
+        Connection { db: Arc::clone(self) }
+    }
+}
+
+impl Connection {
+    /// The database this connection talks to.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// `SELECT * FROM information_schema.tables` — all table metadata.
+    pub fn fetch_tables(&self) -> Vec<TableMeta> {
+        let lat = self.db.latency();
+        let tables = self.db.tables.read();
+        LatencyProfile::pay(lat.metadata_query(tables.len()));
+        self.db.ledger().record_metadata_query();
+        tables.iter().map(|t| t.meta.clone()).collect()
+    }
+
+    /// Table-level metadata for one table.
+    pub fn fetch_table_meta(&self, tid: TableId) -> Result<TableMeta> {
+        let lat = self.db.latency();
+        LatencyProfile::pay(lat.metadata_query(1));
+        self.db.ledger().record_metadata_query();
+        self.db.with_table(tid, |t| t.meta.clone())
+    }
+
+    /// `SELECT * FROM information_schema.columns WHERE table_id = ?` —
+    /// the Phase 1 data-preparation query. Cost scales with the table's
+    /// column count; columns carrying histograms cost 3× their metadata
+    /// rate (histogram JSON is bulky — this is what makes the paper's
+    /// *with histogram* variant slightly slower end-to-end, §6.3).
+    pub fn fetch_columns_meta(&self, tid: TableId) -> Result<Vec<ColumnMeta>> {
+        let (ncols, hist_cols) = self
+            .db
+            .with_table(tid, |t| {
+                (t.columns.len(), t.columns.iter().filter(|c| c.histogram.is_some()).count())
+            })?;
+        let lat = self.db.latency();
+        LatencyProfile::pay(lat.metadata_query(ncols) + lat.meta_per_column * (2 * hist_cols) as u32);
+        self.db.ledger().record_metadata_query();
+        self.db.with_table(tid, |t| t.columns.clone())
+    }
+
+    /// Content scan of the selected columns — the Phase 2 data-preparation
+    /// query. Returns row-major projected cells (in ascending-ordinal
+    /// order). Pays per-row and per-byte costs and records the scan as
+    /// `ordinals.len()` column scans in the ledger.
+    pub fn scan_columns(
+        &self,
+        tid: TableId,
+        ordinals: &[u16],
+        method: ScanMethod,
+    ) -> Result<Vec<Vec<Cell>>> {
+        if ordinals.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (rows, bytes) = self.db.scan_raw(tid, ordinals, method)?;
+        LatencyProfile::pay(self.db.latency().scan(rows.len(), bytes, method.is_sampled()));
+        self.db
+            .ledger()
+            .record_scan(ordinals.len() as u64, rows.len() as u64, bytes as u64);
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use taste_core::{ColumnId, LabelSet, RawType, Table};
+
+    fn mk_db(latency: LatencyProfile) -> (Arc<Database>, TableId) {
+        let db = Database::new("udb", latency);
+        let tid = TableId(0);
+        let table = Table {
+            meta: TableMeta { id: tid, name: "users".into(), comment: None, row_count: 4 },
+            columns: vec![ColumnMeta {
+                id: ColumnId::new(tid, 0),
+                name: "email".into(),
+                comment: None,
+                raw_type: RawType::Text,
+                nullable: false,
+                stats: Default::default(),
+                histogram: None,
+            }],
+            rows: (0..4).map(|i| vec![Cell::Text(format!("u{i}@example.com"))]).collect(),
+            labels: vec![LabelSet::empty()],
+        };
+        let tid = db.create_table(&table).unwrap();
+        (db, tid)
+    }
+
+    #[test]
+    fn connection_and_queries_hit_the_ledger() {
+        let (db, tid) = mk_db(LatencyProfile::zero());
+        let conn = db.connect();
+        let tables = conn.fetch_tables();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name, "users");
+        let cols = conn.fetch_columns_meta(tid).unwrap();
+        assert_eq!(cols.len(), 1);
+        let rows = conn.scan_columns(tid, &[0], ScanMethod::FirstM { m: 2 }).unwrap();
+        assert_eq!(rows.len(), 2);
+
+        let s = db.ledger().snapshot();
+        assert_eq!(s.connections_opened, 1);
+        assert_eq!(s.metadata_queries, 2);
+        assert_eq!(s.scan_queries, 1);
+        assert_eq!(s.columns_scanned, 1);
+        assert_eq!(s.rows_read, 2);
+        assert!(s.bytes_read > 0);
+    }
+
+    #[test]
+    fn empty_scan_is_free() {
+        let (db, tid) = mk_db(LatencyProfile::zero());
+        let conn = db.connect();
+        let rows = conn.scan_columns(tid, &[], ScanMethod::FirstM { m: 10 }).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(db.ledger().snapshot().scan_queries, 0);
+    }
+
+    #[test]
+    fn latency_is_actually_paid() {
+        let profile = LatencyProfile {
+            connect: Duration::from_millis(20),
+            ..LatencyProfile::zero()
+        };
+        let (db, _) = mk_db(profile);
+        let t0 = std::time::Instant::now();
+        let _conn = db.connect();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn fetch_table_meta_for_missing_table_errors() {
+        let (db, _) = mk_db(LatencyProfile::zero());
+        let conn = db.connect();
+        assert!(conn.fetch_table_meta(TableId(9)).is_err());
+    }
+
+    #[test]
+    fn scan_latency_scales_with_rows() {
+        let profile = LatencyProfile {
+            scan_per_row: Duration::from_millis(2),
+            ..LatencyProfile::zero()
+        };
+        let (db, tid) = mk_db(profile);
+        let conn = db.connect();
+        let t0 = std::time::Instant::now();
+        conn.scan_columns(tid, &[0], ScanMethod::FirstM { m: 4 }).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+    }
+}

@@ -1,0 +1,408 @@
+//! The in-memory storage engine behind the simulated cloud database.
+
+use crate::latency::LatencyProfile;
+use crate::ledger::Ledger;
+use crate::rowcodec;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use taste_core::{
+    Cell, ColumnMeta, Histogram, HistogramKind, Result, Table, TableId, TableMeta, TasteError,
+};
+
+/// How a content scan selects its rows (§6.1.2: "first m rows" is the
+/// default; "random sampling of m rows" mitigates uneven distributions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanMethod {
+    /// `SELECT ... LIMIT m` — sequential head scan.
+    FirstM {
+        /// Number of rows to fetch.
+        m: usize,
+    },
+    /// `SELECT ... ORDER BY RAND(seed) LIMIT m` — seeded random sample.
+    SampleM {
+        /// Number of rows to fetch.
+        m: usize,
+        /// RNG seed (the paper fixes MySQL `RAND(0)`).
+        seed: u64,
+    },
+}
+
+impl ScanMethod {
+    /// The row budget `m`.
+    pub fn m(&self) -> usize {
+        match *self {
+            ScanMethod::FirstM { m } | ScanMethod::SampleM { m, .. } => m,
+        }
+    }
+
+    /// Whether this is a sampling scan (slower per row).
+    pub fn is_sampled(&self) -> bool {
+        matches!(self, ScanMethod::SampleM { .. })
+    }
+}
+
+pub(crate) struct StoredTable {
+    pub(crate) meta: TableMeta,
+    pub(crate) columns: Vec<ColumnMeta>,
+    pub(crate) rows: Vec<Bytes>,
+}
+
+/// A simulated remote user database.
+///
+/// All access flows through [`crate::Connection`] objects obtained from
+/// [`Database::connect`], which charge the [`LatencyProfile`] and record
+/// into the [`Ledger`]. Direct (free) access exists only for loading
+/// fixtures ([`Database::create_table`]) and administrative `ANALYZE`.
+pub struct Database {
+    name: String,
+    latency: LatencyProfile,
+    ledger: Arc<Ledger>,
+    pub(crate) tables: RwLock<Vec<StoredTable>>,
+}
+
+impl Database {
+    /// Creates an empty database with the given latency profile.
+    pub fn new(name: impl Into<String>, latency: LatencyProfile) -> Arc<Database> {
+        Arc::new(Database {
+            name: name.into(),
+            latency,
+            ledger: Arc::new(Ledger::new()),
+            tables: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The latency profile in effect.
+    pub fn latency(&self) -> &LatencyProfile {
+        &self.latency
+    }
+
+    /// The intrusiveness ledger.
+    pub fn ledger(&self) -> &Arc<Ledger> {
+        &self.ledger
+    }
+
+    /// Loads a table (validating it first) and returns its assigned id.
+    /// Ground-truth labels on the input are *not* stored — a user
+    /// database has no labels; corpora keep them on the side.
+    pub fn create_table(&self, table: &Table) -> Result<TableId> {
+        table.validate()?;
+        let mut tables = self.tables.write();
+        let id = TableId(tables.len() as u32);
+        let mut meta = table.meta.clone();
+        meta.id = id;
+        meta.row_count = table.rows.len() as u64;
+        let columns: Vec<ColumnMeta> = table
+            .columns
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.id.table = id;
+                c
+            })
+            .collect();
+        let rows: Vec<Bytes> = table.rows.iter().map(|r| rowcodec::encode_row(r)).collect();
+        tables.push(StoredTable { meta, columns, rows });
+        Ok(id)
+    }
+
+    /// Number of stored tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// Total number of columns across all tables (the denominator of the
+    /// scanned-columns ratio).
+    pub fn total_columns(&self) -> u64 {
+        self.tables.read().iter().map(|t| t.columns.len() as u64).sum()
+    }
+
+    /// All table ids, in creation order.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        (0..self.tables.read().len() as u32).map(TableId).collect()
+    }
+
+    /// Runs `ANALYZE TABLE`, computing column statistics and (optionally)
+    /// histograms with `nbuckets` buckets. This is an *administrative*
+    /// action the data owner runs; the paper's *with histogram* variant
+    /// models users who have done so. No ledger charge.
+    pub fn analyze_table(&self, tid: TableId, histogram: Option<(HistogramKind, usize)>) -> Result<()> {
+        let mut tables = self.tables.write();
+        let table = tables
+            .get_mut(tid.0 as usize)
+            .ok_or_else(|| TasteError::not_found(format!("table {}", tid.0)))?;
+        let width = table.columns.len();
+        // Decode all rows once.
+        let decoded: Vec<Vec<Cell>> = table
+            .rows
+            .iter()
+            .map(|b| rowcodec::decode_row(b, width))
+            .collect::<Result<_>>()?;
+        for (ordinal, col) in table.columns.iter_mut().enumerate() {
+            let cells: Vec<&Cell> = decoded.iter().map(|r| &r[ordinal]).collect();
+            let nrows = cells.len();
+            let nulls = cells.iter().filter(|c| c.is_empty()).count();
+            let non_null: Vec<&&Cell> = cells.iter().filter(|c| !c.is_empty()).collect();
+            let mut distinct: std::collections::HashSet<String> = std::collections::HashSet::new();
+            let mut len_sum = 0usize;
+            for c in &non_null {
+                let rendered = c.render();
+                len_sum += rendered.len();
+                distinct.insert(rendered);
+            }
+            let numeric: Vec<f64> = non_null.iter().filter_map(|c| c.as_f64()).collect();
+            col.stats.ndv = Some(distinct.len() as u64);
+            col.stats.null_frac = if nrows == 0 { None } else { Some(nulls as f64 / nrows as f64) };
+            col.stats.min = numeric.iter().cloned().reduce(f64::min);
+            col.stats.max = numeric.iter().cloned().reduce(f64::max);
+            col.stats.avg_len = if non_null.is_empty() {
+                None
+            } else {
+                Some(len_sum as f64 / non_null.len() as f64)
+            };
+            if let Some((kind, nbuckets)) = histogram {
+                // Numeric columns histogram their values; text columns
+                // histogram rendered lengths (a strong type signal).
+                let values: Vec<f64> = if numeric.len() == non_null.len() && !numeric.is_empty() {
+                    numeric
+                } else {
+                    non_null.iter().map(|c| c.render().len() as f64).collect()
+                };
+                col.histogram = match kind {
+                    HistogramKind::EqualWidth => Histogram::equal_width(&values, nbuckets),
+                    HistogramKind::EqualDepth => Histogram::equal_depth(&values, nbuckets),
+                };
+            } else {
+                col.histogram = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `ANALYZE` on every table.
+    pub fn analyze_all(&self, histogram: Option<(HistogramKind, usize)>) -> Result<()> {
+        for tid in self.table_ids() {
+            self.analyze_table(tid, histogram)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn with_table<R>(&self, tid: TableId, f: impl FnOnce(&StoredTable) -> R) -> Result<R> {
+        let tables = self.tables.read();
+        let table = tables
+            .get(tid.0 as usize)
+            .ok_or_else(|| TasteError::not_found(format!("table {}", tid.0)))?;
+        Ok(f(table))
+    }
+
+    /// Internal scan used by [`crate::Connection::scan_columns`]:
+    /// projects `ordinals` out of the selected rows, returning row-major
+    /// cells plus the byte volume touched.
+    pub(crate) fn scan_raw(
+        &self,
+        tid: TableId,
+        ordinals: &[u16],
+        method: ScanMethod,
+    ) -> Result<(Vec<Vec<Cell>>, usize)> {
+        let mut sorted = ordinals.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.with_table(tid, |table| {
+            let width = table.columns.len();
+            if let Some(&bad) = sorted.iter().find(|&&o| o as usize >= width) {
+                return Err(TasteError::Database(format!(
+                    "scan ordinal {bad} out of range for table {} (width {width})",
+                    table.meta.name
+                )));
+            }
+            let nrows = table.rows.len();
+            let row_indices: Vec<usize> = match method {
+                ScanMethod::FirstM { m } => (0..nrows.min(m)).collect(),
+                ScanMethod::SampleM { m, seed } => {
+                    if m >= nrows {
+                        (0..nrows).collect()
+                    } else {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                        let mut idx = sample(&mut rng, nrows, m).into_vec();
+                        idx.sort_unstable();
+                        idx
+                    }
+                }
+            };
+            let mut out = Vec::with_capacity(row_indices.len());
+            let mut bytes_touched = 0usize;
+            for &ri in &row_indices {
+                let (cells, touched) = rowcodec::decode_projection(&table.rows[ri], width, &sorted)?;
+                bytes_touched += touched;
+                out.push(cells);
+            }
+            Ok((out, bytes_touched))
+        })?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_core::{Cell, ColumnId, ColumnMeta, LabelSet, RawType, TableMeta};
+
+    pub(crate) fn fixture_table(name: &str, nrows: usize) -> Table {
+        let tid = TableId(0);
+        let columns = vec![
+            ColumnMeta {
+                id: ColumnId::new(tid, 0),
+                name: "id".into(),
+                comment: None,
+                raw_type: RawType::Integer,
+                nullable: false,
+                stats: Default::default(),
+                histogram: None,
+            },
+            ColumnMeta {
+                id: ColumnId::new(tid, 1),
+                name: "city".into(),
+                comment: Some("ship-to city".into()),
+                raw_type: RawType::Text,
+                nullable: true,
+                stats: Default::default(),
+                histogram: None,
+            },
+        ];
+        let rows: Vec<Vec<Cell>> = (0..nrows)
+            .map(|i| {
+                vec![
+                    Cell::Int(i as i64),
+                    if i % 5 == 0 { Cell::Null } else { Cell::Text(format!("city{}", i % 7)) },
+                ]
+            })
+            .collect();
+        Table {
+            meta: TableMeta { id: tid, name: name.into(), comment: None, row_count: nrows as u64 },
+            columns,
+            rows,
+            labels: vec![LabelSet::empty(), LabelSet::empty()],
+        }
+    }
+
+    #[test]
+    fn create_table_assigns_sequential_ids() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let t1 = db.create_table(&fixture_table("a", 3)).unwrap();
+        let t2 = db.create_table(&fixture_table("b", 3)).unwrap();
+        assert_eq!(t1, TableId(0));
+        assert_eq!(t2, TableId(1));
+        assert_eq!(db.table_count(), 2);
+        assert_eq!(db.total_columns(), 4);
+        assert_eq!(db.table_ids(), vec![TableId(0), TableId(1)]);
+    }
+
+    #[test]
+    fn create_table_rejects_invalid() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let mut bad = fixture_table("bad", 2);
+        bad.rows[0].pop();
+        assert!(db.create_table(&bad).is_err());
+    }
+
+    #[test]
+    fn scan_first_m_returns_head_rows() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let tid = db.create_table(&fixture_table("t", 10)).unwrap();
+        let (rows, bytes) = db.scan_raw(tid, &[0], ScanMethod::FirstM { m: 3 }).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Cell::Int(0)]);
+        assert_eq!(rows[2], vec![Cell::Int(2)]);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn scan_sample_is_deterministic_per_seed() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let tid = db.create_table(&fixture_table("t", 100)).unwrap();
+        let (a, _) = db.scan_raw(tid, &[0], ScanMethod::SampleM { m: 10, seed: 0 }).unwrap();
+        let (b, _) = db.scan_raw(tid, &[0], ScanMethod::SampleM { m: 10, seed: 0 }).unwrap();
+        let (c, _) = db.scan_raw(tid, &[0], ScanMethod::SampleM { m: 10, seed: 1 }).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn scan_sample_with_m_over_nrows_returns_all() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let tid = db.create_table(&fixture_table("t", 5)).unwrap();
+        let (rows, _) = db.scan_raw(tid, &[0, 1], ScanMethod::SampleM { m: 50, seed: 0 }).unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn scan_rejects_bad_ordinal_and_table() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let tid = db.create_table(&fixture_table("t", 5)).unwrap();
+        assert!(db.scan_raw(tid, &[9], ScanMethod::FirstM { m: 1 }).is_err());
+        assert!(db.scan_raw(TableId(42), &[0], ScanMethod::FirstM { m: 1 }).is_err());
+    }
+
+    #[test]
+    fn scan_dedups_and_sorts_ordinals() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let tid = db.create_table(&fixture_table("t", 3)).unwrap();
+        let (rows, _) = db.scan_raw(tid, &[1, 0, 1], ScanMethod::FirstM { m: 1 }).unwrap();
+        assert_eq!(rows[0].len(), 2);
+        assert_eq!(rows[0][0], Cell::Int(0));
+    }
+
+    #[test]
+    fn analyze_populates_stats() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let tid = db.create_table(&fixture_table("t", 20)).unwrap();
+        db.analyze_table(tid, None).unwrap();
+        db.with_table(tid, |t| {
+            let id_col = &t.columns[0];
+            assert_eq!(id_col.stats.ndv, Some(20));
+            assert_eq!(id_col.stats.null_frac, Some(0.0));
+            assert_eq!(id_col.stats.min, Some(0.0));
+            assert_eq!(id_col.stats.max, Some(19.0));
+            let city = &t.columns[1];
+            assert_eq!(city.stats.ndv, Some(7));
+            assert!(city.stats.null_frac.unwrap() > 0.0);
+            assert!(city.histogram.is_none());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn analyze_builds_requested_histograms() {
+        let db = Database::new("test", LatencyProfile::zero());
+        let tid = db.create_table(&fixture_table("t", 50)).unwrap();
+        db.analyze_table(tid, Some((HistogramKind::EqualDepth, 8))).unwrap();
+        db.with_table(tid, |t| {
+            let h = t.columns[0].histogram.as_ref().unwrap();
+            assert_eq!(h.kind, HistogramKind::EqualDepth);
+            assert_eq!(h.total, 50);
+            // Text column histograms over rendered length.
+            let h2 = t.columns[1].histogram.as_ref().unwrap();
+            assert_eq!(h2.total, 40); // 10 nulls skipped
+        })
+        .unwrap();
+        // Re-analyzing without histograms clears them.
+        db.analyze_table(tid, None).unwrap();
+        db.with_table(tid, |t| assert!(t.columns[0].histogram.is_none())).unwrap();
+    }
+
+    #[test]
+    fn scan_method_accessors() {
+        assert_eq!(ScanMethod::FirstM { m: 7 }.m(), 7);
+        assert_eq!(ScanMethod::SampleM { m: 3, seed: 0 }.m(), 3);
+        assert!(!ScanMethod::FirstM { m: 1 }.is_sampled());
+        assert!(ScanMethod::SampleM { m: 1, seed: 0 }.is_sampled());
+    }
+}

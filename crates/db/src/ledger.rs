@@ -1,0 +1,175 @@
+//! The intrusiveness ledger: what the detection service did *to* the user
+//! database.
+//!
+//! The paper's third headline metric — the **ratio of scanned columns**
+//! (Fig. 5) — measures intrusiveness into user data sources. The ledger
+//! tracks every observable interaction with atomic counters so concurrent
+//! pipeline stages can record without locking.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe interaction counters for one database.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    connections_opened: AtomicU64,
+    metadata_queries: AtomicU64,
+    scan_queries: AtomicU64,
+    columns_scanned: AtomicU64,
+    rows_read: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+/// A point-in-time copy of the ledger counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerSnapshot {
+    /// Connections opened against the database.
+    pub connections_opened: u64,
+    /// information_schema-style metadata queries issued.
+    pub metadata_queries: u64,
+    /// Content scan queries issued.
+    pub scan_queries: u64,
+    /// Distinct column scans performed (a column scanned in two queries
+    /// counts twice — it was read twice).
+    pub columns_scanned: u64,
+    /// Rows materialized by scans.
+    pub rows_read: u64,
+    /// Cell bytes transferred by scans.
+    pub bytes_read: u64,
+}
+
+impl LedgerSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &LedgerSnapshot) -> LedgerSnapshot {
+        LedgerSnapshot {
+            connections_opened: self.connections_opened - earlier.connections_opened,
+            metadata_queries: self.metadata_queries - earlier.metadata_queries,
+            scan_queries: self.scan_queries - earlier.scan_queries,
+            columns_scanned: self.columns_scanned - earlier.columns_scanned,
+            rows_read: self.rows_read - earlier.rows_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+        }
+    }
+
+    /// The paper's intrusiveness ratio: scanned columns over `total`.
+    pub fn scanned_ratio(&self, total_columns: u64) -> f64 {
+        if total_columns == 0 {
+            0.0
+        } else {
+            self.columns_scanned as f64 / total_columns as f64
+        }
+    }
+}
+
+impl Ledger {
+    /// Fresh ledger with all counters at zero.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    pub(crate) fn record_connection(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_metadata_query(&self) {
+        self.metadata_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_scan(&self, columns: u64, rows: u64, bytes: u64) {
+        self.scan_queries.fetch_add(1, Ordering::Relaxed);
+        self.columns_scanned.fetch_add(columns, Ordering::Relaxed);
+        self.rows_read.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            metadata_queries: self.metadata_queries.load(Ordering::Relaxed),
+            scan_queries: self.scan_queries.load(Ordering::Relaxed),
+            columns_scanned: self.columns_scanned.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero (between experiment runs).
+    pub fn reset(&self) {
+        self.connections_opened.store(0, Ordering::Relaxed);
+        self.metadata_queries.store(0, Ordering::Relaxed);
+        self.scan_queries.store(0, Ordering::Relaxed);
+        self.columns_scanned.store(0, Ordering::Relaxed);
+        self.rows_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let l = Ledger::new();
+        l.record_connection();
+        l.record_metadata_query();
+        l.record_scan(3, 50, 1024);
+        l.record_scan(2, 10, 64);
+        let s = l.snapshot();
+        assert_eq!(s.connections_opened, 1);
+        assert_eq!(s.metadata_queries, 1);
+        assert_eq!(s.scan_queries, 2);
+        assert_eq!(s.columns_scanned, 5);
+        assert_eq!(s.rows_read, 60);
+        assert_eq!(s.bytes_read, 1088);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let l = Ledger::new();
+        l.record_scan(1, 1, 1);
+        l.reset();
+        assert_eq!(l.snapshot(), LedgerSnapshot::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let l = Ledger::new();
+        l.record_scan(2, 5, 10);
+        let before = l.snapshot();
+        l.record_scan(3, 5, 10);
+        let delta = l.snapshot().since(&before);
+        assert_eq!(delta.columns_scanned, 3);
+        assert_eq!(delta.scan_queries, 1);
+    }
+
+    #[test]
+    fn scanned_ratio_handles_zero_total() {
+        let s = LedgerSnapshot { columns_scanned: 5, ..Default::default() };
+        assert_eq!(s.scanned_ratio(0), 0.0);
+        assert!((s.scanned_ratio(10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let l = Arc::new(Ledger::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    l.record_scan(1, 2, 3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = l.snapshot();
+        assert_eq!(s.columns_scanned, 8000);
+        assert_eq!(s.rows_read, 16000);
+        assert_eq!(s.bytes_read, 24000);
+    }
+}

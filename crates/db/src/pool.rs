@@ -1,0 +1,259 @@
+//! A bounded connection pool.
+//!
+//! Real user databases cap concurrent connections, and the paper counts
+//! "increased I/O and connections on user data sources" among the
+//! intrusions a detection service must limit (§1). The pool enforces a
+//! hard ceiling: connections are created lazily up to `max_connections`,
+//! reused after checkin (connection establishment is the most expensive
+//! database operation in the latency model), and further checkouts block
+//! until one is returned or the acquire timeout expires.
+
+use crate::connection::Connection;
+use crate::engine::Database;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taste_core::{Result, TasteError};
+
+struct PoolState {
+    idle: Vec<Connection>,
+    created: usize,
+    in_use: usize,
+}
+
+struct PoolInner {
+    db: Arc<Database>,
+    max_connections: usize,
+    acquire_timeout: Duration,
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// A bounded, blocking pool of database connections.
+#[derive(Clone)]
+pub struct ConnectionPool {
+    inner: Arc<PoolInner>,
+}
+
+/// RAII guard over a pooled connection; returns it to the pool on drop.
+pub struct PooledConnection {
+    conn: Option<Connection>,
+    pool: Arc<PoolInner>,
+}
+
+impl ConnectionPool {
+    /// Creates a pool over `db` with at most `max_connections` live
+    /// connections and the given acquire timeout.
+    ///
+    /// # Panics
+    /// Panics when `max_connections == 0`.
+    pub fn new(db: Arc<Database>, max_connections: usize, acquire_timeout: Duration) -> ConnectionPool {
+        assert!(max_connections > 0, "pool must allow at least one connection");
+        ConnectionPool {
+            inner: Arc::new(PoolInner {
+                db,
+                max_connections,
+                acquire_timeout,
+                state: Mutex::new(PoolState { idle: Vec::new(), created: 0, in_use: 0 }),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Checks a connection out, creating one lazily if under the cap,
+    /// otherwise blocking until a checkin or the acquire timeout.
+    ///
+    /// # Errors
+    /// Returns [`TasteError::Database`] on timeout (the user database's
+    /// connection limit is saturated).
+    pub fn get(&self) -> Result<PooledConnection> {
+        let deadline = Instant::now() + self.inner.acquire_timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(conn) = state.idle.pop() {
+                state.in_use += 1;
+                return Ok(PooledConnection { conn: Some(conn), pool: Arc::clone(&self.inner) });
+            }
+            if state.created < self.inner.max_connections {
+                state.created += 1;
+                state.in_use += 1;
+                // Pay the connect cost outside the lock.
+                drop(state);
+                let conn = self.inner.db.connect();
+                return Ok(PooledConnection { conn: Some(conn), pool: Arc::clone(&self.inner) });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TasteError::Database(format!(
+                    "connection pool exhausted ({} in use) after {:?}",
+                    state.in_use, self.inner.acquire_timeout
+                )));
+            }
+            if self.inner.available.wait_until(&mut state, deadline).timed_out() && state.idle.is_empty() {
+                return Err(TasteError::Database(format!(
+                    "connection pool exhausted ({} in use) after {:?}",
+                    state.in_use, self.inner.acquire_timeout
+                )));
+            }
+        }
+    }
+
+    /// Connections currently checked out.
+    pub fn in_use(&self) -> usize {
+        self.inner.state.lock().in_use
+    }
+
+    /// Connections ever created (≤ `max_connections`).
+    pub fn created(&self) -> usize {
+        self.inner.state.lock().created
+    }
+
+    /// The configured ceiling.
+    pub fn max_connections(&self) -> usize {
+        self.inner.max_connections
+    }
+}
+
+impl PooledConnection {
+    /// The underlying connection.
+    pub fn conn(&self) -> &Connection {
+        self.conn.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::Deref for PooledConnection {
+    type Target = Connection;
+
+    fn deref(&self) -> &Connection {
+        self.conn()
+    }
+}
+
+impl Drop for PooledConnection {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            let mut state = self.pool.state.lock();
+            state.idle.push(conn);
+            state.in_use -= 1;
+            drop(state);
+            self.pool.available.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyProfile;
+    use taste_core::{Cell, ColumnId, ColumnMeta, LabelSet, RawType, Table, TableId, TableMeta};
+
+    fn db(latency: LatencyProfile) -> Arc<Database> {
+        let db = Database::new("pooled", latency);
+        let tid = TableId(0);
+        let table = Table {
+            meta: TableMeta { id: tid, name: "t".into(), comment: None, row_count: 3 },
+            columns: vec![ColumnMeta {
+                id: ColumnId::new(tid, 0),
+                name: "x".into(),
+                comment: None,
+                raw_type: RawType::Integer,
+                nullable: false,
+                stats: Default::default(),
+                histogram: None,
+            }],
+            rows: (0..3).map(|i| vec![Cell::Int(i)]).collect(),
+            labels: vec![LabelSet::empty()],
+        };
+        db.create_table(&table).unwrap();
+        db
+    }
+
+    #[test]
+    fn connections_are_reused_not_recreated() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(Arc::clone(&db), 2, Duration::from_millis(100));
+        for _ in 0..10 {
+            let c = pool.get().unwrap();
+            let _ = c.fetch_tables();
+        }
+        // Serial checkouts reuse one connection; the database saw a
+        // single handshake.
+        assert_eq!(pool.created(), 1);
+        assert_eq!(db.ledger().snapshot().connections_opened, 1);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn cap_is_enforced_with_timeout() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 2, Duration::from_millis(50));
+        let a = pool.get().unwrap();
+        let b = pool.get().unwrap();
+        assert_eq!(pool.in_use(), 2);
+        let t0 = Instant::now();
+        let err = pool.get();
+        assert!(err.is_err(), "third checkout must time out");
+        assert!(t0.elapsed() >= Duration::from_millis(45));
+        drop(a);
+        drop(b);
+        assert_eq!(pool.in_use(), 0);
+        assert!(pool.get().is_ok());
+    }
+
+    #[test]
+    fn blocked_checkout_wakes_on_checkin() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 1, Duration::from_secs(5));
+        let held = pool.get().unwrap();
+        let pool2 = pool.clone();
+        let waiter = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let c = pool2.get().unwrap();
+            let _ = c.fetch_tables();
+            t0.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        drop(held);
+        let waited = waiter.join().unwrap();
+        assert!(waited >= Duration::from_millis(50), "waiter released too early: {waited:?}");
+        assert!(waited < Duration::from_secs(5), "waiter should not have timed out");
+    }
+
+    #[test]
+    fn concurrent_users_never_exceed_cap() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(Arc::clone(&db), 3, Duration::from_secs(5));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let c = pool.get().unwrap();
+                    let _ = c.fetch_tables();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.created() <= 3, "created {}", pool.created());
+        assert!(db.ledger().snapshot().connections_opened <= 3);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one connection")]
+    fn zero_cap_rejected() {
+        let db = db(LatencyProfile::zero());
+        let _ = ConnectionPool::new(db, 0, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn deref_gives_direct_connection_access() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 1, Duration::from_millis(50));
+        let c = pool.get().unwrap();
+        // Deref: call Connection methods directly on the guard.
+        assert_eq!(c.fetch_tables().len(), 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the row codec and scan semantics.
+
+use proptest::prelude::*;
+use taste_core::Cell;
+use taste_db::rowcodec::{decode_projection, decode_row, encode_row};
+
+fn cell_strategy() -> impl Strategy<Value = Cell> {
+    prop_oneof![
+        Just(Cell::Null),
+        any::<i64>().prop_map(Cell::Int),
+        (-1e12f64..1e12).prop_map(Cell::Float),
+        "[\\x20-\\x7E]{0,40}".prop_map(Cell::Text),
+        any::<bool>().prop_map(Cell::Bool),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_any_row(cells in prop::collection::vec(cell_strategy(), 0..12)) {
+        let bytes = encode_row(&cells);
+        let back = decode_row(&bytes, cells.len()).unwrap();
+        prop_assert_eq!(back, cells);
+    }
+
+    #[test]
+    fn projection_equals_filtered_full_decode(
+        cells in prop::collection::vec(cell_strategy(), 1..12),
+        mask in prop::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let width = cells.len();
+        let ordinals: Vec<u16> = (0..width as u16)
+            .filter(|&o| mask.get(o as usize).copied().unwrap_or(false))
+            .collect();
+        let bytes = encode_row(&cells);
+        let (projected, touched) = decode_projection(&bytes, width, &ordinals).unwrap();
+        let expected: Vec<Cell> = ordinals.iter().map(|&o| cells[o as usize].clone()).collect();
+        prop_assert_eq!(projected, expected);
+        prop_assert!(touched <= bytes.len());
+        if ordinals.is_empty() {
+            prop_assert_eq!(touched, 0);
+        }
+    }
+
+    #[test]
+    fn truncated_rows_error_not_panic(cells in prop::collection::vec(cell_strategy(), 1..6), cut in 1usize..10) {
+        let bytes = encode_row(&cells);
+        if bytes.len() >= cut {
+            let truncated = &bytes[..bytes.len() - cut];
+            // Either decodes to an error or (when the cut removed an
+            // exact-cell suffix and width is overstated) still errors on
+            // trailing/missing bytes — never panics.
+            let _ = decode_row(truncated, cells.len());
+        }
+    }
+
+    #[test]
+    fn byte_cost_is_monotone_in_projection(cells in prop::collection::vec(cell_strategy(), 2..10)) {
+        let width = cells.len();
+        let bytes = encode_row(&cells);
+        let all: Vec<u16> = (0..width as u16).collect();
+        let (_, full_touch) = decode_projection(&bytes, width, &all).unwrap();
+        let (_, one_touch) = decode_projection(&bytes, width, &[0]).unwrap();
+        prop_assert!(one_touch <= full_touch);
+        prop_assert_eq!(full_touch, bytes.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Framework configuration: the knobs of §3.2, §6.1.2, and §6.2.
+
+use serde::{Deserialize, Serialize};
+use taste_core::{Result, TasteError};
+use taste_db::ScanMethod;
+
+/// Table scanning strategy (§6.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanKind {
+    /// Sequential head scan (`first m rows`, the default).
+    FirstM,
+    /// Seeded random sampling of `m` rows (`TASTE with sampling`).
+    Sample {
+        /// RNG seed passed to the database's `RAND()`.
+        seed: u64,
+    },
+}
+
+/// Full configuration of a TASTE deployment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TasteConfig {
+    /// Lower certainty threshold: `p ≤ α` means "irrelevant".
+    pub alpha: f32,
+    /// Upper certainty threshold: `p ≥ β` means "admitted".
+    pub beta: f32,
+    /// Rows retrieved per content scan (`m`, paper default 50).
+    pub m: usize,
+    /// Non-empty cell values kept per column (`n ≤ m`, paper default 10).
+    pub n: usize,
+    /// Column split threshold (`l`, paper default 20).
+    pub l: usize,
+    /// Scan strategy for P2.
+    pub scan: ScanKind,
+    /// Latent caching (§4.2.2); disabling reproduces *TASTE w/o caching*.
+    pub caching: bool,
+    /// Pipelined execution (§5); disabling reproduces *TASTE w/o
+    /// pipelining* (pure sequential mode).
+    pub pipelining: bool,
+    /// Worker threads per pool (TP1 and TP2 each; paper experiment: 2).
+    pub pool_size: usize,
+    /// Whether histogram metadata features are consumed (*TASTE with
+    /// histogram*; requires a model trained with them).
+    pub use_histograms: bool,
+    /// P2 admission threshold on the content tower's probabilities.
+    pub p2_threshold: f32,
+}
+
+impl Default for TasteConfig {
+    fn default() -> Self {
+        TasteConfig {
+            alpha: 0.1,
+            beta: 0.9,
+            m: 50,
+            n: 10,
+            l: 20,
+            scan: ScanKind::FirstM,
+            caching: true,
+            pipelining: true,
+            pool_size: 2,
+            use_histograms: false,
+            p2_threshold: 0.5,
+        }
+    }
+}
+
+impl TasteConfig {
+    /// Validates the invariants `0 ≤ α ≤ β ≤ 1`, `n ≤ m`, `l > 0`.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.alpha) || !(0.0..=1.0).contains(&self.beta) {
+            return Err(TasteError::invalid(format!(
+                "thresholds out of range: alpha={}, beta={}",
+                self.alpha, self.beta
+            )));
+        }
+        if self.alpha > self.beta {
+            return Err(TasteError::invalid(format!(
+                "alpha ({}) must not exceed beta ({})",
+                self.alpha, self.beta
+            )));
+        }
+        if self.n > self.m {
+            return Err(TasteError::invalid(format!("n ({}) must not exceed m ({})", self.n, self.m)));
+        }
+        if self.l == 0 {
+            return Err(TasteError::invalid("column split threshold l must be positive"));
+        }
+        if self.m == 0 {
+            return Err(TasteError::invalid("row budget m must be positive"));
+        }
+        if self.pool_size == 0 {
+            return Err(TasteError::invalid("pool size must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.p2_threshold) {
+            return Err(TasteError::invalid("p2 threshold out of range"));
+        }
+        Ok(())
+    }
+
+    /// The strict-privacy variant: `α = β = 0.5` disables P2 entirely
+    /// (*TASTE without P2*, Table 4) — no uncertain band can exist.
+    pub fn without_p2(mut self) -> TasteConfig {
+        self.alpha = 0.5;
+        self.beta = 0.5;
+        self
+    }
+
+    /// Whether P2 can ever trigger under this configuration.
+    pub fn p2_possible(&self) -> bool {
+        self.alpha < self.beta
+    }
+
+    /// The database scan method for P2 under this configuration.
+    pub fn scan_method(&self) -> ScanMethod {
+        match self.scan {
+            ScanKind::FirstM => ScanMethod::FirstM { m: self.m },
+            ScanKind::Sample { seed } => ScanMethod::SampleM { m: self.m, seed },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_settings() {
+        let c = TasteConfig::default();
+        assert_eq!(c.alpha, 0.1);
+        assert_eq!(c.beta, 0.9);
+        assert_eq!(c.m, 50);
+        assert_eq!(c.n, 10);
+        assert_eq!(c.l, 20);
+        assert_eq!(c.pool_size, 2);
+        assert!(c.caching && c.pipelining);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_thresholds() {
+        let mut c = TasteConfig { alpha: 0.9, beta: 0.1, ..Default::default() };
+        assert!(c.validate().is_err());
+        c = TasteConfig { alpha: -0.1, ..Default::default() };
+        assert!(c.validate().is_err());
+        c = TasteConfig { beta: 1.5, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_reading_params() {
+        assert!(TasteConfig { n: 100, m: 50, ..Default::default() }.validate().is_err());
+        assert!(TasteConfig { l: 0, ..Default::default() }.validate().is_err());
+        assert!(TasteConfig { m: 0, n: 0, ..Default::default() }.validate().is_err());
+        assert!(TasteConfig { pool_size: 0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn without_p2_closes_the_uncertain_band() {
+        let c = TasteConfig::default().without_p2();
+        assert_eq!(c.alpha, c.beta);
+        assert!(!c.p2_possible());
+        assert!(c.validate().is_ok());
+        assert!(TasteConfig::default().p2_possible());
+    }
+
+    #[test]
+    fn scan_method_maps_config() {
+        let c = TasteConfig::default();
+        assert_eq!(c.scan_method(), ScanMethod::FirstM { m: 50 });
+        let s = TasteConfig { scan: ScanKind::Sample { seed: 7 }, ..Default::default() };
+        assert_eq!(s.scan_method(), ScanMethod::SampleM { m: 50, seed: 7 });
+    }
+}

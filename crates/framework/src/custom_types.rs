@@ -1,0 +1,297 @@
+//! User-defined semantic types (the paper's third future-work direction,
+//! §8): tenants plug domain-specific types into the detection output
+//! without touching the DL model.
+//!
+//! A custom type is a named validator — a shape pattern, a dictionary,
+//! or a checksum — plus a minimum match fraction. Custom detection runs
+//! over column content and *fuses* into a [`DetectionReport`]: custom
+//! type ids live above the model's domain, so they never collide with
+//! learned types and the model's decisions are untouched.
+//!
+//! Because validators need content, the fusion pass is an explicit
+//! opt-in scan (it charges the intrusiveness ledger like any other
+//! read); tenants who run it typically restrict it to the tables they
+//! care about.
+
+use crate::report::DetectionReport;
+use rustc_hash::FxHashSet;
+use std::sync::Arc;
+use taste_core::{Result, TasteError, TypeId};
+use taste_db::{Database, ScanMethod};
+
+/// How a custom type recognizes its values.
+#[derive(Debug, Clone)]
+pub enum Validator {
+    /// Shape pattern over characters: `#` matches a digit, `@` a letter,
+    /// `?` any single character, `+` repeats the previous class one or
+    /// more times, anything else matches literally.
+    /// Example: `"##-@@@-####"` or `"978-#+"`.
+    Pattern(String),
+    /// Case-insensitive dictionary membership.
+    Dictionary(FxHashSet<String>),
+    /// Digits-only string passing the Luhn checksum (payment cards).
+    Luhn,
+}
+
+impl Validator {
+    /// Whether one rendered cell value satisfies the validator.
+    pub fn matches(&self, value: &str) -> bool {
+        match self {
+            Validator::Pattern(p) => pattern_matches(p, value),
+            Validator::Dictionary(words) => words.contains(&value.to_ascii_lowercase()),
+            Validator::Luhn => luhn_valid(value),
+        }
+    }
+}
+
+fn class_matches(class: char, c: char) -> bool {
+    match class {
+        '#' => c.is_ascii_digit(),
+        '@' => c.is_ascii_alphabetic(),
+        '?' => true,
+        literal => literal == c,
+    }
+}
+
+/// Matches the shape pattern against the whole value.
+fn pattern_matches(pattern: &str, value: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let val: Vec<char> = value.chars().collect();
+
+    fn go(pat: &[char], val: &[char]) -> bool {
+        match pat {
+            [] => val.is_empty(),
+            [class, '+', rest @ ..] => {
+                // One or more of `class`, then the rest (greedy with
+                // backtracking).
+                if val.is_empty() || !class_matches(*class, val[0]) {
+                    return false;
+                }
+                let mut taken = 1;
+                while taken < val.len() && class_matches(*class, val[taken]) {
+                    taken += 1;
+                }
+                while taken >= 1 {
+                    if go(rest, &val[taken..]) {
+                        return true;
+                    }
+                    taken -= 1;
+                }
+                false
+            }
+            [class, rest @ ..] => {
+                !val.is_empty() && class_matches(*class, val[0]) && go(rest, &val[1..])
+            }
+        }
+    }
+    go(&pat, &val)
+}
+
+fn luhn_valid(value: &str) -> bool {
+    if value.len() < 2 || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return false;
+    }
+    let mut sum = 0u32;
+    for (i, b) in value.bytes().rev().enumerate() {
+        let mut v = u32::from(b - b'0');
+        if i % 2 == 1 {
+            v *= 2;
+            if v > 9 {
+                v -= 9;
+            }
+        }
+        sum += v;
+    }
+    sum.is_multiple_of(10)
+}
+
+/// One registered custom type.
+#[derive(Debug, Clone)]
+pub struct CustomType {
+    /// Assigned type id (above the model's domain).
+    pub id: TypeId,
+    /// Display name (e.g. `custom.employee_badge`).
+    pub name: String,
+    /// The recognizer.
+    pub validator: Validator,
+    /// Minimum fraction of non-empty sampled values that must match.
+    pub min_match_frac: f64,
+}
+
+/// A set of tenant-defined types sharing an id space above the model's.
+#[derive(Debug, Clone, Default)]
+pub struct CustomTypeSet {
+    base: u32,
+    types: Vec<CustomType>,
+}
+
+impl CustomTypeSet {
+    /// Creates a set whose ids start at `model_ntypes` (the first id the
+    /// learned domain does not use).
+    pub fn new(model_ntypes: usize) -> CustomTypeSet {
+        CustomTypeSet { base: model_ntypes as u32, types: Vec::new() }
+    }
+
+    /// Registers a custom type, returning its id.
+    pub fn register(&mut self, name: impl Into<String>, validator: Validator, min_match_frac: f64) -> TypeId {
+        let id = TypeId(self.base + self.types.len() as u32);
+        self.types.push(CustomType {
+            id,
+            name: name.into(),
+            validator,
+            min_match_frac: min_match_frac.clamp(0.0, 1.0),
+        });
+        id
+    }
+
+    /// Registered types.
+    pub fn types(&self) -> &[CustomType] {
+        &self.types
+    }
+
+    /// Detects which custom types a column's sampled values satisfy.
+    pub fn detect(&self, values: &[String]) -> Vec<TypeId> {
+        let non_empty: Vec<&String> = values.iter().filter(|v| !v.is_empty()).collect();
+        if non_empty.is_empty() {
+            return Vec::new();
+        }
+        self.types
+            .iter()
+            .filter(|t| {
+                let hits = non_empty.iter().filter(|v| t.validator.matches(v)).count();
+                hits as f64 / non_empty.len() as f64 >= t.min_match_frac
+            })
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Looks a custom type up by id.
+    pub fn name_of(&self, id: TypeId) -> Option<&str> {
+        self.types.iter().find(|t| t.id == id).map(|t| t.name.as_str())
+    }
+}
+
+/// Scans the given tables (an explicit, ledger-charged audit pass) and
+/// fuses detected custom types into the report's admitted sets.
+/// Returns the number of (column, custom type) additions.
+pub fn fuse_custom_types(
+    report: &mut DetectionReport,
+    db: &Arc<Database>,
+    set: &CustomTypeSet,
+    m: usize,
+    n: usize,
+) -> Result<usize> {
+    if set.types().is_empty() {
+        return Ok(0);
+    }
+    let conn = db.connect();
+    let mut additions = 0usize;
+    for tr in &mut report.tables {
+        let ncols = tr.admitted.len();
+        if ncols == 0 {
+            continue;
+        }
+        let ordinals: Vec<u16> = (0..ncols as u16).collect();
+        let rows = conn.scan_columns(tr.table, &ordinals, ScanMethod::FirstM { m })?;
+        for (j, admitted) in tr.admitted.iter_mut().enumerate() {
+            let values: Vec<String> = rows
+                .iter()
+                .filter_map(|r| {
+                    let cell = &r[j];
+                    (!cell.is_empty()).then(|| cell.render())
+                })
+                .take(n)
+                .collect();
+            for id in set.detect(&values) {
+                if admitted.insert(id) {
+                    additions += 1;
+                }
+            }
+        }
+    }
+    report.ledger = db.ledger().snapshot();
+    Ok(additions)
+}
+
+/// Errors if a custom id would collide with the learned domain.
+pub fn check_no_collision(set: &CustomTypeSet, model_ntypes: usize) -> Result<()> {
+    if set.base < model_ntypes as u32 {
+        return Err(TasteError::invalid(format!(
+            "custom type ids start at {} but the model domain extends to {}",
+            set.base, model_ntypes
+        )));
+    }
+    Ok(())
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_classes_and_literals() {
+        assert!(pattern_matches("##-@@", "42-ab"));
+        assert!(!pattern_matches("##-@@", "4a-ab"));
+        assert!(!pattern_matches("##-@@", "42-ab3"));
+        assert!(pattern_matches("???", "x7-"));
+        assert!(pattern_matches("", ""));
+        assert!(!pattern_matches("", "x"));
+    }
+
+    #[test]
+    fn pattern_plus_repeats_with_backtracking() {
+        assert!(pattern_matches("#+", "12345"));
+        assert!(!pattern_matches("#+", ""));
+        assert!(!pattern_matches("#+", "12a"));
+        assert!(pattern_matches("978-#+", "978-0306406157"));
+        // Backtracking: #+ must not swallow the trailing digit-literal.
+        assert!(pattern_matches("#+0", "1230"));
+        assert!(pattern_matches("@+#+", "abc123"));
+        assert!(!pattern_matches("@+#+", "abc"));
+    }
+
+    #[test]
+    fn luhn_validator() {
+        assert!(luhn_valid("79927398713"));
+        assert!(!luhn_valid("79927398710"));
+        assert!(!luhn_valid("archer"));
+        assert!(!luhn_valid("7"));
+    }
+
+    #[test]
+    fn dictionary_is_case_insensitive() {
+        let mut words = FxHashSet::default();
+        words.insert("alpha".to_string());
+        let v = Validator::Dictionary(words);
+        assert!(v.matches("ALPHA"));
+        assert!(v.matches("alpha"));
+        assert!(!v.matches("beta"));
+    }
+
+    #[test]
+    fn detect_respects_match_fraction() {
+        let mut set = CustomTypeSet::new(68);
+        let badge = set.register("custom.badge", Validator::Pattern("@##".into()), 0.8);
+        assert_eq!(badge, TypeId(68));
+        let mostly: Vec<String> = vec!["a12".into(), "b34".into(), "c56".into(), "junk".into()];
+        // 3/4 = 0.75 < 0.8 -> no detection.
+        assert!(set.detect(&mostly).is_empty());
+        let clean: Vec<String> = vec!["a12".into(), "b34".into(), "c56".into()];
+        assert_eq!(set.detect(&clean), vec![badge]);
+        assert!(set.detect(&[]).is_empty());
+        assert_eq!(set.name_of(badge), Some("custom.badge"));
+        assert_eq!(set.name_of(TypeId(5)), None);
+    }
+
+    #[test]
+    fn ids_never_collide_with_model_domain() {
+        let mut set = CustomTypeSet::new(68);
+        set.register("a", Validator::Luhn, 0.9);
+        set.register("b", Validator::Pattern("#".into()), 0.9);
+        assert!(check_no_collision(&set, 68).is_ok());
+        let low = CustomTypeSet::new(10);
+        assert!(check_no_collision(&low, 68).is_err());
+        assert!(set.types().iter().all(|t| t.id.0 >= 68));
+    }
+}

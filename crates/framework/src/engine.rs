@@ -1,0 +1,486 @@
+//! The batch detection engine: sequential mode and the Algorithm 1
+//! pipelined scheduler (§5).
+//!
+//! Pipelined mode builds two worker pools — `TP1` for data-preparation
+//! stages (each worker owns one reused database connection, per the
+//! paper's batching guidance) and `TP2` for inference stages — plus a
+//! stage queue holding the four stages of every table in order. The
+//! scheduler repeatedly dispatches the *first eligible* stage of the
+//! matching kind to a free worker, where a stage is eligible exactly when
+//! all previous stages of its table have finished (Definition 5.1). The
+//! per-table stage order is thus preserved while stages of different
+//! tables overlap: one table's content scan (I/O sleep) proceeds while
+//! another's inference (CPU) runs.
+
+use crate::config::TasteConfig;
+use crate::report::{DetectionReport, TableResult};
+use crate::stages::{infer_phase1, infer_phase2, prep_phase1, prep_phase2, P1Infer, P1Prep, P2Prep};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taste_core::{LabelSet, Result, TableId, TasteError};
+use taste_db::{Connection, Database};
+use taste_model::{Adtd, LatentCache};
+
+/// The TASTE detection engine: a trained model plus a configuration.
+pub struct TasteEngine {
+    model: Arc<Adtd>,
+    /// The active configuration.
+    pub config: TasteConfig,
+    cache: Arc<LatentCache>,
+}
+
+/// Shared per-table pipeline state.
+struct TableState {
+    tid: TableId,
+    prep1: Option<P1Prep>,
+    infer1: Option<P1Infer>,
+    prep2: Option<P2Prep>,
+    finals: Option<Vec<LabelSet>>,
+    error: Option<TasteError>,
+}
+
+type Shared = Arc<(Mutex<TableState>, AtomicUsize)>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StageKind {
+    P1Prep,
+    P1Infer,
+    P2Prep,
+    P2Infer,
+}
+
+impl StageKind {
+    const ORDER: [StageKind; 4] = [StageKind::P1Prep, StageKind::P1Infer, StageKind::P2Prep, StageKind::P2Infer];
+
+    fn index(self) -> usize {
+        Self::ORDER.iter().position(|&s| s == self).expect("member")
+    }
+
+    fn is_prep(self) -> bool {
+        matches!(self, StageKind::P1Prep | StageKind::P2Prep)
+    }
+}
+
+impl TasteEngine {
+    /// Builds an engine; validates the configuration.
+    pub fn new(model: Arc<Adtd>, config: TasteConfig) -> Result<TasteEngine> {
+        config.validate()?;
+        Ok(TasteEngine { model, config, cache: Arc::new(LatentCache::new(512)) })
+    }
+
+    /// The model in service.
+    pub fn model(&self) -> &Arc<Adtd> {
+        &self.model
+    }
+
+    /// Detects semantic types for a batch of tables end-to-end,
+    /// returning the per-column admitted sets plus the cost telemetry.
+    pub fn detect_batch(&self, db: &Arc<Database>, tables: &[TableId]) -> Result<DetectionReport> {
+        self.cache.clear();
+        let ledger_before = db.ledger().snapshot();
+        let t0 = Instant::now();
+        let states = if self.config.pipelining {
+            self.run_pipelined(db, tables)?
+        } else {
+            self.run_sequential(db, tables)?
+        };
+        let wall_time = t0.elapsed();
+        let ledger = db.ledger().snapshot().since(&ledger_before);
+        let (cache_hits, cache_misses) = self.cache.stats();
+
+        let mut results = Vec::with_capacity(states.len());
+        let mut total_columns = 0u64;
+        for state in states {
+            let st = Arc::try_unwrap(state)
+                .map_err(|_| TasteError::Scheduler("state still shared after completion".into()))?
+                .0
+                .into_inner();
+            if let Some(e) = st.error {
+                return Err(e);
+            }
+            let finals = st
+                .finals
+                .ok_or_else(|| TasteError::Scheduler(format!("table {} never finished", st.tid.0)))?;
+            total_columns += finals.len() as u64;
+            let uncertain_columns = st.infer1.as_ref().map_or(0, |i| i.uncertain.len());
+            results.push(TableResult { table: st.tid, admitted: finals, uncertain_columns });
+        }
+        Ok(DetectionReport {
+            approach: "TASTE".into(),
+            tables: results,
+            wall_time,
+            ledger,
+            total_columns,
+            cache_hits,
+            cache_misses,
+        })
+    }
+
+    fn new_states(&self, tables: &[TableId]) -> Vec<Shared> {
+        tables
+            .iter()
+            .map(|&tid| {
+                Arc::new((
+                    Mutex::new(TableState {
+                        tid,
+                        prep1: None,
+                        infer1: None,
+                        prep2: None,
+                        finals: None,
+                        error: None,
+                    }),
+                    AtomicUsize::new(0),
+                ))
+            })
+            .collect()
+    }
+
+    /// Sequential mode (*TASTE w/o pipelining*): one connection, tables
+    /// processed one after another, stages in order.
+    fn run_sequential(&self, db: &Arc<Database>, tables: &[TableId]) -> Result<Vec<Shared>> {
+        let states = self.new_states(tables);
+        let conn = db.connect();
+        for state in &states {
+            run_stage(StageKind::P1Prep, state, &conn, &self.model, &self.cache, &self.config);
+            run_stage(StageKind::P1Infer, state, &conn, &self.model, &self.cache, &self.config);
+            run_stage(StageKind::P2Prep, state, &conn, &self.model, &self.cache, &self.config);
+            run_stage(StageKind::P2Infer, state, &conn, &self.model, &self.cache, &self.config);
+        }
+        Ok(states)
+    }
+
+    /// Pipelined mode: Algorithm 1.
+    fn run_pipelined(&self, db: &Arc<Database>, tables: &[TableId]) -> Result<Vec<Shared>> {
+        let states = self.new_states(tables);
+        let pool = self.config.pool_size;
+
+        // TP1: preparation workers, each owning a reused connection.
+        let (prep_tx, prep_rx) = unbounded::<Job>();
+        let tp1_active = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::with_capacity(pool * 2);
+        for _ in 0..pool {
+            let rx = prep_rx.clone();
+            let active = Arc::clone(&tp1_active);
+            let db = Arc::clone(db);
+            handles.push(std::thread::spawn(move || {
+                let conn = db.connect();
+                while let Ok(job) = rx.recv() {
+                    job(Some(&conn));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        // TP2: inference workers.
+        let (infer_tx, infer_rx) = unbounded::<Job>();
+        let tp2_active = Arc::new(AtomicUsize::new(0));
+        for _ in 0..pool {
+            let rx = infer_rx.clone();
+            let active = Arc::clone(&tp2_active);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job(None);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+
+        // Stage queue: four stages per table, generated in order.
+        let mut queue: Vec<(usize, StageKind)> = (0..tables.len())
+            .flat_map(|t| StageKind::ORDER.into_iter().map(move |s| (t, s)))
+            .collect();
+
+        while !queue.is_empty() {
+            let mut dispatched = false;
+            if tp1_active.load(Ordering::SeqCst) < pool {
+                if let Some(pos) = first_eligible(&queue, &states, true) {
+                    let (t, stage) = queue.remove(pos);
+                    tp1_active.fetch_add(1, Ordering::SeqCst);
+                    self.dispatch(&prep_tx, t, stage, &states);
+                    dispatched = true;
+                }
+            }
+            if tp2_active.load(Ordering::SeqCst) < pool {
+                if let Some(pos) = first_eligible(&queue, &states, false) {
+                    let (t, stage) = queue.remove(pos);
+                    tp2_active.fetch_add(1, Ordering::SeqCst);
+                    self.dispatch(&infer_tx, t, stage, &states);
+                    dispatched = true;
+                }
+            }
+            if !dispatched {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        drop(prep_tx);
+        drop(infer_tx);
+        for h in handles {
+            h.join().map_err(|_| TasteError::Scheduler("worker panicked".into()))?;
+        }
+        Ok(states)
+    }
+
+    fn dispatch(&self, tx: &Sender<Job>, t: usize, stage: StageKind, states: &[Shared]) {
+        let state = Arc::clone(&states[t]);
+        let model = Arc::clone(&self.model);
+        let cache = Arc::clone(&self.cache);
+        let cfg = self.config;
+        let job: Job = if stage.is_prep() {
+            Box::new(move |conn| {
+                let conn = conn.expect("prep stages run on TP1 workers with a connection");
+                run_stage(stage, &state, conn, &model, &cache, &cfg);
+            })
+        } else {
+            Box::new(move |_conn| {
+                run_stage_inference(stage, &state, &model, &cache, &cfg);
+            })
+        };
+        tx.send(job).expect("workers outlive the scheduler loop");
+    }
+}
+
+type Job = Box<dyn FnOnce(Option<&Connection>) + Send>;
+
+fn first_eligible(queue: &[(usize, StageKind)], states: &[Shared], prep: bool) -> Option<usize> {
+    queue.iter().position(|&(t, s)| {
+        s.is_prep() == prep && states[t].1.load(Ordering::SeqCst) == s.index()
+    })
+}
+
+/// Executes one stage against the shared state (prep stages need the
+/// connection; inference stages ignore it).
+fn run_stage(
+    stage: StageKind,
+    state: &Shared,
+    conn: &Connection,
+    model: &Adtd,
+    cache: &LatentCache,
+    cfg: &TasteConfig,
+) {
+    {
+        let mut st = state.0.lock();
+        if st.error.is_none() {
+            execute(stage, &mut st, Some(conn), model, cache, cfg);
+        }
+    }
+    state.1.fetch_add(1, Ordering::SeqCst);
+}
+
+fn run_stage_inference(stage: StageKind, state: &Shared, model: &Adtd, cache: &LatentCache, cfg: &TasteConfig) {
+    {
+        let mut st = state.0.lock();
+        if st.error.is_none() {
+            execute(stage, &mut st, None, model, cache, cfg);
+        }
+    }
+    state.1.fetch_add(1, Ordering::SeqCst);
+}
+
+fn execute(
+    stage: StageKind,
+    st: &mut TableState,
+    conn: Option<&Connection>,
+    model: &Adtd,
+    cache: &LatentCache,
+    cfg: &TasteConfig,
+) {
+    let result: Result<()> = (|| {
+        match stage {
+            StageKind::P1Prep => {
+                let conn = conn.ok_or_else(|| TasteError::Scheduler("prep without connection".into()))?;
+                st.prep1 = Some(prep_phase1(conn, st.tid, cfg)?);
+            }
+            StageKind::P1Infer => {
+                let prep = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P1Infer before P1Prep".into()))?;
+                st.infer1 = Some(infer_phase1(model, cfg, st.tid, prep, Some(cache)));
+            }
+            StageKind::P2Prep => {
+                let conn = conn.ok_or_else(|| TasteError::Scheduler("prep without connection".into()))?;
+                let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Prep before P1Prep".into()))?;
+                let infer1 = st.infer1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Prep before P1Infer".into()))?;
+                st.prep2 = Some(prep_phase2(conn, st.tid, prep1, &infer1.uncertain, cfg)?);
+            }
+            StageKind::P2Infer => {
+                let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?;
+                let infer1 = st.infer1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Infer".into()))?;
+                let prep2 = st.prep2.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P2Prep".into()))?;
+                st.finals = Some(infer_phase2(model, cfg, st.tid, prep1, infer1, prep2, Some(cache)));
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        st.error = Some(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_core::{Cell, ColumnId, ColumnMeta, RawType, Table, TableMeta};
+    use taste_db::LatencyProfile;
+    use taste_model::ModelConfig;
+    use taste_tokenizer::{Tokenizer, VocabBuilder};
+
+    fn tokenizer() -> Tokenizer {
+        let mut b = VocabBuilder::new();
+        for w in ["users", "city", "num", "text", "demo", "alpha", "beta"] {
+            b.add_word(w);
+            b.add_word(w);
+        }
+        Tokenizer::new(b.build(100, 1))
+    }
+
+    fn fixture_db(n_tables: usize, latency: LatencyProfile) -> (Arc<Database>, Vec<TableId>) {
+        let db = Database::new("d", latency);
+        let mut ids = Vec::new();
+        for i in 0..n_tables {
+            let tid = TableId(0);
+            let ncols = 2 + i % 3;
+            let columns: Vec<ColumnMeta> = (0..ncols)
+                .map(|j| ColumnMeta {
+                    id: ColumnId::new(tid, j as u16),
+                    name: format!("city{j}"),
+                    comment: None,
+                    raw_type: RawType::Text,
+                    nullable: false,
+                    stats: Default::default(),
+                    histogram: None,
+                })
+                .collect();
+            let rows = (0..15)
+                .map(|r| (0..ncols).map(|c| Cell::Text(format!("alpha{}", r * c))).collect())
+                .collect();
+            let t = Table {
+                meta: TableMeta { id: tid, name: format!("users_demo_{i}"), comment: None, row_count: 15 },
+                columns,
+                rows,
+                labels: vec![LabelSet::empty(); ncols],
+            };
+            ids.push(db.create_table(&t).unwrap());
+        }
+        (db, ids)
+    }
+
+    fn engine(cfg: TasteConfig) -> TasteEngine {
+        let model = Arc::new(Adtd::new(ModelConfig::tiny(), tokenizer(), 4, 9));
+        TasteEngine::new(model, cfg).unwrap()
+    }
+
+    #[test]
+    fn sequential_and_pipelined_agree() {
+        let (db, ids) = fixture_db(6, LatencyProfile::zero());
+        let cfg_seq = TasteConfig { pipelining: false, alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let cfg_pipe = TasteConfig { pipelining: true, ..cfg_seq };
+        let seq = engine(cfg_seq).detect_batch(&db, &ids).unwrap();
+        let pipe = engine(cfg_pipe).detect_batch(&db, &ids).unwrap();
+        assert_eq!(seq.tables.len(), pipe.tables.len());
+        for (a, b) in seq.tables.iter().zip(&pipe.tables) {
+            assert_eq!(a.table, b.table);
+            assert_eq!(a.admitted, b.admitted, "pipelining must not change results");
+            assert_eq!(a.uncertain_columns, b.uncertain_columns);
+        }
+        assert_eq!(seq.total_columns, pipe.total_columns);
+    }
+
+    #[test]
+    fn without_p2_never_scans() {
+        let (db, ids) = fixture_db(4, LatencyProfile::zero());
+        let cfg = TasteConfig { pipelining: false, ..TasteConfig::default().without_p2() };
+        let report = engine(cfg).detect_batch(&db, &ids).unwrap();
+        assert_eq!(report.ledger.columns_scanned, 0);
+        assert_eq!(report.scanned_ratio(), 0.0);
+        assert_eq!(report.uncertain_columns(), 0);
+    }
+
+    #[test]
+    fn wide_band_scans_everything_once() {
+        let (db, ids) = fixture_db(4, LatencyProfile::zero());
+        let cfg = TasteConfig {
+            pipelining: false,
+            alpha: 0.0001,
+            beta: 0.9999,
+            ..Default::default()
+        };
+        let report = engine(cfg).detect_batch(&db, &ids).unwrap();
+        assert_eq!(report.ledger.columns_scanned, report.total_columns);
+        assert!((report.scanned_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caching_toggle_changes_cache_traffic_not_results() {
+        let (db, ids) = fixture_db(5, LatencyProfile::zero());
+        let base = TasteConfig { pipelining: false, alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let with_cache = engine(base).detect_batch(&db, &ids).unwrap();
+        let no_cache_cfg = TasteConfig { caching: false, ..base };
+        let without_cache = engine(no_cache_cfg).detect_batch(&db, &ids).unwrap();
+        assert!(with_cache.cache_hits > 0, "cache should be hit in P2");
+        assert_eq!(without_cache.cache_hits, 0);
+        for (a, b) in with_cache.tables.iter().zip(&without_cache.tables) {
+            assert_eq!(a.admitted, b.admitted);
+        }
+    }
+
+    #[test]
+    fn pipelined_overlaps_io_and_compute() {
+        // With real per-table I/O sleeps, the pipelined engine must beat
+        // sequential wall time on a multi-table batch.
+        let latency = LatencyProfile {
+            query_rtt: Duration::from_millis(4),
+            connect: Duration::from_millis(2),
+            ..LatencyProfile::zero()
+        };
+        let (db, ids) = fixture_db(12, latency);
+        let cfg_seq = TasteConfig { pipelining: false, alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let seq = engine(cfg_seq).detect_batch(&db, &ids).unwrap();
+        let cfg_pipe = TasteConfig { pipelining: true, pool_size: 3, ..cfg_seq };
+        let pipe = engine(cfg_pipe).detect_batch(&db, &ids).unwrap();
+        assert!(
+            pipe.wall_time < seq.wall_time,
+            "pipelined {:?} should beat sequential {:?}",
+            pipe.wall_time,
+            seq.wall_time
+        );
+    }
+
+    #[test]
+    fn detect_batch_on_missing_table_errors() {
+        let (db, _) = fixture_db(1, LatencyProfile::zero());
+        let cfg = TasteConfig { pipelining: false, ..Default::default() };
+        let err = engine(cfg).detect_batch(&db, &[TableId(99)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn pipelined_error_propagates_without_deadlock() {
+        // A bad table id mid-batch must fail the batch, not hang the
+        // scheduler: later stages of the failed table become no-ops and
+        // every other table still runs to completion first.
+        let (db, ids) = fixture_db(3, LatencyProfile::zero());
+        let cfg = TasteConfig { pipelining: true, pool_size: 2, ..Default::default() };
+        let mut with_bad = ids.clone();
+        with_bad.insert(1, TableId(42));
+        let err = engine(cfg).detect_batch(&db, &with_bad);
+        assert!(matches!(err, Err(taste_core::TasteError::NotFound(_))), "{err:?}");
+        // The same engine config still works on a clean batch.
+        let ok = engine(cfg).detect_batch(&db, &ids);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let model = Arc::new(Adtd::new(ModelConfig::tiny(), tokenizer(), 4, 9));
+        let bad = TasteConfig { alpha: 0.9, beta: 0.1, ..Default::default() };
+        assert!(TasteEngine::new(model, bad).is_err());
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_report() {
+        let (db, _) = fixture_db(1, LatencyProfile::zero());
+        let report = engine(TasteConfig::default()).detect_batch(&db, &[]).unwrap();
+        assert!(report.tables.is_empty());
+        assert_eq!(report.total_columns, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # taste-framework
+//!
+//! The TASTE two-phase semantic type detection engine (§3, §5):
+//!
+//! * [`config`] — [`config::TasteConfig`]: the thresholds `α`/`β`, the
+//!   reading parameters `m`/`n`, the column-split threshold `l`, scan
+//!   method, and the latent-caching / pipelining toggles that define the
+//!   paper's six evaluation variants (§6.2).
+//! * [`stages`] — the four per-table stages: P1 data preparation
+//!   (metadata fetch), P1 inference (metadata tower + threshold
+//!   classification into admitted / rejected / *uncertain*), P2 data
+//!   preparation (content scan of uncertain columns only), and P2
+//!   inference (content tower over cached latents).
+//! * [`engine`] — [`engine::TasteEngine`]: batch detection over a
+//!   simulated user database, in sequential mode or under the pipelined
+//!   scheduler of Algorithm 1 (two worker pools, stage queue, eligibility
+//!   rule).
+//! * [`baseline_run`] — end-to-end runners for the TURL / Doduo analogs
+//!   (always scan 100% of columns, sequential execution), including the
+//!   §6.4 "w/o content" privacy setting.
+//! * [`report`] — [`report::DetectionReport`] (wall time, intrusiveness
+//!   ledger delta, scanned ratio, per-column admitted types) and
+//!   evaluation against ground truth.
+
+#![warn(missing_docs)]
+
+pub mod baseline_run;
+pub mod custom_types;
+pub mod config;
+pub mod engine;
+pub mod report;
+pub mod rules;
+pub mod stages;
+
+pub use config::TasteConfig;
+pub use engine::TasteEngine;
+pub use report::{evaluate_report, DetectionReport, TableResult};

@@ -1,0 +1,137 @@
+//! Detection reports and evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use taste_core::{EvalAccumulator, EvalScores, LabelSet, TableId};
+use taste_db::LedgerSnapshot;
+
+/// Per-table detection outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableResult {
+    /// Which table.
+    pub table: TableId,
+    /// Final admitted types per column (`A^c`).
+    pub admitted: Vec<LabelSet>,
+    /// How many of the table's columns were uncertain after P1.
+    pub uncertain_columns: usize,
+}
+
+/// The outcome of one end-to-end detection batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Label of the approach that produced this report (for harnesses).
+    pub approach: String,
+    /// Per-table results, in batch order.
+    pub tables: Vec<TableResult>,
+    /// End-to-end wall-clock time of the batch (connection management,
+    /// metadata fetches, content scans, and inference — §2.2's
+    /// end-to-end execution time metric).
+    pub wall_time: Duration,
+    /// Intrusiveness counters accumulated during the batch.
+    pub ledger: LedgerSnapshot,
+    /// Total columns processed.
+    pub total_columns: u64,
+    /// Latent cache hits/misses during the batch (zeros for baselines).
+    pub cache_hits: u64,
+    /// Latent cache misses during the batch.
+    pub cache_misses: u64,
+}
+
+impl DetectionReport {
+    /// The Fig. 5 metric: columns whose content was read over all
+    /// columns processed.
+    pub fn scanned_ratio(&self) -> f64 {
+        self.ledger.scanned_ratio(self.total_columns)
+    }
+
+    /// Number of columns the framework flagged as uncertain after P1.
+    pub fn uncertain_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.uncertain_columns).sum()
+    }
+
+    /// Flattened admitted sets in (table, ordinal) order.
+    pub fn all_admitted(&self) -> impl Iterator<Item = &LabelSet> {
+        self.tables.iter().flat_map(|t| t.admitted.iter())
+    }
+}
+
+/// Scores a report against ground truth (`truth[table.0][ordinal]`),
+/// producing the micro precision/recall/F1 of Tables 3 and 4.
+pub fn evaluate_report(report: &DetectionReport, truth: &[Vec<LabelSet>], ntypes: usize) -> EvalScores {
+    let mut acc = EvalAccumulator::new(ntypes);
+    for tr in &report.tables {
+        let table_truth = &truth[tr.table.0 as usize];
+        assert_eq!(
+            table_truth.len(),
+            tr.admitted.len(),
+            "truth/result column count mismatch for table {}",
+            tr.table.0
+        );
+        for (pred, gt) in tr.admitted.iter().zip(table_truth) {
+            acc.observe(pred, gt);
+        }
+    }
+    acc.scores()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_core::TypeId;
+
+    fn ls(ids: &[u32]) -> LabelSet {
+        LabelSet::from_iter(ids.iter().map(|&i| TypeId(i)))
+    }
+
+    fn report() -> DetectionReport {
+        DetectionReport {
+            approach: "test".into(),
+            tables: vec![
+                TableResult {
+                    table: TableId(0),
+                    admitted: vec![ls(&[1]), ls(&[])],
+                    uncertain_columns: 1,
+                },
+                TableResult {
+                    table: TableId(1),
+                    admitted: vec![ls(&[2])],
+                    uncertain_columns: 0,
+                },
+            ],
+            wall_time: Duration::from_millis(5),
+            ledger: LedgerSnapshot { columns_scanned: 1, ..Default::default() },
+            total_columns: 3,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    #[test]
+    fn scanned_ratio_uses_ledger_over_total() {
+        let r = report();
+        assert!((r.scanned_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.uncertain_columns(), 1);
+        assert_eq!(r.all_admitted().count(), 3);
+    }
+
+    #[test]
+    fn evaluation_against_truth() {
+        let r = report();
+        let truth = vec![
+            vec![ls(&[1]), ls(&[])],  // table 0: both correct
+            vec![ls(&[3])],           // table 1: wrong type
+        ];
+        let scores = evaluate_report(&r, &truth, 5);
+        // TP: type1 + background = 2; FP: type2; FN: type3.
+        assert!((scores.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((scores.recall - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn evaluation_rejects_misaligned_truth() {
+        let r = report();
+        let truth = vec![vec![ls(&[1])], vec![ls(&[3])]];
+        let _ = evaluate_report(&r, &truth, 5);
+    }
+}

@@ -1,0 +1,345 @@
+//! The four per-table stages of the TASTE framework (§3.1).
+//!
+//! Each phase splits into *data preparation* (S1: database I/O + CPU) and
+//! *inference* (S2: model compute). Keeping the stages as free functions
+//! lets the engine run them sequentially or interleave them under the
+//! Algorithm 1 scheduler without duplicating any logic.
+
+use crate::config::TasteConfig;
+use std::sync::Arc;
+use taste_core::{LabelSet, Result, TableId, TypeId};
+use taste_model::cache::CacheKey;
+use taste_model::prepare::{build_chunks, TableChunk};
+use taste_model::{Adtd, LatentCache, MetaEncoding};
+use taste_db::Connection;
+use taste_tokenizer::ColumnContent;
+
+/// Output of the Phase 1 data-preparation stage.
+pub struct P1Prep {
+    /// Metadata chunks (≤ `l` columns each).
+    pub chunks: Vec<TableChunk>,
+    /// Total columns in the table.
+    pub ncols: usize,
+}
+
+/// Output of the Phase 1 inference stage.
+pub struct P1Infer {
+    /// Admitted types per column after P1 (`A_1^c = {s | p ≥ β}`).
+    pub admitted: Vec<LabelSet>,
+    /// Ordinals of the uncertain columns (`C_u`).
+    pub uncertain: Vec<u16>,
+}
+
+/// Output of the Phase 2 data-preparation stage: per chunk, per column,
+/// the scanned content (`Some` exactly for uncertain columns).
+pub struct P2Prep {
+    /// Aligned with the chunk/column layout of [`P1Prep::chunks`].
+    pub contents: Vec<Vec<Option<ColumnContent>>>,
+}
+
+/// P1-S1: fetch table + column metadata through the connection and build
+/// model chunks.
+pub fn prep_phase1(conn: &Connection, tid: TableId, cfg: &TasteConfig) -> Result<P1Prep> {
+    let meta = conn.fetch_table_meta(tid)?;
+    let columns = conn.fetch_columns_meta(tid)?;
+    let ncols = columns.len();
+    let chunks = build_chunks(&meta, &columns, cfg.l, cfg.use_histograms);
+    Ok(P1Prep { chunks, ncols })
+}
+
+/// P1-S2: metadata-tower inference + threshold classification (§3.2).
+///
+/// Under latent caching (`cfg.caching` and a cache supplied), each
+/// chunk's encoding is stored under `(tid, chunk_index)` for P2 to reuse;
+/// the *w/o caching* variant stores nothing and P2 recomputes.
+pub fn infer_phase1(
+    model: &Adtd,
+    cfg: &TasteConfig,
+    tid: TableId,
+    prep: &P1Prep,
+    cache: Option<&LatentCache>,
+) -> P1Infer {
+    let mut admitted = Vec::with_capacity(prep.ncols);
+    let mut uncertain = Vec::new();
+    for (chunk_idx, chunk) in prep.chunks.iter().enumerate() {
+        let enc = Arc::new(model.encode_meta(chunk));
+        let probs = model.predict_meta(&enc, &chunk.nonmeta);
+        for (j, row) in probs.iter().enumerate() {
+            let ordinal = chunk.ordinals[j];
+            let mut a1 = LabelSet::empty();
+            let mut is_uncertain = false;
+            for (s, &p) in row.iter().enumerate() {
+                if p >= cfg.beta {
+                    a1.insert(TypeId(s as u32));
+                } else if p > cfg.alpha {
+                    is_uncertain = true;
+                }
+            }
+            admitted.push(a1);
+            if is_uncertain && cfg.p2_possible() {
+                uncertain.push(ordinal);
+            }
+        }
+        if cfg.caching {
+            if let Some(cache) = cache {
+                let key: CacheKey = (tid, chunk_idx as u32);
+                cache.put(key, enc);
+            }
+        }
+    }
+    P1Infer { admitted, uncertain }
+}
+
+/// P2-S1: scan the uncertain columns' content (only theirs — columns in
+/// `C \ C_u` are never read, §3.3) and select the first `n` non-empty
+/// values per column.
+pub fn prep_phase2(
+    conn: &Connection,
+    tid: TableId,
+    prep1: &P1Prep,
+    uncertain: &[u16],
+    cfg: &TasteConfig,
+) -> Result<P2Prep> {
+    let mut contents: Vec<Vec<Option<ColumnContent>>> = prep1
+        .chunks
+        .iter()
+        .map(|c| vec![None; c.ordinals.len()])
+        .collect();
+    if uncertain.is_empty() {
+        return Ok(P2Prep { contents });
+    }
+    let mut ordinals = uncertain.to_vec();
+    ordinals.sort_unstable();
+    ordinals.dedup();
+    let rows = conn.scan_columns(tid, &ordinals, cfg.scan_method())?;
+    // rows are projected in ascending-ordinal order.
+    let mut selected: Vec<ColumnContent> = vec![ColumnContent::default(); ordinals.len()];
+    for row in &rows {
+        for (k, cell) in row.iter().enumerate() {
+            let bucket = &mut selected[k].cells;
+            if bucket.len() < cfg.n && !cell.is_empty() {
+                bucket.push(cell.render());
+            }
+        }
+    }
+    // Route each scanned column's content to its chunk slot.
+    for (k, &ordinal) in ordinals.iter().enumerate() {
+        'outer: for (chunk_idx, chunk) in prep1.chunks.iter().enumerate() {
+            for (j, &o) in chunk.ordinals.iter().enumerate() {
+                if o == ordinal {
+                    contents[chunk_idx][j] = Some(selected[k].clone());
+                    break 'outer;
+                }
+            }
+        }
+    }
+    Ok(P2Prep { contents })
+}
+
+/// P2-S2: content-tower inference over the uncertain columns, combining
+/// `A^c = A_1^c` for certain columns and `A^c = A_2^c` for uncertain
+/// ones (§3.3). Returns the final admitted sets per column.
+pub fn infer_phase2(
+    model: &Adtd,
+    cfg: &TasteConfig,
+    tid: TableId,
+    prep1: &P1Prep,
+    infer1: &P1Infer,
+    prep2: &P2Prep,
+    cache: Option<&LatentCache>,
+) -> Vec<LabelSet> {
+    let mut finals = infer1.admitted.clone();
+    if infer1.uncertain.is_empty() {
+        return finals;
+    }
+    let mut col_base = 0usize;
+    for (chunk_idx, chunk) in prep1.chunks.iter().enumerate() {
+        let chunk_contents = &prep2.contents[chunk_idx];
+        let any = chunk_contents.iter().any(Option::is_some);
+        if !any {
+            col_base += chunk.ordinals.len();
+            continue;
+        }
+        // Latent cache path: reuse the P1 encoding when cached, else
+        // recompute the metadata tower (the w/o-caching variant, or a
+        // cache eviction under very large batches).
+        let key: CacheKey = (tid, chunk_idx as u32);
+        let enc: Arc<MetaEncoding> = match cache.and_then(|c| c.get(&key)) {
+            Some(enc) => enc,
+            None => Arc::new(model.encode_meta(chunk)),
+        };
+        let probs = model.predict_content(&enc, chunk_contents, &chunk.nonmeta);
+        for (j, p) in probs.iter().enumerate() {
+            if let Some(row) = p {
+                let a2 = LabelSet::from_iter(
+                    row.iter()
+                        .enumerate()
+                        .filter(|(_, &p)| p >= cfg.p2_threshold)
+                        .map(|(s, _)| TypeId(s as u32)),
+                );
+                finals[col_base + j] = a2;
+            }
+        }
+        col_base += chunk.ordinals.len();
+    }
+    finals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_core::{Cell, ColumnId, ColumnMeta, RawType, Table, TableMeta};
+    use taste_db::{Database, LatencyProfile};
+    use taste_model::ModelConfig;
+    use taste_tokenizer::{Tokenizer, VocabBuilder};
+
+    fn tokenizer() -> Tokenizer {
+        let mut b = VocabBuilder::new();
+        for w in ["users", "city", "num", "text", "int", "demo", "alpha"] {
+            b.add_word(w);
+            b.add_word(w);
+        }
+        Tokenizer::new(b.build(100, 1))
+    }
+
+    fn model(ntypes: usize) -> Adtd {
+        Adtd::new(ModelConfig::tiny(), tokenizer(), ntypes, 1)
+    }
+
+    fn db_with_table(ncols: usize) -> (Arc<Database>, TableId) {
+        let db = Database::new("d", LatencyProfile::zero());
+        let tid = TableId(0);
+        let columns: Vec<ColumnMeta> = (0..ncols)
+            .map(|i| ColumnMeta {
+                id: ColumnId::new(tid, i as u16),
+                name: if i % 2 == 0 { "city".into() } else { format!("num{i}") },
+                comment: None,
+                raw_type: RawType::Text,
+                nullable: false,
+                stats: Default::default(),
+                histogram: None,
+            })
+            .collect();
+        let rows: Vec<Vec<Cell>> = (0..20)
+            .map(|r| (0..ncols).map(|c| Cell::Text(format!("alpha{}", r + c))).collect())
+            .collect();
+        let table = Table {
+            meta: TableMeta { id: tid, name: "users_demo".into(), comment: None, row_count: 20 },
+            columns,
+            rows,
+            labels: vec![LabelSet::empty(); ncols],
+        };
+        let tid = db.create_table(&table).unwrap();
+        (db, tid)
+    }
+
+    #[test]
+    fn prep_phase1_builds_chunks_under_l() {
+        let (db, tid) = db_with_table(5);
+        let conn = db.connect();
+        let cfg = TasteConfig { l: 2, ..Default::default() };
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        assert_eq!(prep.ncols, 5);
+        assert_eq!(prep.chunks.len(), 3);
+    }
+
+    #[test]
+    fn infer_phase1_threshold_algebra() {
+        let (db, tid) = db_with_table(4);
+        let conn = db.connect();
+        // With alpha=beta the uncertain band is empty regardless of the
+        // (untrained) model's outputs.
+        let cfg = TasteConfig::default().without_p2();
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        let m = model(5);
+        let out = infer_phase1(&m, &cfg, tid, &prep, None);
+        assert!(out.uncertain.is_empty(), "alpha == beta must yield no uncertain columns");
+        assert_eq!(out.admitted.len(), 4);
+
+        // With the widest band every column is uncertain for an
+        // untrained model (probabilities hover near 0.5).
+        let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let out = infer_phase1(&m, &cfg, tid, &prep, None);
+        assert_eq!(out.uncertain.len(), 4);
+    }
+
+    #[test]
+    fn infer_phase1_populates_cache_when_enabled() {
+        let (db, tid) = db_with_table(3);
+        let conn = db.connect();
+        let cfg = TasteConfig { l: 2, ..Default::default() };
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        let m = model(4);
+        let cache = LatentCache::new(8);
+        let _out = infer_phase1(&m, &cfg, tid, &prep, Some(&cache));
+        assert_eq!(cache.len(), 2, "one entry per chunk");
+
+        let no_cache_cfg = TasteConfig { caching: false, ..cfg };
+        let cache2 = LatentCache::new(8);
+        let _out2 = infer_phase1(&m, &no_cache_cfg, tid, &prep, Some(&cache2));
+        assert!(cache2.is_empty());
+    }
+
+    #[test]
+    fn prep_phase2_scans_only_uncertain_columns() {
+        let (db, tid) = db_with_table(4);
+        let conn = db.connect();
+        let cfg = TasteConfig { n: 3, ..Default::default() };
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        let before = db.ledger().snapshot();
+        let p2 = prep_phase2(&conn, tid, &prep, &[1, 3], &cfg).unwrap();
+        let delta = db.ledger().snapshot().since(&before);
+        assert_eq!(delta.columns_scanned, 2);
+        let flat: Vec<&Option<ColumnContent>> = p2.contents.iter().flatten().collect();
+        assert!(flat[0].is_none() && flat[2].is_none());
+        assert_eq!(flat[1].as_ref().unwrap().cells.len(), 3);
+        assert_eq!(flat[3].as_ref().unwrap().cells.len(), 3);
+    }
+
+    #[test]
+    fn prep_phase2_empty_uncertain_is_free() {
+        let (db, tid) = db_with_table(3);
+        let conn = db.connect();
+        let cfg = TasteConfig::default();
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        let before = db.ledger().snapshot();
+        let p2 = prep_phase2(&conn, tid, &prep, &[], &cfg).unwrap();
+        assert_eq!(db.ledger().snapshot().since(&before).scan_queries, 0);
+        assert!(p2.contents.iter().flatten().all(Option::is_none));
+    }
+
+    #[test]
+    fn infer_phase2_overrides_only_uncertain_columns() {
+        let (db, tid) = db_with_table(4);
+        let conn = db.connect();
+        let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let m = model(4);
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        let infer1 = infer_phase1(&m, &cfg, tid, &prep, None);
+        // Only scan columns 0 and 2.
+        let p2 = prep_phase2(&conn, tid, &prep, &[0, 2], &cfg).unwrap();
+        let finals = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, None);
+        assert_eq!(finals.len(), 4);
+        // Unscanned columns keep their P1 admitted sets.
+        assert_eq!(finals[1], infer1.admitted[1]);
+        assert_eq!(finals[3], infer1.admitted[3]);
+    }
+
+    #[test]
+    fn infer_phase2_with_cache_equals_recompute() {
+        let (db, tid) = db_with_table(3);
+        let conn = db.connect();
+        let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, l: 2, ..Default::default() };
+        let m = model(4);
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        let cache = LatentCache::new(8);
+        let infer1 = infer_phase1(&m, &cfg, tid, &prep, Some(&cache));
+        let p2 = prep_phase2(&conn, tid, &prep, &infer1.uncertain, &cfg).unwrap();
+        let cached = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, Some(&cache));
+
+        let nc_cfg = TasteConfig { caching: false, ..cfg };
+        let infer1_nc = infer_phase1(&m, &nc_cfg, tid, &prep, None);
+        let recomputed = infer_phase2(&m, &nc_cfg, tid, &prep, &infer1_nc, &p2, None);
+        assert_eq!(cached, recomputed, "caching must not change results");
+    }
+}

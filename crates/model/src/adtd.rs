@@ -1,0 +1,512 @@
+//! The Asymmetric Double-Tower Detection model (§4).
+//!
+//! One [`Adtd`] owns a single parameter store holding: the shared
+//! encoder (both towers reuse its [`taste_nn::ParamId`]s), the metadata
+//! classifier head (`f1(c) = Classify_meta(Encode_L^M ⊕ M_n^c)`), the
+//! content classifier head
+//! (`f2(c) = Classify_cont(Encode_L^D ⊕ Encode_L^M ⊕ M_n^c)`), and the
+//! learnable automatic-weighted-loss weights. P1 serves with only the
+//! metadata tower ([`Adtd::encode_meta`] + [`Adtd::predict_meta`]); P2
+//! serves with the full model, feeding cached metadata latents into the
+//! content tower ([`Adtd::predict_content`]).
+
+use crate::cache::CachedMeta;
+use crate::config::ModelConfig;
+use crate::encoder::Encoder;
+use crate::features::NONMETA_DIM;
+use crate::prepare::{ModelInput, TableChunk};
+use rand::rngs::StdRng;
+use taste_nn::losses::AutomaticWeightedLoss;
+use taste_nn::modules::{dropout_mask, Linear};
+use taste_nn::{Matrix, NodeId, ParamStore, Tape};
+use taste_tokenizer::{ColumnContent, PackedContent, PackedMeta, Packer, Tokenizer};
+
+/// Alias: the output of a metadata-tower pass is exactly what the latent
+/// cache stores.
+pub type MetaEncoding = CachedMeta;
+
+/// A two-layer classifier head: `sigmoid(W2 · ReLU(W1 x + b1) + b2)`
+/// (probabilities are produced by the caller; the head emits logits).
+#[derive(Debug, Clone, Copy)]
+pub struct Head {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl Head {
+    pub(crate) fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, out_dim: usize) -> Head {
+        Head {
+            l1: Linear::new(store, &format!("{name}.h1"), in_dim, hidden),
+            l2: Linear::new(store, &format!("{name}.h2"), hidden, out_dim),
+        }
+    }
+
+    pub(crate) fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let h = self.l1.forward(tape, store, x);
+        let a = tape.relu(h);
+        self.l2.forward(tape, store, a)
+    }
+
+    /// The two affine layers `(hidden, output)` of the head.
+    pub fn layers(&self) -> (Linear, Linear) {
+        (self.l1, self.l2)
+    }
+
+    /// Rebuilds a head from explicit layers (type-set extension).
+    pub fn from_parts(l1: Linear, l2: Linear) -> Head {
+        Head { l1, l2 }
+    }
+}
+
+/// Everything the training loop needs from one forward pass.
+pub struct TrainForward {
+    /// Metadata-tower logits, `[ncols, ntypes]`.
+    pub meta_logits: NodeId,
+    /// Content-tower logits, `[k, ntypes]` over `content_cols`.
+    pub content_logits: Option<NodeId>,
+    /// Column indices (within the chunk) covered by `content_logits`.
+    pub content_cols: Vec<usize>,
+}
+
+/// The ADTD model.
+pub struct Adtd {
+    /// Hyperparameters.
+    pub cfg: ModelConfig,
+    /// Classifier output width (number of semantic types incl. `null`).
+    pub ntypes: usize,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    /// Shared two-tower encoder.
+    pub encoder: Encoder,
+    /// The automatic weighted loss combiner (§4.4).
+    pub awl: AutomaticWeightedLoss,
+    meta_head: Head,
+    content_head: Head,
+    tokenizer: Tokenizer,
+    packer: Packer,
+}
+
+impl Adtd {
+    /// Builds a fresh (untrained) model around a frozen tokenizer.
+    pub fn new(cfg: ModelConfig, tokenizer: Tokenizer, ntypes: usize, seed: u64) -> Adtd {
+        let mut store = ParamStore::new(seed);
+        let encoder = Encoder::new(&mut store, "enc", &cfg, tokenizer.vocab().len());
+        let meta_head = Head::new(&mut store, "meta_head", cfg.hidden + NONMETA_DIM, cfg.meta_head_hidden, ntypes);
+        let content_head = Head::new(
+            &mut store,
+            "content_head",
+            2 * cfg.hidden + NONMETA_DIM,
+            cfg.content_head_hidden,
+            ntypes,
+        );
+        let awl = AutomaticWeightedLoss::new(&mut store, "awl", 2);
+        let packer = Packer::new(cfg.budget);
+        Adtd { cfg, ntypes, store, encoder, awl, meta_head, content_head, tokenizer, packer }
+    }
+
+    /// The model's tokenizer (vocabulary is part of the model artifact).
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Packs a chunk's metadata sequence.
+    pub fn pack_meta(&self, chunk: &TableChunk) -> PackedMeta {
+        self.packer.pack_meta(&self.tokenizer, &chunk.table_text, &chunk.col_texts)
+    }
+
+    /// Packs column contents (columns to scan are `Some`).
+    pub fn pack_content(&self, contents: &[Option<ColumnContent>]) -> PackedContent {
+        self.packer.pack_content(&self.tokenizer, contents)
+    }
+
+    /// P1 inference, step 1: run the metadata tower over a chunk and
+    /// return the per-layer latents + marker positions (cacheable).
+    pub fn encode_meta(&self, chunk: &TableChunk) -> MetaEncoding {
+        let packed = self.pack_meta(chunk);
+        let mut tape = Tape::new();
+        let tokens: Vec<usize> = packed.tokens.iter().map(|&t| t as usize).collect();
+        let latents = self.encoder.forward_meta(&mut tape, &self.store, &tokens);
+        MetaEncoding {
+            layer_latents: latents.into_iter().map(|id| tape.value(id).clone()).collect(),
+            col_marker_pos: packed.col_marker_pos,
+        }
+    }
+
+    /// P1 inference, step 2: per-column type probabilities from the
+    /// metadata encoding — the matrix `p_{c,s}` of §3.2.
+    pub fn predict_meta(&self, enc: &MetaEncoding, nonmeta: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(enc.col_marker_pos.len(), nonmeta.len(), "column count mismatch");
+        if nonmeta.is_empty() {
+            return Vec::new();
+        }
+        let final_latent = enc.layer_latents.last().expect("encoder has layers");
+        let col_rows = final_latent.gather_rows(&enc.col_marker_pos);
+        let feats = rows_matrix(nonmeta);
+        let mut tape = Tape::new();
+        let latent_node = tape.leaf(col_rows);
+        let feat_node = tape.leaf(feats);
+        let x = tape.hcat(latent_node, feat_node);
+        let logits = self.meta_head.forward(&mut tape, &self.store, x);
+        let probs = tape.sigmoid(logits);
+        matrix_rows(tape.value(probs))
+    }
+
+    /// P2 inference: content-tower pass reusing the cached metadata
+    /// latents. `contents[j]` is `Some` exactly for scanned columns;
+    /// returns `Some(probs)` for those columns (unless the sequence cap
+    /// dropped them) and `None` elsewhere.
+    pub fn predict_content(
+        &self,
+        enc: &MetaEncoding,
+        contents: &[Option<ColumnContent>],
+        nonmeta: &[Vec<f32>],
+    ) -> Vec<Option<Vec<f32>>> {
+        assert_eq!(contents.len(), nonmeta.len(), "column count mismatch");
+        assert_eq!(contents.len(), enc.col_marker_pos.len(), "column count mismatch");
+        let packed = self.pack_content(contents);
+        if packed.tokens.is_empty() {
+            return vec![None; contents.len()];
+        }
+        let mut tape = Tape::new();
+        let meta_nodes: Vec<NodeId> = enc
+            .layer_latents
+            .iter()
+            .map(|m| tape.leaf(m.clone()))
+            .collect();
+        let tokens: Vec<usize> = packed.tokens.iter().map(|&t| t as usize).collect();
+        let content_latent = self.encoder.forward_content(&mut tape, &self.store, &tokens, &meta_nodes);
+        let content_final = tape.value(content_latent).clone();
+        let meta_final = enc.layer_latents.last().expect("encoder has layers");
+
+        let mut included: Vec<usize> = Vec::new();
+        let mut content_rows: Vec<usize> = Vec::new();
+        for (j, pos) in packed.val_marker_pos.iter().enumerate() {
+            if let Some(p) = pos {
+                included.push(j);
+                content_rows.push(*p);
+            }
+        }
+        if included.is_empty() {
+            return vec![None; contents.len()];
+        }
+        let c_rows = content_final.gather_rows(&content_rows);
+        let m_rows = meta_final.gather_rows(
+            &included.iter().map(|&j| enc.col_marker_pos[j]).collect::<Vec<_>>(),
+        );
+        let f_rows = rows_matrix(&included.iter().map(|&j| nonmeta[j].clone()).collect::<Vec<_>>());
+        let mut tape2 = Tape::new();
+        let c = tape2.leaf(c_rows);
+        let m = tape2.leaf(m_rows);
+        let f = tape2.leaf(f_rows);
+        let cm = tape2.hcat(c, m);
+        let x = tape2.hcat(cm, f);
+        let logits = self.content_head.forward(&mut tape2, &self.store, x);
+        let probs = tape2.sigmoid(logits);
+        let prob_rows = matrix_rows(tape2.value(probs));
+
+        let mut out = vec![None; contents.len()];
+        for (row, j) in prob_rows.into_iter().zip(&included) {
+            out[*j] = Some(row);
+        }
+        out
+    }
+
+    /// Training forward pass: both towers in one tape (so the shared
+    /// encoder receives gradients from both tasks), with dropout on the
+    /// classifier inputs when `dropout_rng` is provided.
+    pub fn forward_train(
+        &self,
+        tape: &mut Tape,
+        input: &ModelInput,
+        dropout_rng: Option<&mut StdRng>,
+    ) -> TrainForward {
+        let packed_meta = self.pack_meta(&input.chunk);
+        let meta_tokens: Vec<usize> = packed_meta.tokens.iter().map(|&t| t as usize).collect();
+        let meta_latents = self.encoder.forward_meta(tape, &self.store, &meta_tokens);
+        let meta_final = *meta_latents.last().expect("layers");
+
+        let ncols = input.chunk.col_texts.len();
+        let meta_rows = gather_node_rows(tape, meta_final, &packed_meta.col_marker_pos);
+        let feat_dim = input.chunk.nonmeta.first().map_or(0, Vec::len);
+        let mut feats = tape.leaf(rows_matrix(&input.chunk.nonmeta));
+
+        // Optional inverted dropout on the latent rows, and a *stronger*
+        // dropout on the non-textual features: catalog statistics (NDV,
+        // min/max, average length) nearly fingerprint individual columns,
+        // and the classifier will happily memorize them instead of
+        // reading the metadata text unless they are made unreliable
+        // during training.
+        let meta_rows = match dropout_rng {
+            Some(rng) if self.cfg.dropout > 0.0 => {
+                if let Some(mask) = dropout_mask(rng, ncols, feat_dim, (3.0 * self.cfg.dropout).min(0.6)) {
+                    feats = tape.mul_const_mask(feats, mask);
+                }
+                match dropout_mask(rng, ncols, self.cfg.hidden, self.cfg.dropout) {
+                    Some(mask) => tape.mul_const_mask(meta_rows, mask),
+                    None => meta_rows,
+                }
+            }
+            _ => meta_rows,
+        };
+
+        let meta_in = tape.hcat(meta_rows, feats);
+        let meta_logits = self.meta_head.forward(tape, &self.store, meta_in);
+
+        // Content tower over all columns' contents.
+        let contents: Vec<Option<ColumnContent>> =
+            input.contents.iter().cloned().map(Some).collect();
+        let packed_content = self.pack_content(&contents);
+        let mut content_cols = Vec::new();
+        let mut marker_rows = Vec::new();
+        for (j, pos) in packed_content.val_marker_pos.iter().enumerate() {
+            if let Some(p) = pos {
+                content_cols.push(j);
+                marker_rows.push(*p);
+            }
+        }
+        let content_logits = if content_cols.is_empty() {
+            None
+        } else {
+            let content_tokens: Vec<usize> = packed_content.tokens.iter().map(|&t| t as usize).collect();
+            let content_latent = self.encoder.forward_content(tape, &self.store, &content_tokens, &meta_latents);
+            let c_rows = gather_node_rows(tape, content_latent, &marker_rows);
+            let m_positions: Vec<usize> = content_cols.iter().map(|&j| packed_meta.col_marker_pos[j]).collect();
+            let m_rows = gather_node_rows(tape, meta_final, &m_positions);
+            let f_rows = tape.leaf(rows_matrix(
+                &content_cols.iter().map(|&j| input.chunk.nonmeta[j].clone()).collect::<Vec<_>>(),
+            ));
+            let cm = tape.hcat(c_rows, m_rows);
+            let x = tape.hcat(cm, f_rows);
+            Some(self.content_head.forward(tape, &self.store, x))
+        };
+
+        TrainForward { meta_logits, content_logits, content_cols }
+    }
+
+    /// The metadata classifier head.
+    pub fn meta_head(&self) -> Head {
+        self.meta_head
+    }
+
+    /// The content classifier head.
+    pub fn content_head(&self) -> Head {
+        self.content_head
+    }
+
+    /// Replaces both heads and the domain width (type-set extension).
+    pub fn set_heads(&mut self, meta: Head, content: Head, ntypes: usize) {
+        self.meta_head = meta;
+        self.content_head = content;
+        self.ntypes = ntypes;
+    }
+
+    /// Parameter ids of the classifier heads plus the AWL weights — the
+    /// trainable subset for head-only fine-tuning.
+    pub fn head_param_ids(&self) -> Vec<taste_nn::ParamId> {
+        let mut ids = Vec::with_capacity(9);
+        for head in [self.meta_head, self.content_head] {
+            let (l1, l2) = head.layers();
+            ids.extend([l1.w, l1.b, l2.w, l2.b]);
+        }
+        ids.push(self.awl.weights);
+        ids
+    }
+
+    /// Serializes the model (parameters + config + tokenizer vocabulary)
+    /// to a JSON checkpoint.
+    pub fn to_json(&self) -> String {
+        let obj = serde_json::json!({
+            "cfg": self.cfg,
+            "ntypes": self.ntypes,
+            "store": serde_json::from_str::<serde_json::Value>(&self.store.to_json()).expect("valid"),
+            "vocab": self.tokenizer.vocab(),
+        });
+        obj.to_string()
+    }
+
+    /// Restores a model from [`Adtd::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Adtd, String> {
+        let v: serde_json::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        let cfg: ModelConfig = serde_json::from_value(v["cfg"].clone()).map_err(|e| e.to_string())?;
+        let ntypes = v["ntypes"].as_u64().ok_or("missing ntypes")? as usize;
+        let mut vocab: taste_tokenizer::Vocab =
+            serde_json::from_value(v["vocab"].clone()).map_err(|e| e.to_string())?;
+        vocab.rebuild_index();
+        let tokenizer = Tokenizer::new(vocab);
+        let mut model = Adtd::new(cfg, tokenizer, ntypes, 0);
+        let source = ParamStore::from_json(&v["store"].to_string())?;
+        let copied = model.store.load_matching(&source);
+        if copied != model.store.len() {
+            return Err(format!("checkpoint restored only {copied}/{} params", model.store.len()));
+        }
+        Ok(model)
+    }
+}
+
+/// Collects `positions` rows of a node into a `[positions.len(), H]` node.
+pub(crate) fn gather_node_rows(tape: &mut Tape, node: NodeId, positions: &[usize]) -> NodeId {
+    assert!(!positions.is_empty(), "cannot gather zero rows");
+    let mut acc: Option<NodeId> = None;
+    for &p in positions {
+        let row = tape.slice_rows(node, p, 1);
+        acc = Some(match acc {
+            Some(prev) => tape.vcat(prev, row),
+            None => row,
+        });
+    }
+    acc.expect("non-empty positions")
+}
+
+/// Stacks per-column feature vectors into a matrix.
+pub(crate) fn rows_matrix(rows: &[Vec<f32>]) -> Matrix {
+    assert!(!rows.is_empty(), "cannot stack zero rows");
+    let cols = rows[0].len();
+    let mut data = Vec::with_capacity(rows.len() * cols);
+    for r in rows {
+        assert_eq!(r.len(), cols, "ragged feature rows");
+        data.extend_from_slice(r);
+    }
+    Matrix::from_vec(rows.len(), cols, data)
+}
+
+/// Splits a matrix back into per-row vectors.
+pub(crate) fn matrix_rows(m: &Matrix) -> Vec<Vec<f32>> {
+    (0..m.rows()).map(|r| m.row_slice(r).to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_tokenizer::VocabBuilder;
+
+    fn tokenizer() -> Tokenizer {
+        let mut b = VocabBuilder::new();
+        b.add_words(["orders", "city", "name", "phone", "int", "text", "demo"]);
+        b.add_words(["orders", "city", "name", "phone", "int", "text", "demo"]);
+        Tokenizer::new(b.build(100, 1))
+    }
+
+    fn chunk(ncols: usize) -> TableChunk {
+        TableChunk {
+            table_text: "orders demo".into(),
+            col_texts: (0..ncols).map(|i| format!("city{i} text")).collect(),
+            nonmeta: (0..ncols).map(|_| vec![0.5; NONMETA_DIM]).collect(),
+            ordinals: (0..ncols as u16).collect(),
+        }
+    }
+
+    fn model(ntypes: usize) -> Adtd {
+        Adtd::new(ModelConfig::tiny(), tokenizer(), ntypes, 3)
+    }
+
+    #[test]
+    fn predict_meta_shapes_and_probability_range() {
+        let m = model(6);
+        let c = chunk(3);
+        let enc = m.encode_meta(&c);
+        assert_eq!(enc.layer_latents.len(), m.cfg.layers + 1);
+        assert_eq!(enc.col_marker_pos.len(), 3);
+        let probs = m.predict_meta(&enc, &c.nonmeta);
+        assert_eq!(probs.len(), 3);
+        for row in &probs {
+            assert_eq!(row.len(), 6);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn predict_content_only_for_scanned_columns() {
+        let m = model(5);
+        let c = chunk(3);
+        let enc = m.encode_meta(&c);
+        let contents = vec![
+            None,
+            Some(ColumnContent { cells: vec!["city".into(), "name".into()] }),
+            None,
+        ];
+        let out = m.predict_content(&enc, &contents, &c.nonmeta);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].is_none() && out[2].is_none());
+        let probs = out[1].as_ref().unwrap();
+        assert_eq!(probs.len(), 5);
+    }
+
+    #[test]
+    fn predict_content_all_none_short_circuits() {
+        let m = model(5);
+        let c = chunk(2);
+        let enc = m.encode_meta(&c);
+        let out = m.predict_content(&enc, &[None, None], &c.nonmeta);
+        assert_eq!(out, vec![None, None]);
+    }
+
+    #[test]
+    fn encode_meta_is_deterministic() {
+        let m = model(4);
+        let c = chunk(2);
+        let e1 = m.encode_meta(&c);
+        let e2 = m.encode_meta(&c);
+        assert_eq!(e1.layer_latents.last(), e2.layer_latents.last());
+    }
+
+    #[test]
+    fn cached_and_live_content_predictions_agree() {
+        // The latent-cache contract: P2 probabilities computed from the
+        // stored encoding equal those computed from a fresh P1 pass.
+        let m = model(4);
+        let c = chunk(2);
+        let enc_live = m.encode_meta(&c);
+        let cached = MetaEncoding {
+            layer_latents: enc_live.layer_latents.clone(),
+            col_marker_pos: enc_live.col_marker_pos.clone(),
+        };
+        let contents = vec![Some(ColumnContent { cells: vec!["phone".into()] }), None];
+        let a = m.predict_content(&enc_live, &contents, &c.nonmeta);
+        let b = m.predict_content(&cached, &contents, &c.nonmeta);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forward_train_covers_all_columns() {
+        let m = model(4);
+        let c = chunk(3);
+        let input = ModelInput {
+            contents: (0..3).map(|_| ColumnContent { cells: vec!["city".into()] }).collect(),
+            targets: (0..3).map(|_| vec![0.0, 1.0, 0.0, 0.0]).collect(),
+            labels: vec![Default::default(); 3],
+            chunk: c,
+        };
+        let mut tape = Tape::new();
+        let fwd = m.forward_train(&mut tape, &input, None);
+        assert_eq!(tape.value(fwd.meta_logits).shape(), (3, 4));
+        assert_eq!(fwd.content_cols, vec![0, 1, 2]);
+        assert_eq!(tape.value(fwd.content_logits.unwrap()).shape(), (3, 4));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let m = model(4);
+        let c = chunk(2);
+        let enc = m.encode_meta(&c);
+        let probs = m.predict_meta(&enc, &c.nonmeta);
+        let json = m.to_json();
+        let restored = Adtd::from_json(&json).unwrap();
+        let enc2 = restored.encode_meta(&c);
+        let probs2 = restored.predict_meta(&enc2, &c.nonmeta);
+        assert_eq!(probs, probs2);
+    }
+
+    #[test]
+    fn paper_scale_model_constructs_with_correct_shapes() {
+        // Shape-checks the full published configuration (L=4, A=12,
+        // H=312, I=1200) without training it.
+        let cfg = ModelConfig::paper();
+        let m = Adtd::new(cfg, tokenizer(), 10, 0);
+        let c = chunk(2);
+        let enc = m.encode_meta(&c);
+        assert_eq!(enc.layer_latents.len(), 5);
+        assert_eq!(enc.layer_latents[0].cols(), 312);
+        let probs = m.predict_meta(&enc, &c.nonmeta);
+        assert_eq!(probs[0].len(), 10);
+    }
+}

@@ -1,0 +1,192 @@
+//! The latent cache (§4.2.2).
+//!
+//! P1 computes the metadata tower's per-layer latents; P2's content tower
+//! needs exactly those latents as its cross-attention keys/values. The
+//! cache stores them between phases so P2 never recomputes the metadata
+//! tower — the mechanism behind the *TASTE without caching* ablation's
+//! slowdown (§6.3). Keys are `(table, chunk)` pairs; capacity is bounded
+//! with FIFO eviction (entries are written once and read at most once in
+//! a normal two-phase pass).
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use taste_core::TableId;
+use taste_nn::Matrix;
+
+/// Cached output of one metadata-tower pass over one chunk.
+#[derive(Debug, Clone)]
+pub struct CachedMeta {
+    /// Per-layer latents `[Encode_0, ..., Encode_L]`.
+    pub layer_latents: Vec<Matrix>,
+    /// `[COL]` marker positions within the chunk's metadata sequence.
+    pub col_marker_pos: Vec<usize>,
+}
+
+/// Cache key: table id plus chunk index within the table.
+pub type CacheKey = (TableId, u32);
+
+struct Inner {
+    map: FxHashMap<CacheKey, Arc<CachedMeta>>,
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Bounded, thread-safe latent cache.
+pub struct LatentCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl LatentCache {
+    /// Creates a cache bounded to `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> LatentCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LatentCache {
+            inner: Mutex::new(Inner {
+                map: FxHashMap::default(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Stores a chunk's metadata latents.
+    pub fn put(&self, key: CacheKey, value: Arc<CachedMeta>) {
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key, value).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Fetches a chunk's latents, counting hit/miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedMeta>> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key).cloned() {
+            Some(v) => {
+                inner.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Clears entries and counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.hits = 0;
+        inner.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: usize) -> Arc<CachedMeta> {
+        Arc::new(CachedMeta {
+            layer_latents: vec![Matrix::zeros(n, 4)],
+            col_marker_pos: vec![0],
+        })
+    }
+
+    #[test]
+    fn put_get_roundtrip_counts_hits() {
+        let cache = LatentCache::new(4);
+        let key = (TableId(1), 0);
+        assert!(cache.get(&key).is_none());
+        cache.put(key, entry(3));
+        let got = cache.get(&key).unwrap();
+        assert_eq!(got.layer_latents[0].rows(), 3);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = LatentCache::new(2);
+        cache.put((TableId(0), 0), entry(1));
+        cache.put((TableId(1), 0), entry(1));
+        cache.put((TableId(2), 0), entry(1));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&(TableId(0), 0)).is_none(), "oldest evicted");
+        assert!(cache.get(&(TableId(2), 0)).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order() {
+        let cache = LatentCache::new(2);
+        cache.put((TableId(0), 0), entry(1));
+        cache.put((TableId(0), 0), entry(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&(TableId(0), 0)).unwrap().layer_latents[0].rows(), 2);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let cache = LatentCache::new(2);
+        cache.put((TableId(0), 0), entry(1));
+        let _ = cache.get(&(TableId(0), 0));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = LatentCache::new(0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(LatentCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    let key = (TableId(t), i);
+                    cache.put(key, entry(1));
+                    assert!(cache.get(&key).is_some() || cache.len() == 64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 64);
+    }
+}

@@ -1,0 +1,125 @@
+//! Model hyperparameters.
+
+use serde::{Deserialize, Serialize};
+use taste_tokenizer::PackingBudget;
+
+/// Hyperparameters of the ADTD model (and, by reuse, the baselines).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Number of transformer layers `L`.
+    pub layers: usize,
+    /// Number of attention heads `A`.
+    pub heads: usize,
+    /// Hidden size `H`.
+    pub hidden: usize,
+    /// Feed-forward intermediate size `I`.
+    pub intermediate: usize,
+    /// Sequence packing budgets (caps `W_max`).
+    pub budget: PackingBudget,
+    /// Hidden units of the metadata classifier head (paper: 500).
+    pub meta_head_hidden: usize,
+    /// Hidden units of the content classifier head (paper: 1000).
+    pub content_head_hidden: usize,
+    /// Dropout probability applied to encoder outputs during training.
+    pub dropout: f32,
+    /// Whether histogram features are included in `M_n^c`. The feature
+    /// slots are always reserved (fixed model shape); this flag controls
+    /// whether they are populated.
+    pub use_histograms: bool,
+}
+
+impl ModelConfig {
+    /// Reduced-scale configuration used by the reproduction's default
+    /// experiments: small enough to train on CPU in minutes while keeping
+    /// every architectural mechanism intact.
+    pub fn small() -> ModelConfig {
+        ModelConfig {
+            layers: 2,
+            heads: 4,
+            hidden: 64,
+            intermediate: 256,
+            budget: PackingBudget::default(),
+            meta_head_hidden: 128,
+            content_head_hidden: 256,
+            dropout: 0.1,
+            use_histograms: false,
+        }
+    }
+
+    /// An even smaller configuration for unit tests.
+    pub fn tiny() -> ModelConfig {
+        ModelConfig {
+            layers: 1,
+            heads: 2,
+            hidden: 16,
+            intermediate: 32,
+            budget: PackingBudget { table: 8, column: 4, cell: 3, max_len: 96 },
+            meta_head_hidden: 24,
+            content_head_hidden: 32,
+            dropout: 0.0,
+            use_histograms: false,
+        }
+    }
+
+    /// The paper's TinyBERT-sized configuration (§4.2.1, §6.2): L=4,
+    /// A=12, H=312, I=1200, W_max=512, heads 500/1000. Constructible and
+    /// shape-tested; too slow to *train* on CPU at full corpus scale.
+    pub fn paper() -> ModelConfig {
+        ModelConfig {
+            layers: 4,
+            heads: 12,
+            hidden: 312,
+            intermediate: 1200,
+            budget: PackingBudget::paper(),
+            meta_head_hidden: 500,
+            content_head_hidden: 1000,
+            dropout: 0.1,
+            use_histograms: false,
+        }
+    }
+
+    /// Same config with histogram features enabled.
+    pub fn with_histograms(mut self) -> ModelConfig {
+        self.use_histograms = true;
+        self
+    }
+
+    /// Head dimension; [`crate::encoder::Encoder`] requires divisibility.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_divisible_by_heads() {
+        for cfg in [ModelConfig::small(), ModelConfig::tiny(), ModelConfig::paper()] {
+            assert_eq!(cfg.hidden % cfg.heads, 0);
+            assert!(cfg.head_dim() > 0);
+        }
+    }
+
+    #[test]
+    fn paper_config_matches_published_numbers() {
+        let p = ModelConfig::paper();
+        assert_eq!(p.layers, 4);
+        assert_eq!(p.heads, 12);
+        assert_eq!(p.hidden, 312);
+        assert_eq!(p.intermediate, 1200);
+        assert_eq!(p.budget.max_len, 512);
+        assert_eq!(p.meta_head_hidden, 500);
+        assert_eq!(p.content_head_hidden, 1000);
+    }
+
+    #[test]
+    fn with_histograms_flips_only_the_flag() {
+        let a = ModelConfig::small();
+        let b = ModelConfig::small().with_histograms();
+        assert!(!a.use_histograms);
+        assert!(b.use_histograms);
+        assert_eq!(a.hidden, b.hidden);
+    }
+}

@@ -1,0 +1,171 @@
+//! The shared transformer stack and the two tower forward passes (§4.2).
+//!
+//! Both towers run the *same* [`TransformerLayer`]s (shared parameters —
+//! constructing the encoder once and calling both forwards reuses the
+//! same [`taste_nn::ParamId`]s). The metadata tower is plain self-attention; the
+//! content tower's layer `i` asymmetrically cross-attends with
+//! `Q = content_{i-1}` and `K = V = meta_{i-1} ⊕ content_{i-1}`, where
+//! `meta_{i-1}` is the metadata tower's layer-`(i-1)` latent — served
+//! from the latent cache at inference time.
+
+use crate::config::ModelConfig;
+use taste_nn::modules::{Embedding, TransformerLayer};
+use taste_nn::{NodeId, ParamStore, Tape};
+
+/// Shared embedding + transformer layers.
+pub struct Encoder {
+    /// Token + position embeddings.
+    pub emb: Embedding,
+    /// Encoder blocks, applied in order by both towers.
+    pub layers: Vec<TransformerLayer>,
+}
+
+impl Encoder {
+    /// Registers encoder parameters under `name.*`.
+    ///
+    /// # Panics
+    /// Panics when `cfg.heads` does not divide `cfg.hidden`.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &ModelConfig, vocab_size: usize) -> Encoder {
+        let emb = Embedding::new(store, &format!("{name}.emb"), vocab_size, cfg.hidden, cfg.budget.max_len);
+        let layers = (0..cfg.layers)
+            .map(|i| TransformerLayer::new(store, &format!("{name}.layer{i}"), cfg.hidden, cfg.heads, cfg.intermediate))
+            .collect();
+        Encoder { emb, layers }
+    }
+
+    /// Metadata-tower forward: returns the per-layer latents
+    /// `[Encode_0 (embedding), Encode_1, ..., Encode_L]` — all of which
+    /// the latent cache stores, because content-tower layer `i` consumes
+    /// `Encode_{i-1}`.
+    pub fn forward_meta(&self, tape: &mut Tape, store: &ParamStore, tokens: &[usize]) -> Vec<NodeId> {
+        let mut latents = Vec::with_capacity(self.layers.len() + 1);
+        let mut x = self.emb.forward(tape, store, tokens);
+        latents.push(x);
+        for layer in &self.layers {
+            x = layer.forward(tape, store, x, x);
+            latents.push(x);
+        }
+        latents
+    }
+
+    /// Content-tower forward with the asymmetric dependency: layer `i`
+    /// takes `Q = content`, `K = V = meta_latents[i] ⊕ content` (where
+    /// `meta_latents` is the full `[Encode_0..Encode_L]` vector from
+    /// [`Encoder::forward_meta`] or the cache). Returns the final content
+    /// latent `Encode_L^D` (`[len(tokens), hidden]`).
+    ///
+    /// # Panics
+    /// Panics when `meta_latents.len() != layers + 1`.
+    pub fn forward_content(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        tokens: &[usize],
+        meta_latents: &[NodeId],
+    ) -> NodeId {
+        assert_eq!(
+            meta_latents.len(),
+            self.layers.len() + 1,
+            "need one metadata latent per layer input"
+        );
+        let mut x = self.emb.forward(tape, store, tokens);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let kv = tape.vcat(meta_latents[i], x);
+            x = layer.forward(tape, store, x, kv);
+        }
+        x
+    }
+
+    /// Plain self-attention forward returning only the final latent —
+    /// the path used by the single-tower baselines and MLM pre-training.
+    pub fn forward_self(&self, tape: &mut Tape, store: &ParamStore, tokens: &[usize]) -> NodeId {
+        *self
+            .forward_meta(tape, store, tokens)
+            .last()
+            .expect("at least the embedding latent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_nn::Matrix;
+
+    fn setup() -> (ParamStore, Encoder, ModelConfig) {
+        let cfg = ModelConfig::tiny();
+        let mut store = ParamStore::new(5);
+        let enc = Encoder::new(&mut store, "enc", &cfg, 50);
+        (store, enc, cfg)
+    }
+
+    #[test]
+    fn meta_forward_produces_layers_plus_one_latents() {
+        let (store, enc, cfg) = setup();
+        let mut tape = Tape::new();
+        let latents = enc.forward_meta(&mut tape, &store, &[1, 2, 3, 4]);
+        assert_eq!(latents.len(), cfg.layers + 1);
+        for &l in &latents {
+            assert_eq!(tape.value(l).shape(), (4, cfg.hidden));
+        }
+    }
+
+    #[test]
+    fn content_forward_keeps_content_length() {
+        let (store, enc, cfg) = setup();
+        let mut tape = Tape::new();
+        let meta = enc.forward_meta(&mut tape, &store, &[1, 2, 3, 4, 5]);
+        let out = enc.forward_content(&mut tape, &store, &[6, 7, 8], &meta);
+        assert_eq!(tape.value(out).shape(), (3, cfg.hidden));
+    }
+
+    #[test]
+    fn content_forward_accepts_cached_latents_as_leaves() {
+        // Simulates P2 with the latent cache: meta latents enter a fresh
+        // tape as constants and produce identical content latents.
+        let (store, enc, _) = setup();
+        let mut tape1 = Tape::new();
+        let meta = enc.forward_meta(&mut tape1, &store, &[1, 2, 3]);
+        let out_live = enc.forward_content(&mut tape1, &store, &[4, 5], &meta);
+        let live = tape1.value(out_live).clone();
+
+        let cached: Vec<Matrix> = meta.iter().map(|&id| tape1.value(id).clone()).collect();
+        let mut tape2 = Tape::new();
+        let leaves: Vec<NodeId> = cached.into_iter().map(|m| tape2.leaf(m)).collect();
+        let out_cached = enc.forward_content(&mut tape2, &store, &[4, 5], &leaves);
+        let replayed = tape2.value(out_cached).clone();
+        assert_eq!(live, replayed, "cache replay must be bit-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata latent")]
+    fn content_forward_rejects_wrong_latent_count() {
+        let (store, enc, _) = setup();
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::zeros(2, 16));
+        let _ = enc.forward_content(&mut tape, &store, &[1], &[x]);
+    }
+
+    #[test]
+    fn towers_share_parameters() {
+        // Parameter count must not grow when using both towers: a second
+        // encoder would double it; the shared one must not.
+        let cfg = ModelConfig::tiny();
+        let mut store = ParamStore::new(5);
+        let before = store.len();
+        let _enc = Encoder::new(&mut store, "enc", &cfg, 50);
+        let per_encoder = store.len() - before;
+        // forward passes register nothing new.
+        assert!(per_encoder > 0);
+        assert_eq!(store.len(), before + per_encoder);
+    }
+
+    #[test]
+    fn forward_self_equals_last_meta_latent() {
+        let (store, enc, _) = setup();
+        let mut tape = Tape::new();
+        let latents = enc.forward_meta(&mut tape, &store, &[9, 8, 7]);
+        let mut tape2 = Tape::new();
+        let out = enc.forward_self(&mut tape2, &store, &[9, 8, 7]);
+        assert_eq!(tape.value(*latents.last().unwrap()), tape2.value(out));
+    }
+}

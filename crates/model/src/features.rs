@@ -1,0 +1,159 @@
+//! Featurization of non-textual metadata `M_n^c`.
+//!
+//! The paper concatenates non-textual metadata features with the tower
+//! latents at the classifier input (§4.3): data type, nullability,
+//! statistics (max, min, NDV), and the histogram summary. The feature
+//! vector has a fixed width so the model shape is independent of which
+//! statistics a given user database happens to expose; missing values are
+//! zero-filled with companion presence indicators.
+
+use taste_core::ColumnMeta;
+
+/// Width of the histogram summary block.
+pub const HIST_FEATS: usize = 10;
+
+/// Total width of the `M_n^c` feature vector.
+///
+/// Layout: 6 raw-type one-hot, 1 nullable, 2 (ndv present, log-ndv),
+/// 2 (null_frac present, value), 2 (min present, squashed), 2 (max
+/// present, squashed), 2 (avg_len present, squashed), 1 has-histogram,
+/// [`HIST_FEATS`] histogram summary.
+pub const NONMETA_DIM: usize = 6 + 1 + 2 + 2 + 2 + 2 + 2 + 1 + HIST_FEATS;
+
+/// Squashes an unbounded statistic into `(-1, 1)`.
+fn squash(v: f64) -> f32 {
+    (v / (1.0 + v.abs())) as f32
+}
+
+/// Builds the fixed-width `M_n^c` vector for one column. When
+/// `use_histograms` is false the histogram block stays zero even if the
+/// catalog has one (the default TASTE variant ignores histograms).
+pub fn nonmeta_features(col: &ColumnMeta, use_histograms: bool) -> Vec<f32> {
+    let mut f = Vec::with_capacity(NONMETA_DIM);
+    // Raw type one-hot.
+    let mut one_hot = [0.0f32; 6];
+    one_hot[col.raw_type.one_hot_index()] = 1.0;
+    f.extend_from_slice(&one_hot);
+    f.push(if col.nullable { 1.0 } else { 0.0 });
+    // NDV: log-scaled (distinct count spans orders of magnitude).
+    match col.stats.ndv {
+        Some(ndv) => {
+            f.push(1.0);
+            f.push(((ndv as f64 + 1.0).ln() / 12.0) as f32);
+        }
+        None => {
+            f.push(0.0);
+            f.push(0.0);
+        }
+    }
+    for stat in [col.stats.null_frac, col.stats.min, col.stats.max, col.stats.avg_len] {
+        match stat {
+            Some(v) => {
+                f.push(1.0);
+                f.push(squash(v));
+            }
+            None => {
+                f.push(0.0);
+                f.push(0.0);
+            }
+        }
+    }
+    match (&col.histogram, use_histograms) {
+        (Some(h), true) => {
+            f.push(1.0);
+            f.extend(h.features(HIST_FEATS));
+        }
+        _ => {
+            f.push(0.0);
+            f.extend(std::iter::repeat_n(0.0, HIST_FEATS));
+        }
+    }
+    debug_assert_eq!(f.len(), NONMETA_DIM);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_core::{ColumnId, Histogram, RawType, TableId};
+
+    fn base_col() -> ColumnMeta {
+        ColumnMeta {
+            id: ColumnId::new(TableId(0), 0),
+            name: "x".into(),
+            comment: None,
+            raw_type: RawType::Integer,
+            nullable: true,
+            stats: Default::default(),
+            histogram: None,
+        }
+    }
+
+    #[test]
+    fn width_is_constant_regardless_of_available_stats() {
+        let bare = base_col();
+        assert_eq!(nonmeta_features(&bare, false).len(), NONMETA_DIM);
+        let mut rich = base_col();
+        rich.stats.ndv = Some(100);
+        rich.stats.null_frac = Some(0.25);
+        rich.stats.min = Some(-3.0);
+        rich.stats.max = Some(1e9);
+        rich.stats.avg_len = Some(12.0);
+        rich.histogram = Histogram::equal_width(&[1.0, 2.0, 3.0], 2);
+        assert_eq!(nonmeta_features(&rich, true).len(), NONMETA_DIM);
+    }
+
+    #[test]
+    fn raw_type_one_hot_is_exclusive() {
+        let mut col = base_col();
+        col.raw_type = RawType::Text;
+        let f = nonmeta_features(&col, false);
+        let ones: Vec<usize> = (0..6).filter(|&i| f[i] == 1.0).collect();
+        assert_eq!(ones, vec![RawType::Text.one_hot_index()]);
+    }
+
+    #[test]
+    fn presence_indicators_track_missing_stats() {
+        let bare = nonmeta_features(&base_col(), false);
+        // NDV presence flag at index 7.
+        assert_eq!(bare[7], 0.0);
+        let mut col = base_col();
+        col.stats.ndv = Some(50);
+        let with = nonmeta_features(&col, false);
+        assert_eq!(with[7], 1.0);
+        assert!(with[8] > 0.0);
+    }
+
+    #[test]
+    fn histogram_block_respects_flag() {
+        let mut col = base_col();
+        col.histogram = Histogram::equal_depth(&[1.0, 2.0, 3.0, 4.0], 2);
+        let off = nonmeta_features(&col, false);
+        let on = nonmeta_features(&col, true);
+        let hist_start = NONMETA_DIM - HIST_FEATS - 1;
+        assert_eq!(off[hist_start], 0.0, "has-histogram flag off");
+        assert!(off[hist_start + 1..].iter().all(|&v| v == 0.0));
+        assert_eq!(on[hist_start], 1.0);
+        assert!(on[hist_start + 1..].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn all_features_are_bounded() {
+        let mut col = base_col();
+        col.stats.ndv = Some(u64::MAX);
+        col.stats.min = Some(-1e300);
+        col.stats.max = Some(1e300);
+        col.stats.avg_len = Some(1e12);
+        col.stats.null_frac = Some(1.0);
+        let f = nonmeta_features(&col, false);
+        assert!(f.iter().all(|v| v.is_finite() && v.abs() <= 4.0), "{f:?}");
+    }
+
+    #[test]
+    fn squash_is_monotonic_and_bounded() {
+        assert!(squash(0.0) == 0.0);
+        assert!(squash(5.0) > squash(1.0));
+        assert!(squash(-5.0) < squash(-1.0));
+        assert!(squash(1e18) <= 1.0 && squash(-1e18) >= -1.0);
+    }
+}

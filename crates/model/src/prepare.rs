@@ -1,0 +1,284 @@
+//! Turning tables into model inputs.
+//!
+//! Responsibilities (§6.1.2):
+//!
+//! * **Column splitting** — tables wider than the threshold `l` are split
+//!   into chunks of at most `l` columns so inter-column attention fits
+//!   the compute budget.
+//! * **Metadata text assembly** — per-column text is the column name,
+//!   comment, and raw-type token; per-table text is the table name and
+//!   comment.
+//! * **Content selection** — retrieve `m` rows, keep each column's first
+//!   `n` non-empty cell renderings.
+//! * **Targets** — multi-hot label rows (background at index 0).
+
+use crate::features::nonmeta_features;
+use taste_core::{Cell, ColumnMeta, LabelSet, Table, TableMeta};
+use taste_tokenizer::ColumnContent;
+
+/// One ≤`l`-column slice of a table, with everything the metadata tower
+/// needs. Chunks are the unit of model invocation throughout the system.
+#[derive(Debug, Clone)]
+pub struct TableChunk {
+    /// Concatenated table-level text.
+    pub table_text: String,
+    /// Per-column metadata text, in chunk order.
+    pub col_texts: Vec<String>,
+    /// Per-column non-textual features, in chunk order.
+    pub nonmeta: Vec<Vec<f32>>,
+    /// Original ordinals of the chunk's columns within their table.
+    pub ordinals: Vec<u16>,
+}
+
+/// A full training/evaluation input: a chunk plus its column contents and
+/// (for labeled corpora) multi-hot targets.
+#[derive(Debug, Clone)]
+pub struct ModelInput {
+    /// The metadata chunk.
+    pub chunk: TableChunk,
+    /// Per-column content (always present at training time; at serving
+    /// time only the uncertain columns are filled by P2).
+    pub contents: Vec<ColumnContent>,
+    /// Per-column multi-hot targets of width `ntypes`.
+    pub targets: Vec<Vec<f32>>,
+    /// Per-column ground-truth label sets (for evaluation).
+    pub labels: Vec<LabelSet>,
+}
+
+impl ModelInput {
+    /// A copy with columns in a random order — training-time
+    /// augmentation. Without it, a model trained on small corpora keys
+    /// on each column's absolute position in the packed sequence instead
+    /// of its tokens; column order carries no semantic information, so
+    /// shuffling is loss-free.
+    pub fn shuffled(&self, rng: &mut impl rand::Rng) -> ModelInput {
+        use rand::seq::SliceRandom;
+        let mut perm: Vec<usize> = (0..self.chunk.col_texts.len()).collect();
+        perm.shuffle(rng);
+        ModelInput {
+            chunk: TableChunk {
+                table_text: self.chunk.table_text.clone(),
+                col_texts: perm.iter().map(|&i| self.chunk.col_texts[i].clone()).collect(),
+                nonmeta: perm.iter().map(|&i| self.chunk.nonmeta[i].clone()).collect(),
+                ordinals: perm.iter().map(|&i| self.chunk.ordinals[i]).collect(),
+            },
+            contents: perm.iter().map(|&i| self.contents[i].clone()).collect(),
+            targets: perm.iter().map(|&i| self.targets[i].clone()).collect(),
+            labels: perm.iter().map(|&i| self.labels[i].clone()).collect(),
+        }
+    }
+}
+
+/// The metadata text of one column: name, comment, raw-type token.
+pub fn column_text(col: &ColumnMeta) -> String {
+    format!("{} {}", col.textual(), col.raw_type.token())
+}
+
+/// The metadata text of a table.
+pub fn table_text(meta: &TableMeta) -> String {
+    meta.textual()
+}
+
+/// Splits `ncols` columns into contiguous chunks of at most `l`.
+///
+/// # Panics
+/// Panics when `l == 0`.
+pub fn chunk_ranges(ncols: usize, l: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(l > 0, "column split threshold must be positive");
+    let mut out = Vec::with_capacity(ncols.div_ceil(l));
+    let mut start = 0;
+    while start < ncols {
+        let end = (start + l).min(ncols);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Builds metadata chunks from catalog metadata (the Phase 1 path: no
+/// content involved).
+pub fn build_chunks(
+    meta: &TableMeta,
+    columns: &[ColumnMeta],
+    l: usize,
+    use_histograms: bool,
+) -> Vec<TableChunk> {
+    let ttext = table_text(meta);
+    chunk_ranges(columns.len(), l)
+        .into_iter()
+        .map(|range| {
+            let cols = &columns[range.clone()];
+            TableChunk {
+                table_text: ttext.clone(),
+                col_texts: cols.iter().map(column_text).collect(),
+                nonmeta: cols.iter().map(|c| nonmeta_features(c, use_histograms)).collect(),
+                ordinals: cols.iter().map(|c| c.id.ordinal).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Extracts the first `n` non-empty cell renderings per column, looking
+/// at the first `m` rows only.
+pub fn select_cells(rows: &[Vec<Cell>], ncols: usize, m: usize, n: usize) -> Vec<ColumnContent> {
+    let scan = &rows[..rows.len().min(m)];
+    (0..ncols)
+        .map(|c| {
+            let mut cells = Vec::with_capacity(n);
+            for row in scan {
+                let cell = &row[c];
+                if !cell.is_empty() {
+                    cells.push(cell.render());
+                    if cells.len() == n {
+                        break;
+                    }
+                }
+            }
+            ColumnContent { cells }
+        })
+        .collect()
+}
+
+/// Builds full training inputs from a labeled table: chunked metadata,
+/// first-`n`-of-`m` content, and multi-hot targets of width `ntypes`.
+pub fn training_inputs(
+    table: &Table,
+    ntypes: usize,
+    l: usize,
+    m: usize,
+    n: usize,
+    use_histograms: bool,
+) -> Vec<ModelInput> {
+    let all_contents = select_cells(&table.rows, table.width(), m, n);
+    build_chunks(&table.meta, &table.columns, l, use_histograms)
+        .into_iter()
+        .map(|chunk| {
+            let contents: Vec<ColumnContent> = chunk
+                .ordinals
+                .iter()
+                .map(|&o| all_contents[o as usize].clone())
+                .collect();
+            let labels: Vec<LabelSet> = chunk
+                .ordinals
+                .iter()
+                .map(|&o| table.labels[o as usize].clone())
+                .collect();
+            let targets = labels.iter().map(|ls| ls.to_multi_hot(ntypes)).collect();
+            ModelInput { chunk, contents, targets, labels }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taste_core::{ColumnId, RawType, TableId, TypeId};
+
+    fn table(ncols: usize, nrows: usize) -> Table {
+        let tid = TableId(0);
+        let columns: Vec<ColumnMeta> = (0..ncols)
+            .map(|i| ColumnMeta {
+                id: ColumnId::new(tid, i as u16),
+                name: format!("col{i}"),
+                comment: (i == 0).then(|| "primary key".to_string()),
+                raw_type: RawType::Integer,
+                nullable: true,
+                stats: Default::default(),
+                histogram: None,
+            })
+            .collect();
+        let rows: Vec<Vec<Cell>> = (0..nrows)
+            .map(|r| {
+                (0..ncols)
+                    .map(|c| if r % 3 == 0 { Cell::Null } else { Cell::Int((r * ncols + c) as i64) })
+                    .collect()
+            })
+            .collect();
+        let labels = (0..ncols)
+            .map(|i| {
+                if i % 2 == 0 {
+                    LabelSet::from_iter([TypeId(1 + (i % 5) as u32)])
+                } else {
+                    LabelSet::empty()
+                }
+            })
+            .collect();
+        Table {
+            meta: TableMeta { id: tid, name: "t".into(), comment: Some("demo".into()), row_count: nrows as u64 },
+            columns,
+            rows,
+            labels,
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(4, 4), vec![0..4]);
+        assert_eq!(chunk_ranges(0, 4), Vec::<std::ops::Range<usize>>::new());
+        assert_eq!(chunk_ranges(3, 20), vec![0..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn chunk_ranges_rejects_zero_l() {
+        let _ = chunk_ranges(5, 0);
+    }
+
+    #[test]
+    fn column_text_includes_name_comment_and_type() {
+        let t = table(2, 1);
+        let text = column_text(&t.columns[0]);
+        assert!(text.contains("col0") && text.contains("primary key") && text.contains("int"));
+        let text1 = column_text(&t.columns[1]);
+        assert_eq!(text1, "col1 int");
+    }
+
+    #[test]
+    fn build_chunks_respects_split_threshold() {
+        let t = table(9, 5);
+        let chunks = build_chunks(&t.meta, &t.columns, 4, false);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].ordinals, vec![0, 1, 2, 3]);
+        assert_eq!(chunks[2].ordinals, vec![8]);
+        for c in &chunks {
+            assert_eq!(c.col_texts.len(), c.nonmeta.len());
+            assert_eq!(c.table_text, "t demo");
+        }
+    }
+
+    #[test]
+    fn select_cells_skips_nulls_and_caps_n() {
+        let t = table(2, 12);
+        // Rows 0,3,6,9 are NULL; first 6 rows hold non-null rows 1,2,4,5.
+        let contents = select_cells(&t.rows, 2, 6, 3);
+        assert_eq!(contents[0].cells.len(), 3);
+        assert_eq!(contents[0].cells[0], "2"); // row1 col0 = 1*2+0
+        // Fewer rows than n available.
+        let contents = select_cells(&t.rows, 2, 2, 5);
+        assert_eq!(contents[0].cells.len(), 1);
+    }
+
+    #[test]
+    fn training_inputs_align_targets_with_chunks() {
+        let t = table(7, 10);
+        let inputs = training_inputs(&t, 8, 3, 10, 2, false);
+        assert_eq!(inputs.len(), 3);
+        for input in &inputs {
+            assert_eq!(input.contents.len(), input.chunk.ordinals.len());
+            assert_eq!(input.targets.len(), input.chunk.ordinals.len());
+            for (target, label) in input.targets.iter().zip(&input.labels) {
+                assert_eq!(target.len(), 8);
+                if label.is_empty() {
+                    assert_eq!(target[0], 1.0, "background column marks index 0");
+                } else {
+                    assert_eq!(target[0], 0.0);
+                }
+            }
+        }
+        // Ordinals map back to original labels.
+        let last = &inputs[2];
+        assert_eq!(last.chunk.ordinals, vec![6]);
+        assert_eq!(last.labels[0], t.labels[6]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # taste-nn
+//!
+//! A from-scratch, dependency-light deep learning stack sufficient to train
+//! and serve the paper's ADTD model and its TURL/Doduo baseline analogs on
+//! CPU:
+//!
+//! * [`matrix`] — dense row-major `f32` matrices with the raw kernels
+//!   (matmul, transpose, elementwise maps).
+//! * [`tape`] — reverse-mode automatic differentiation over matrices.
+//!   A [`tape::Tape`] records the forward computation; [`tape::Tape::backward`]
+//!   replays it in reverse, producing gradients for every leaf.
+//! * [`params`] — named trainable parameters with Adam state, plus
+//!   Xavier/normal initialization.
+//! * [`modules`] — Linear, LayerNorm, Embedding, multi-head (cross-)
+//!   attention, feed-forward, and full post-LN transformer encoder layers.
+//! * [`losses`] — multi-label BCE-with-logits, softmax cross-entropy for
+//!   MLM pre-training, and the paper's automatic weighted multi-task loss.
+//! * [`optim`] — Adam with bias correction, global-norm gradient clipping,
+//!   and warmup/decay learning-rate schedules.
+//!
+//! The substitution rationale (this stack in place of PyTorch + CUDA) is
+//! documented in the workspace `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+pub mod losses;
+pub mod matrix;
+pub mod modules;
+pub mod optim;
+pub mod params;
+pub mod summary;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, AdamConfig, LrSchedule};
+pub use params::{ParamId, ParamStore};
+pub use tape::{NodeId, Tape};

@@ -1,0 +1,174 @@
+//! Loss builders: multi-label BCE, MLM cross-entropy, and the paper's
+//! automatic weighted multi-task loss (§4.4).
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{NodeId, Tape};
+
+/// Multi-label binary cross-entropy over a batch, matching §4.3:
+/// the per-decision BCE terms are summed over columns and types, then
+/// divided by the mini-batch size `b` (number of columns).
+pub fn multilabel_bce(tape: &mut Tape, logits: NodeId, targets: Matrix, batch: usize) -> NodeId {
+    assert!(batch > 0, "batch size must be positive");
+    let sum = tape.bce_with_logits_sum(logits, targets);
+    tape.scale(sum, 1.0 / batch as f32)
+}
+
+/// Mean masked-token cross-entropy for MLM pre-training: `logits` holds
+/// one row per *masked* position, `targets` the original token ids.
+pub fn mlm_cross_entropy(tape: &mut Tape, logits: NodeId, targets: Vec<usize>) -> NodeId {
+    let n = targets.len().max(1);
+    let sum = tape.softmax_xent_sum(logits, targets);
+    tape.scale(sum, 1.0 / n as f32)
+}
+
+/// The automatic weighted loss of §4.4 with learnable per-task weights:
+///
+/// `L = Σ_i  L_i / (2 w_i²) + ln(1 + w_i²)`
+///
+/// The squared weight keeps the combination positive; the `ln` term
+/// regularizes the weights away from infinity. Weights are ordinary
+/// trainable parameters (a `[1, k]` row), created by
+/// [`AutomaticWeightedLoss::new`].
+#[derive(Debug, Clone, Copy)]
+pub struct AutomaticWeightedLoss {
+    /// The `[1, k]` weight row parameter.
+    pub weights: ParamId,
+    /// Number of tasks `k`.
+    pub tasks: usize,
+}
+
+impl AutomaticWeightedLoss {
+    /// Registers the weight parameter for `tasks` tasks. Weights start at
+    /// `1/√2`, so each task's initial *effective* weight `1/(2w²)` is 1 —
+    /// matching the gradient scale of single-task training (Liebel &
+    /// Körner initialize at 1, which halves every task's gradient; with
+    /// few fine-tuning epochs that start noticeably slows convergence).
+    pub fn new(store: &mut ParamStore, name: &str, tasks: usize) -> AutomaticWeightedLoss {
+        assert!(tasks > 0, "need at least one task");
+        AutomaticWeightedLoss {
+            weights: store.constant(name, 1, tasks, std::f32::consts::FRAC_1_SQRT_2),
+            tasks,
+        }
+    }
+
+    /// Combines per-task scalar losses into the weighted total.
+    ///
+    /// # Panics
+    /// Panics when `losses.len() != tasks`.
+    pub fn combine(&self, tape: &mut Tape, store: &ParamStore, losses: &[NodeId]) -> NodeId {
+        assert_eq!(losses.len(), self.tasks, "expected {} task losses", self.tasks);
+        let w = tape.param(store, self.weights);
+        let mut total: Option<NodeId> = None;
+        for (i, &loss) in losses.iter().enumerate() {
+            let wi = tape.slice_cols(w, i, 1);
+            let wi2 = tape.square(wi);
+            let inv = tape.recip(wi2);
+            let half_inv = tape.scale(inv, 0.5);
+            let weighted = tape.mul(loss, half_inv);
+            let reg = tape.ln1p(wi2);
+            let term = tape.add(weighted, reg);
+            total = Some(match total {
+                Some(acc) => tape.add(acc, term),
+                None => term,
+            });
+        }
+        total.expect("at least one task")
+    }
+
+    /// Current effective weight `1/(2 w_i²)` of task `i` (for reporting).
+    pub fn effective_weight(&self, store: &ParamStore, i: usize) -> f32 {
+        let w = store.value(self.weights).get(0, i);
+        1.0 / (2.0 * w * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_scale_matches_batch_division() {
+        let mut tape = Tape::new();
+        let z = tape.leaf(Matrix::from_vec(2, 2, vec![0.0, 0.0, 0.0, 0.0]));
+        let y = Matrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        let loss = multilabel_bce(&mut tape, z, y, 2);
+        // BCE at logit 0 is ln 2 per decision; 4 decisions / batch 2.
+        let expected = 4.0 * std::f32::consts::LN_2 / 2.0;
+        assert!((tape.value(loss).item() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mlm_loss_is_mean_over_masked_positions() {
+        let mut tape = Tape::new();
+        // Uniform logits over 4 classes: NLL = ln 4 per position.
+        let z = tape.leaf(Matrix::zeros(3, 4));
+        let loss = mlm_cross_entropy(&mut tape, z, vec![0, 1, 2]);
+        let expected = (4.0f32).ln();
+        assert!((tape.value(loss).item() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn awl_at_unit_weights_halves_losses_plus_ln2() {
+        let mut store = ParamStore::new(0);
+        let awl = AutomaticWeightedLoss::new(&mut store, "awl", 2);
+        // Force the classical w = 1 initialization for this check.
+        *store.value_mut(awl.weights) = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let mut tape = Tape::new();
+        let l1 = tape.leaf(Matrix::scalar(2.0));
+        let l2 = tape.leaf(Matrix::scalar(4.0));
+        let total = awl.combine(&mut tape, &store, &[l1, l2]);
+        // At w=1: L/2 + ln 2 each = 1 + 3 + 2 ln 2.
+        let expected = 1.0 + 2.0 + 2.0 * std::f32::consts::LN_2;
+        assert!((tape.value(total).item() - expected).abs() < 1e-5);
+        assert!((awl.effective_weight(&store, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn awl_initializes_at_unit_effective_weight() {
+        let mut store = ParamStore::new(0);
+        let awl = AutomaticWeightedLoss::new(&mut store, "awl", 2);
+        assert!((awl.effective_weight(&store, 0) - 1.0).abs() < 1e-5);
+        assert!((awl.effective_weight(&store, 1) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn awl_weights_receive_gradient_and_adapt() {
+        // A large task loss should push its weight up (down-weighting it):
+        // d/dw [L/(2w^2)] = -L/w^3 < 0, so gradient descent increases w.
+        let mut store = ParamStore::new(0);
+        let awl = AutomaticWeightedLoss::new(&mut store, "awl", 2);
+        let mut tape = Tape::new();
+        let l1 = tape.leaf(Matrix::scalar(100.0));
+        let l2 = tape.leaf(Matrix::scalar(0.01));
+        let total = awl.combine(&mut tape, &store, &[l1, l2]);
+        tape.backward(total);
+        tape.accumulate_param_grads(&mut store);
+        let g = store.grad(awl.weights);
+        assert!(g.get(0, 0) < 0.0, "large-loss weight grad should be negative");
+        assert!(g.get(0, 1) > 0.0, "tiny-loss weight grad should be positive (regularizer dominates)");
+    }
+
+    #[test]
+    fn awl_total_is_differentiable_wrt_task_losses() {
+        let mut store = ParamStore::new(0);
+        let awl = AutomaticWeightedLoss::new(&mut store, "awl", 1);
+        *store.value_mut(awl.weights) = Matrix::scalar(1.0);
+        let mut tape = Tape::new();
+        let l = tape.leaf(Matrix::scalar(3.0));
+        let total = awl.combine(&mut tape, &store, &[l]);
+        tape.backward(total);
+        // dTotal/dL = 1/(2w^2) = 0.5 at w=1.
+        assert!((tape.grad(l).item() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 task losses")]
+    fn awl_rejects_wrong_task_count() {
+        let mut store = ParamStore::new(0);
+        let awl = AutomaticWeightedLoss::new(&mut store, "awl", 2);
+        let mut tape = Tape::new();
+        let l = tape.leaf(Matrix::scalar(1.0));
+        let _ = awl.combine(&mut tape, &store, &[l]);
+    }
+}

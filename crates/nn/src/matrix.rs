@@ -1,0 +1,436 @@
+//! Dense row-major `f32` matrices and the raw numeric kernels.
+//!
+//! Everything in the DL stack is expressed over 2-D matrices; sequence
+//! batches are processed sample-at-a-time (each sample is `[seq, hidden]`),
+//! which keeps the autodiff simple and avoids padding/masking entirely —
+//! every sample carries its own sequence length.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix[{}x{}]", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Constant-filled matrix.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Matrix {
+        Matrix { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "data length {} != {rows}x{cols}", data.len());
+        Matrix { rows, cols, data }
+    }
+
+    /// A 1×1 matrix holding a scalar.
+    pub fn scalar(v: f32) -> Matrix {
+        Matrix { rows: 1, cols: 1, data: vec![v] }
+    }
+
+    /// A 1×n row vector.
+    pub fn row(data: Vec<f32>) -> Matrix {
+        Matrix { rows: 1, cols: data.len(), data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The backing row-major slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The single value of a 1×1 matrix.
+    ///
+    /// # Panics
+    /// Panics when the matrix is not 1×1.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on non-scalar {:?}", self.shape());
+        self.data[0]
+    }
+
+    /// Matrix product `self @ rhs` using a cache-friendly i-k-j loop.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} @ {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = self.row_slice(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ rhs^T` without materializing the transpose.
+    pub fn matmul_bt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_bt {}x{} @ ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row_slice(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row_slice(j);
+                let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+                out.data[i * rhs.rows + j] = dot;
+            }
+        }
+        out
+    }
+
+    /// `self^T @ rhs` without materializing the transpose.
+    pub fn matmul_at(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at ({}x{})^T @ {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        let n = rhs.cols;
+        for k in 0..self.rows {
+            let a_row = self.row_slice(k);
+            let b_row = rhs.row_slice(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise binary zip into a new matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Fills with zeros in place.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Whether every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Vertical concatenation `[self; rhs]` (column counts must match).
+    pub fn vcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "vcat column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + rhs.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&rhs.data);
+        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+    }
+
+    /// Horizontal concatenation `[self rhs]` (row counts must match).
+    pub fn hcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "hcat row mismatch");
+        let cols = self.cols + rhs.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row_slice(r));
+            data.extend_from_slice(rhs.row_slice(r));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Copy of rows `[start, start+len)`.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.rows, "slice_rows out of range");
+        Matrix {
+            rows: len,
+            cols: self.cols,
+            data: self.data[start * self.cols..(start + len) * self.cols].to_vec(),
+        }
+    }
+
+    /// Copy of columns `[start, start+len)`.
+    pub fn slice_cols(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.cols, "slice_cols out of range");
+        let mut data = Vec::with_capacity(self.rows * len);
+        for r in 0..self.rows {
+            let row = self.row_slice(r);
+            data.extend_from_slice(&row[start..start + len]);
+        }
+        Matrix { rows: self.rows, cols: len, data }
+    }
+
+    /// Row-wise softmax (numerically stabilized by the row max).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_slice_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
+        }
+        out
+    }
+
+    /// Gathers rows by index into a new `[indices.len(), cols]` matrix.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            assert!(i < self.rows, "gather index {i} out of {} rows", self.rows);
+            data.extend_from_slice(self.row_slice(i));
+        }
+        Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1., -2., 3., 0.5, 5., -6.]);
+        let b = m(4, 3, &[1., 0., 2., -1., 3., 1., 0., 0., 1., 2., 2., 2.]);
+        assert_eq!(a.matmul_bt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = m(3, 2, &[1., -2., 3., 0.5, 5., -6.]);
+        let b = m(3, 4, &[1., 0., 2., -1., 3., 1., 0., 0., 1., 2., 2., 2.]);
+        assert_eq!(a.matmul_at(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let a = m(2, 3, &[1., 2., 3., -1000., 0., 1000.]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row_slice(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.get(0, 2) > s.get(0, 1));
+        assert!(s.get(1, 2) > 0.99); // extreme logit saturates without NaN
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(1, 2, &[5., 6.]);
+        let v = a.vcat(&b);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.slice_rows(0, 2), a);
+        assert_eq!(v.slice_rows(2, 1), b);
+
+        let c = m(2, 1, &[9., 10.]);
+        let h = a.hcat(&c);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.slice_cols(0, 2), a);
+        assert_eq!(h.slice_cols(2, 1), c);
+    }
+
+    #[test]
+    fn gather_rows_selects_and_repeats() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[5., 6., 1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = m(1, 3, &[1., 1., 1.]);
+        let b = m(1, 3, &[1., 2., 3.]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_dim_mismatch_panics() {
+        let a = m(2, 3, &[0.; 6]);
+        let b = m(2, 3, &[0.; 6]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn scalar_item_and_norms() {
+        let s = Matrix::scalar(2.5);
+        assert_eq!(s.item(), 2.5);
+        let a = m(1, 2, &[3., 4.]);
+        assert_eq!(a.sq_norm(), 25.0);
+        assert_eq!(a.sum(), 7.0);
+    }
+}

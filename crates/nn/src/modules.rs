@@ -1,0 +1,429 @@
+//! Neural network modules: Linear, LayerNorm, Embedding, multi-head
+//! (cross-)attention, feed-forward, and post-LN transformer encoder layers.
+//!
+//! A module owns [`ParamId`]s registered in a [`ParamStore`] at build time
+//! and replays its computation onto a [`Tape`] at call time. Two modules
+//! constructed over the *same* parameter ids share weights — exactly how
+//! the ADTD metadata and content towers share their transformer blocks.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{NodeId, Tape};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Affine map `x @ W + b` with `W: [in, out]`, `b: [1, out]`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix id.
+    pub w: ParamId,
+    /// Bias row id.
+    pub b: ParamId,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized linear layer.
+    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize) -> Linear {
+        Linear {
+            w: store.xavier(&format!("{name}.w"), in_dim, out_dim),
+            b: store.constant(&format!("{name}.b"), 1, out_dim, 0.0),
+        }
+    }
+
+    /// Applies the layer to a `[m, in]` node, producing `[m, out]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_row(xw, b)
+    }
+}
+
+/// Row-wise layer normalization with learned gain and bias.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Gain row id (initialized to 1).
+    pub gain: ParamId,
+    /// Bias row id (initialized to 0).
+    pub bias: ParamId,
+    /// Numerical stabilizer added to the variance.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers a layer-norm over `dim` features.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> LayerNorm {
+        LayerNorm {
+            gain: store.constant(&format!("{name}.gain"), 1, dim, 1.0),
+            bias: store.constant(&format!("{name}.bias"), 1, dim, 0.0),
+            eps: 1e-5,
+        }
+    }
+
+    /// Applies normalization + affine to a `[m, dim]` node.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let normed = tape.layer_norm_rows(x, self.eps);
+        let g = tape.param(store, self.gain);
+        let b = tape.param(store, self.bias);
+        let scaled = tape.mul_row(normed, g);
+        tape.add_row(scaled, b)
+    }
+}
+
+/// Token embedding table with additive learned position embeddings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Embedding {
+    /// `[vocab, dim]` token table id.
+    pub table: ParamId,
+    /// `[max_len, dim]` position table id.
+    pub positions: ParamId,
+    /// Maximum supported sequence length.
+    pub max_len: usize,
+}
+
+impl Embedding {
+    /// Registers token + position embeddings.
+    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, max_len: usize) -> Embedding {
+        Embedding {
+            table: store.normal(&format!("{name}.tok"), vocab, dim, 0.02),
+            positions: store.normal(&format!("{name}.pos"), max_len, dim, 0.02),
+            max_len,
+        }
+    }
+
+    /// Embeds a token id sequence into `[len, dim]`, adding positions.
+    ///
+    /// # Panics
+    /// Panics when the sequence exceeds `max_len`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, tokens: &[usize]) -> NodeId {
+        assert!(
+            tokens.len() <= self.max_len,
+            "sequence length {} exceeds max_len {}",
+            tokens.len(),
+            self.max_len
+        );
+        let tok = tape.gather_param_rows(store, self.table, tokens);
+        let pos_idx: Vec<usize> = (0..tokens.len()).collect();
+        let pos = tape.gather_param_rows(store, self.positions, &pos_idx);
+        tape.add(tok, pos)
+    }
+}
+
+/// Multi-head scaled-dot-product attention supporting distinct query and
+/// key/value inputs — the primitive behind both self-attention (metadata
+/// tower) and the paper's asymmetric cross-attention (content tower, where
+/// `Q = content` and `K = V = meta ⊕ content`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    /// Number of attention heads; must divide the hidden size.
+    pub heads: usize,
+    /// Hidden size.
+    pub dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers the four projections.
+    ///
+    /// # Panics
+    /// Panics when `heads` does not divide `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize) -> MultiHeadAttention {
+        assert_eq!(dim % heads, 0, "heads {heads} must divide dim {dim}");
+        MultiHeadAttention {
+            wq: Linear::new(store, &format!("{name}.q"), dim, dim),
+            wk: Linear::new(store, &format!("{name}.k"), dim, dim),
+            wv: Linear::new(store, &format!("{name}.v"), dim, dim),
+            wo: Linear::new(store, &format!("{name}.o"), dim, dim),
+            heads,
+            dim,
+        }
+    }
+
+    /// Attention with queries from `q_in` (`[Lq, dim]`) and keys/values
+    /// from `kv_in` (`[Lkv, dim]`); output is `[Lq, dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, q_in: NodeId, kv_in: NodeId) -> NodeId {
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.forward(tape, store, q_in);
+        let k = self.wk.forward(tape, store, kv_in);
+        let v = self.wv.forward(tape, store, kv_in);
+        let mut merged: Option<NodeId> = None;
+        for h in 0..self.heads {
+            let qh = tape.slice_cols(q, h * dh, dh);
+            let kh = tape.slice_cols(k, h * dh, dh);
+            let vh = tape.slice_cols(v, h * dh, dh);
+            let kt = tape.transpose(kh);
+            let scores = tape.matmul(qh, kt);
+            let scaled = tape.scale(scores, scale);
+            let attn = tape.softmax_rows(scaled);
+            let out = tape.matmul(attn, vh);
+            merged = Some(match merged {
+                Some(prev) => tape.hcat(prev, out),
+                None => out,
+            });
+        }
+        self.wo.forward(tape, store, merged.expect("at least one head"))
+    }
+
+    /// Self-attention convenience: `forward(x, x)`.
+    pub fn self_attention(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        self.forward(tape, store, x, x)
+    }
+}
+
+/// Position-wise feed-forward network: `GELU(x W1 + b1) W2 + b2`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FeedForward {
+    /// Expansion layer (`dim -> intermediate`).
+    pub lin1: Linear,
+    /// Contraction layer (`intermediate -> dim`).
+    pub lin2: Linear,
+}
+
+impl FeedForward {
+    /// Registers a two-layer FFN with intermediate size `inter`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, inter: usize) -> FeedForward {
+        FeedForward {
+            lin1: Linear::new(store, &format!("{name}.ff1"), dim, inter),
+            lin2: Linear::new(store, &format!("{name}.ff2"), inter, dim),
+        }
+    }
+
+    /// Applies the FFN to `[m, dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
+        let h = self.lin1.forward(tape, store, x);
+        let a = tape.gelu(h);
+        self.lin2.forward(tape, store, a)
+    }
+}
+
+/// One post-LN transformer encoder block:
+/// `x = LN(x + Attn(x)); x = LN(x + FFN(x))` — the `T_i(Q, K, V)` of §4.2.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TransformerLayer {
+    /// Attention sublayer.
+    pub attn: MultiHeadAttention,
+    /// Post-attention layer norm.
+    pub ln1: LayerNorm,
+    /// Feed-forward sublayer.
+    pub ffn: FeedForward,
+    /// Post-FFN layer norm.
+    pub ln2: LayerNorm,
+}
+
+impl TransformerLayer {
+    /// Registers one encoder block.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, heads: usize, inter: usize) -> TransformerLayer {
+        TransformerLayer {
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            ffn: FeedForward::new(store, &format!("{name}.ffn"), dim, inter),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+        }
+    }
+
+    /// Generalized block with distinct query and key/value streams; the
+    /// residual is taken on the *query* stream, so the output keeps the
+    /// query's sequence length. Self-attention is `forward(x, x)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, q_in: NodeId, kv_in: NodeId) -> NodeId {
+        let attn_out = self.attn.forward(tape, store, q_in, kv_in);
+        let res1 = tape.add(q_in, attn_out);
+        let x = self.ln1.forward(tape, store, res1);
+        let ffn_out = self.ffn.forward(tape, store, x);
+        let res2 = tape.add(x, ffn_out);
+        self.ln2.forward(tape, store, res2)
+    }
+}
+
+/// Inverted-dropout mask generator: each element is `0` with probability
+/// `p`, otherwise `1/(1-p)`, so the expectation is identity. Returns
+/// `None` when `p == 0` (no-op).
+pub fn dropout_mask(rng: &mut impl Rng, rows: usize, cols: usize, p: f32) -> Option<Matrix> {
+    if p <= 0.0 {
+        return None;
+    }
+    assert!(p < 1.0, "dropout probability must be < 1");
+    let keep = 1.0 / (1.0 - p);
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = if rng.gen::<f32>() < p { 0.0 } else { keep };
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn store() -> ParamStore {
+        ParamStore::new(99)
+    }
+
+    #[test]
+    fn linear_output_shape_and_bias() {
+        let mut s = store();
+        let lin = Linear::new(&mut s, "l", 3, 5);
+        // Force recognizable weights.
+        *s.value_mut(lin.w) = Matrix::zeros(3, 5);
+        *s.value_mut(lin.b) = Matrix::full(1, 5, 2.0);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(4, 3));
+        let y = lin.forward(&mut t, &s, x);
+        assert_eq!(t.value(y).shape(), (4, 5));
+        assert!(t.value(y).as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut s = store();
+        let ln = LayerNorm::new(&mut s, "ln", 4);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(2, 4, vec![1., 2., 3., 4., 10., 10., 10., 10.]));
+        let y = ln.forward(&mut t, &s, x);
+        let out = t.value(y);
+        // With unit gain / zero bias: each row has ~zero mean, ~unit var.
+        let row0: f32 = out.row_slice(0).iter().sum();
+        assert!(row0.abs() < 1e-4);
+        // Constant row normalizes to zeros (variance ~ 0 guarded by eps).
+        assert!(out.row_slice(1).iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn embedding_adds_positions_and_respects_max_len() {
+        let mut s = store();
+        let emb = Embedding::new(&mut s, "e", 10, 8, 16);
+        let mut t = Tape::new();
+        let x = emb.forward(&mut t, &s, &[1, 2, 1]);
+        assert_eq!(t.value(x).shape(), (3, 8));
+        // Token 1 at positions 0 and 2 must differ (position embeddings).
+        let v = t.value(x);
+        assert_ne!(v.row_slice(0), v.row_slice(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn embedding_rejects_overlong_sequences() {
+        let mut s = store();
+        let emb = Embedding::new(&mut s, "e", 10, 4, 2);
+        let mut t = Tape::new();
+        let _ = emb.forward(&mut t, &s, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn mha_self_attention_shape() {
+        let mut s = store();
+        let mha = MultiHeadAttention::new(&mut s, "a", 8, 2);
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::full(5, 8, 0.1));
+        let y = mha.self_attention(&mut t, &s, x);
+        assert_eq!(t.value(y).shape(), (5, 8));
+    }
+
+    #[test]
+    fn mha_cross_attention_keeps_query_length() {
+        let mut s = store();
+        let mha = MultiHeadAttention::new(&mut s, "a", 8, 4);
+        let mut t = Tape::new();
+        let q = t.leaf(Matrix::full(3, 8, 0.1));
+        let kv = t.leaf(Matrix::full(7, 8, -0.2));
+        let y = mha.forward(&mut t, &s, q, kv);
+        assert_eq!(t.value(y).shape(), (3, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn mha_rejects_indivisible_heads() {
+        let mut s = store();
+        let _ = MultiHeadAttention::new(&mut s, "a", 10, 3);
+    }
+
+    #[test]
+    fn transformer_layer_trains_end_to_end() {
+        // One gradient step on a toy regression must reduce the loss:
+        // exercises attention, layernorm, FFN forward + backward together.
+        let mut s = store();
+        let layer = TransformerLayer::new(&mut s, "t0", 8, 2, 16);
+        let head = Linear::new(&mut s, "head", 8, 1);
+        let input = Matrix::full(4, 8, 0.3);
+        let target = Matrix::full(4, 1, 1.0);
+
+        let loss_of = |s: &ParamStore| -> f32 {
+            let mut t = Tape::new();
+            let x = t.leaf(input.clone());
+            let enc = layer.forward(&mut t, s, x, x);
+            let pred = head.forward(&mut t, s, enc);
+            let tgt = t.leaf(target.clone());
+            let neg = t.scale(tgt, -1.0);
+            let diff = t.add(pred, neg);
+            let sq = t.square(diff);
+            let l = t.sum(sq);
+            t.value(l).item()
+        };
+
+        let before = loss_of(&s);
+        // Manual SGD step.
+        let mut t = Tape::new();
+        let x = t.leaf(input.clone());
+        let enc = layer.forward(&mut t, &s, x, x);
+        let pred = head.forward(&mut t, &s, enc);
+        let tgt = t.leaf(target.clone());
+        let neg = t.scale(tgt, -1.0);
+        let diff = t.add(pred, neg);
+        let sq = t.square(diff);
+        let l = t.sum(sq);
+        t.backward(l);
+        t.accumulate_param_grads(&mut s);
+        let ids: Vec<_> = s.ids().collect();
+        for id in ids {
+            let g = s.grad(id);
+            s.value_mut(id).axpy(-0.01, &g);
+        }
+        let after = loss_of(&s);
+        assert!(after < before, "loss did not decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn shared_layer_between_two_towers_gets_grads_from_both() {
+        // Mimics ADTD parameter sharing: the same TransformerLayer runs in
+        // a "metadata" pass and a "content" pass of one tape; parameter
+        // grads must reflect both passes.
+        let mut s = store();
+        let layer = TransformerLayer::new(&mut s, "shared", 4, 2, 8);
+        let mut t = Tape::new();
+        let meta = t.leaf(Matrix::full(2, 4, 0.5));
+        let content = t.leaf(Matrix::full(3, 4, -0.5));
+        let meta_out = layer.forward(&mut t, &s, meta, meta);
+        let kv = t.vcat(meta_out, content);
+        let content_out = layer.forward(&mut t, &s, content, kv);
+        let s1 = t.square(meta_out);
+        let s2 = t.square(content_out);
+        let l1 = t.sum(s1);
+        let l2 = t.sum(s2);
+        let total = t.add(l1, l2);
+        let loss = t.sum(total);
+        t.backward(loss);
+        t.accumulate_param_grads(&mut s);
+        let gnorm = s.grad_global_norm();
+        assert!(gnorm > 0.0 && gnorm.is_finite());
+    }
+
+    #[test]
+    fn dropout_mask_statistics_and_noop() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert!(dropout_mask(&mut rng, 10, 10, 0.0).is_none());
+        let m = dropout_mask(&mut rng, 100, 100, 0.25).unwrap();
+        let zeros = m.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "dropout rate {frac}");
+        let keep = 1.0 / 0.75;
+        assert!(m.as_slice().iter().all(|&v| v == 0.0 || (v - keep).abs() < 1e-6));
+    }
+}

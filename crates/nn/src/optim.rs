@@ -1,0 +1,217 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Base learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator stabilizer.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style); 0 disables it.
+    pub weight_decay: f32,
+    /// Global-norm gradient clip; 0 disables clipping.
+    pub clip_norm: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            clip_norm: 1.0,
+        }
+    }
+}
+
+/// Learning-rate schedule applied on top of the base rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Linear warmup over `warmup` steps, then linear decay to zero at
+    /// `total` steps (the BERT fine-tuning schedule).
+    LinearWarmupDecay {
+        /// Steps of linear warmup.
+        warmup: usize,
+        /// Total training steps.
+        total: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier in `[0, 1]` for training step `step` (0-based).
+    pub fn factor(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::LinearWarmupDecay { warmup, total } => {
+                let step = step as f32;
+                let warmup = warmup.max(1) as f32;
+                let total = total.max(1) as f32;
+                if step < warmup {
+                    (step + 1.0) / warmup
+                } else {
+                    ((total - step) / (total - warmup).max(1.0)).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Adam optimizer with bias correction, optional decoupled weight decay,
+/// and optional global-norm gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Hyperparameters.
+    pub config: AdamConfig,
+    /// Schedule on top of `config.lr`.
+    pub schedule: LrSchedule,
+    step: usize,
+}
+
+impl Adam {
+    /// Creates an optimizer at step 0.
+    pub fn new(config: AdamConfig, schedule: LrSchedule) -> Adam {
+        Adam { config, schedule, step: 0 }
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// The learning rate that the *next* step will use.
+    pub fn current_lr(&self) -> f32 {
+        self.config.lr * self.schedule.factor(self.step)
+    }
+
+    /// Applies one update to every parameter from its accumulated
+    /// gradient, then zeroes the gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let c = self.config;
+        if c.clip_norm > 0.0 {
+            let norm = store.grad_global_norm();
+            if norm > c.clip_norm {
+                store.scale_grads(c.clip_norm / norm);
+            }
+        }
+        let lr = self.current_lr();
+        let t = (self.step + 1) as i32;
+        let bc1 = 1.0 - c.beta1.powi(t);
+        let bc2 = 1.0 - c.beta2.powi(t);
+        let ids: Vec<_> = store.ids().collect();
+        for id in ids {
+            let (value, m, v, grad) = store.adam_state(id);
+            for i in 0..value.len() {
+                let g = grad.as_slice()[i];
+                let mi = c.beta1 * m.as_slice()[i] + (1.0 - c.beta1) * g;
+                let vi = c.beta2 * v.as_slice()[i] + (1.0 - c.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                let mut update = mhat / (vhat.sqrt() + c.eps);
+                if c.weight_decay > 0.0 {
+                    update += c.weight_decay * value.as_slice()[i];
+                }
+                value.as_mut_slice()[i] -= lr * update;
+            }
+        }
+        store.zero_grads();
+        self.step += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::tape::Tape;
+
+    /// Adam must minimize a convex quadratic `(w - 3)^2` quickly.
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new(0);
+        let w = store.constant("w", 1, 1, 0.0);
+        let mut opt = Adam::new(
+            AdamConfig { lr: 0.1, ..Default::default() },
+            LrSchedule::Constant,
+        );
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let wn = tape.param(&store, w);
+            let target = tape.leaf(Matrix::scalar(-3.0));
+            let diff = tape.add(wn, target);
+            let sq = tape.square(diff);
+            let loss = tape.sum(sq);
+            tape.backward(loss);
+            tape.accumulate_param_grads(&mut store);
+            opt.step(&mut store);
+        }
+        assert!((store.value(w).item() - 3.0).abs() < 0.05);
+        assert_eq!(opt.steps(), 200);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::new(0);
+        let w = store.constant("w", 1, 2, 0.0);
+        store.grad_mut(w).axpy(1.0, &Matrix::from_vec(1, 2, vec![300.0, 400.0]));
+        let mut opt = Adam::new(
+            AdamConfig { lr: 1.0, clip_norm: 1.0, ..Default::default() },
+            LrSchedule::Constant,
+        );
+        // Pre-clip norm is 500; clip rescales to 1.
+        opt.step(&mut store);
+        // First Adam step magnitude is ~lr regardless, but the moments
+        // reflect the clipped gradient; verify values are finite/sane.
+        assert!(store.value(w).all_finite());
+        assert!(store.value(w).as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-4));
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut store = ParamStore::new(0);
+        let w = store.constant("w", 1, 1, 5.0);
+        let mut opt = Adam::new(
+            AdamConfig { lr: 0.1, weight_decay: 0.1, clip_norm: 0.0, ..Default::default() },
+            LrSchedule::Constant,
+        );
+        for _ in 0..50 {
+            // Zero task gradient: only decay acts.
+            opt.step(&mut store);
+        }
+        assert!(store.value(w).item() < 5.0);
+    }
+
+    #[test]
+    fn schedule_warmup_and_decay_shape() {
+        let s = LrSchedule::LinearWarmupDecay { warmup: 10, total: 100 };
+        assert!(s.factor(0) > 0.0);
+        assert!(s.factor(4) < s.factor(9));
+        assert!((s.factor(9) - 1.0).abs() < 1e-6);
+        assert!(s.factor(50) < 1.0);
+        assert!(s.factor(99) < s.factor(50));
+        assert_eq!(s.factor(1000), 0.0);
+        assert_eq!(LrSchedule::Constant.factor(123), 1.0);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut store = ParamStore::new(0);
+        let w = store.constant("w", 1, 1, 0.0);
+        store.grad_mut(w).axpy(1.0, &Matrix::scalar(1.0));
+        let mut opt = Adam::new(AdamConfig::default(), LrSchedule::Constant);
+        opt.step(&mut store);
+        assert_eq!(store.grad(w).item(), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Named trainable parameters with gradient and Adam state.
+//!
+//! A [`ParamStore`] owns every trainable matrix of a model, keyed by a
+//! dense [`ParamId`] and a human-readable name (used for checkpointing).
+//! The ADTD towers *share* transformer parameters by simply using the same
+//! `ParamId` from both towers; the tape accumulates both contributions.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Dense handle to a parameter within its [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Param {
+    name: String,
+    value: Matrix,
+    #[serde(skip)]
+    grad: Option<Matrix>,
+    #[serde(skip)]
+    adam_m: Option<Matrix>,
+    #[serde(skip)]
+    adam_v: Option<Matrix>,
+}
+
+/// Owner of all trainable parameters of a model.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    seed: u64,
+    #[serde(skip, default = "default_rng")]
+    rng: rand::rngs::StdRng,
+}
+
+fn default_rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0)
+}
+
+impl ParamStore {
+    /// Creates an empty store whose initializers draw from `seed`.
+    pub fn new(seed: u64) -> ParamStore {
+        ParamStore {
+            params: Vec::new(),
+            seed,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Registers a parameter initialized from `N(0, std²)`.
+    pub fn normal(&mut self, name: &str, rows: usize, cols: usize, std: f32) -> ParamId {
+        let mut value = Matrix::zeros(rows, cols);
+        for v in value.as_mut_slice() {
+            *v = normal_sample(&mut self.rng) * std;
+        }
+        self.push(name, value)
+    }
+
+    /// Registers a parameter with Xavier/Glorot-uniform initialization.
+    pub fn xavier(&mut self, name: &str, rows: usize, cols: usize) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let mut value = Matrix::zeros(rows, cols);
+        for v in value.as_mut_slice() {
+            *v = self.rng.gen_range(-bound..bound);
+        }
+        self.push(name, value)
+    }
+
+    /// Registers a constant-initialized parameter (biases, LN gains).
+    pub fn constant(&mut self, name: &str, rows: usize, cols: usize, fill: f32) -> ParamId {
+        self.push(name, Matrix::full(rows, cols, fill))
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn with_value(&mut self, name: &str, value: Matrix) -> ParamId {
+        self.push(name, value)
+    }
+
+    fn push(&mut self, name: &str, value: Matrix) -> ParamId {
+        let id = ParamId(self.params.len());
+        self.params.push(Param {
+            name: name.to_owned(),
+            value,
+            grad: None,
+            adam_m: None,
+            adam_v: None,
+        });
+        id
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to the value (used by the optimizer and tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// The parameter's name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// The accumulated gradient (zeros when untouched).
+    pub fn grad(&self, id: ParamId) -> Matrix {
+        let p = &self.params[id.0];
+        p.grad
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(p.value.rows(), p.value.cols()))
+    }
+
+    /// Mutable access to the gradient buffer, allocating it on first use.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        let p = &mut self.params[id.0];
+        p.grad
+            .get_or_insert_with(|| Matrix::zeros(p.value.rows(), p.value.cols()))
+    }
+
+    /// Zeroes every gradient buffer (between optimizer steps).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            if let Some(g) = &mut p.grad {
+                g.fill_zero();
+            }
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    pub fn grad_global_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .filter_map(|p| p.grad.as_ref())
+            .map(Matrix::sq_norm)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient in place (used by gradient clipping).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for p in &mut self.params {
+            if let Some(g) = &mut p.grad {
+                for v in g.as_mut_slice() {
+                    *v *= factor;
+                }
+            }
+        }
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Looks a parameter up by name (checkpoint loading).
+    pub fn id_by_name(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+
+    pub(crate) fn adam_state(&mut self, id: ParamId) -> (&mut Matrix, &mut Matrix, &mut Matrix, &Matrix) {
+        let p = &mut self.params[id.0];
+        let (rows, cols) = p.value.shape();
+        let m = p.adam_m.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        let v = p.adam_v.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        let grad = p.grad.get_or_insert_with(|| Matrix::zeros(rows, cols));
+        (&mut p.value, m, v, grad)
+    }
+
+    /// Clears every parameter's Adam moment buffers. Call when starting
+    /// a new training phase over a subset of parameters: stale momentum
+    /// from an earlier phase would otherwise keep moving parameters whose
+    /// gradients are now zeroed ("frozen").
+    pub fn reset_optimizer_state(&mut self) {
+        for p in &mut self.params {
+            p.adam_m = None;
+            p.adam_v = None;
+        }
+    }
+
+    /// Serializes all parameter values to JSON (a training checkpoint).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ParamStore is always serializable")
+    }
+
+    /// Restores a store from a JSON checkpoint.
+    pub fn from_json(json: &str) -> Result<ParamStore, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Copies values (matched by name) from another store; returns the
+    /// number of parameters copied. Used to initialize fine-tuning from a
+    /// pre-trained checkpoint, as the paper initializes from the TURL
+    /// pre-trained encoder.
+    pub fn load_matching(&mut self, source: &ParamStore) -> usize {
+        let mut copied = 0;
+        for sp in &source.params {
+            if let Some(id) = self.id_by_name(&sp.name) {
+                if self.params[id.0].value.shape() == sp.value.shape() {
+                    self.params[id.0].value = sp.value.clone();
+                    copied += 1;
+                }
+            }
+        }
+        copied
+    }
+}
+
+/// Box–Muller standard normal sample.
+fn normal_sample(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initializers_have_expected_moments() {
+        let mut store = ParamStore::new(7);
+        let w = store.normal("w", 100, 100, 0.02);
+        let vals = store.value(w).as_slice();
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 0.005, "std {}", var.sqrt());
+
+        let x = store.xavier("x", 50, 50);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(store.value(x).as_slice().iter().all(|v| v.abs() <= bound));
+
+        let c = store.constant("b", 1, 8, 1.0);
+        assert!(store.value(c).as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn same_seed_same_init() {
+        let mut a = ParamStore::new(3);
+        let mut b = ParamStore::new(3);
+        let wa = a.normal("w", 4, 4, 1.0);
+        let wb = b.normal("w", 4, 4, 1.0);
+        assert_eq!(a.value(wa), b.value(wb));
+        let mut c = ParamStore::new(4);
+        let wc = c.normal("w", 4, 4, 1.0);
+        assert_ne!(a.value(wa), c.value(wc));
+    }
+
+    #[test]
+    fn grad_lifecycle() {
+        let mut store = ParamStore::new(0);
+        let w = store.constant("w", 2, 2, 0.0);
+        assert_eq!(store.grad(w).sq_norm(), 0.0);
+        store.grad_mut(w).axpy(1.0, &Matrix::full(2, 2, 3.0));
+        assert_eq!(store.grad(w).sq_norm(), 36.0);
+        assert_eq!(store.grad_global_norm(), 6.0);
+        store.scale_grads(0.5);
+        assert_eq!(store.grad_global_norm(), 3.0);
+        store.zero_grads();
+        assert_eq!(store.grad(w).sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_values() {
+        let mut store = ParamStore::new(11);
+        store.normal("enc.w", 3, 3, 0.1);
+        store.constant("enc.b", 1, 3, 0.5);
+        let json = store.to_json();
+        let back = ParamStore::from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        let id = back.id_by_name("enc.b").unwrap();
+        assert_eq!(back.value(id).as_slice(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn load_matching_copies_by_name_and_shape() {
+        let mut pre = ParamStore::new(1);
+        pre.constant("shared.w", 2, 2, 9.0);
+        pre.constant("pretrain_only", 1, 1, 1.0);
+
+        let mut fine = ParamStore::new(2);
+        fine.constant("shared.w", 2, 2, 0.0);
+        fine.constant("head.w", 2, 2, 0.0);
+        fine.constant("shape_mismatch", 1, 1, 0.0);
+
+        let mut pre2 = ParamStore::new(3);
+        pre2.constant("shared.w", 2, 2, 9.0);
+        pre2.constant("shape_mismatch", 3, 3, 2.0);
+
+        assert_eq!(fine.load_matching(&pre), 1);
+        let id = fine.id_by_name("shared.w").unwrap();
+        assert!(fine.value(id).as_slice().iter().all(|&v| v == 9.0));
+        // Shape mismatch is skipped, not copied.
+        assert_eq!(fine.load_matching(&pre2), 1);
+        let sm = fine.id_by_name("shape_mismatch").unwrap();
+        assert!(fine.value(sm).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn num_scalars_counts_all_elements() {
+        let mut store = ParamStore::new(0);
+        store.constant("a", 2, 3, 0.0);
+        store.constant("b", 4, 1, 0.0);
+        assert_eq!(store.num_scalars(), 10);
+        assert_eq!(store.len(), 2);
+    }
+}

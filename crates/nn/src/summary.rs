@@ -1,0 +1,129 @@
+//! Model summaries: parameter counts and shape listings.
+//!
+//! The paper characterizes models by parameter size (TASTE/TURL: 14.5M,
+//! Doduo: 108M, §6.2); this module produces the same accounting for any
+//! [`ParamStore`], grouped by name prefix, so the reproduction's model
+//! cards can be printed and size claims can be asserted in tests.
+
+use crate::params::ParamStore;
+use std::fmt;
+
+/// One line of a model summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Name-prefix group (text before the first `.`).
+    pub group: String,
+    /// Number of tensors in the group.
+    pub tensors: usize,
+    /// Number of scalar parameters in the group.
+    pub scalars: usize,
+}
+
+/// A grouped parameter accounting of a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSummary {
+    /// Per-group rows, ordered by first appearance.
+    pub rows: Vec<SummaryRow>,
+}
+
+impl ModelSummary {
+    /// Builds the summary by grouping parameters on their name prefix
+    /// (`enc.layer0.attn.q.w` groups under `enc`).
+    pub fn of(store: &ParamStore) -> ModelSummary {
+        let mut rows: Vec<SummaryRow> = Vec::new();
+        for id in store.ids() {
+            let name = store.name(id);
+            let group = name.split('.').next().unwrap_or(name).to_owned();
+            let scalars = store.value(id).len();
+            match rows.iter_mut().find(|r| r.group == group) {
+                Some(row) => {
+                    row.tensors += 1;
+                    row.scalars += scalars;
+                }
+                None => rows.push(SummaryRow { group, tensors: 1, scalars }),
+            }
+        }
+        ModelSummary { rows }
+    }
+
+    /// Total scalar parameters.
+    pub fn total_scalars(&self) -> usize {
+        self.rows.iter().map(|r| r.scalars).sum()
+    }
+
+    /// Total tensors.
+    pub fn total_tensors(&self) -> usize {
+        self.rows.iter().map(|r| r.tensors).sum()
+    }
+
+    /// Scalars in one group, zero if absent.
+    pub fn group_scalars(&self, group: &str) -> usize {
+        self.rows.iter().find(|r| r.group == group).map_or(0, |r| r.scalars)
+    }
+}
+
+impl fmt::Display for ModelSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<16} {:>8} {:>12}", "group", "tensors", "parameters")?;
+        for r in &self.rows {
+            writeln!(f, "{:<16} {:>8} {:>12}", r.group, r.tensors, r.scalars)?;
+        }
+        write!(
+            f,
+            "{:<16} {:>8} {:>12}",
+            "total",
+            self.total_tensors(),
+            self.total_scalars()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParamStore {
+        let mut s = ParamStore::new(0);
+        s.constant("enc.layer0.w", 4, 4, 0.0);
+        s.constant("enc.layer0.b", 1, 4, 0.0);
+        s.constant("head.w", 4, 2, 0.0);
+        s.constant("awl", 1, 2, 1.0);
+        s
+    }
+
+    #[test]
+    fn groups_by_prefix_and_counts() {
+        let summary = ModelSummary::of(&store());
+        assert_eq!(summary.rows.len(), 3);
+        assert_eq!(summary.group_scalars("enc"), 20);
+        assert_eq!(summary.group_scalars("head"), 8);
+        assert_eq!(summary.group_scalars("awl"), 2);
+        assert_eq!(summary.group_scalars("nope"), 0);
+        assert_eq!(summary.total_scalars(), 30);
+        assert_eq!(summary.total_tensors(), 4);
+    }
+
+    #[test]
+    fn totals_match_store_accounting() {
+        let s = store();
+        let summary = ModelSummary::of(&s);
+        assert_eq!(summary.total_scalars(), s.num_scalars());
+        assert_eq!(summary.total_tensors(), s.len());
+    }
+
+    #[test]
+    fn display_renders_all_groups() {
+        let text = ModelSummary::of(&store()).to_string();
+        for needle in ["enc", "head", "awl", "total", "30"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_store_summary() {
+        let s = ParamStore::new(0);
+        let summary = ModelSummary::of(&s);
+        assert!(summary.rows.is_empty());
+        assert_eq!(summary.total_scalars(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based gradient checks: random small matrices pushed through
+//! composite graphs must match central finite differences.
+
+use proptest::prelude::*;
+use taste_nn::{Matrix, Tape};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn check_gradient(build: impl Fn(&mut Tape, taste_nn::NodeId) -> taste_nn::NodeId, input: &Matrix) -> Result<(), TestCaseError> {
+    let mut tape = Tape::new();
+    let x = tape.leaf(input.clone());
+    let loss = build(&mut tape, x);
+    tape.backward(loss);
+    let analytic = tape.grad(x);
+
+    let eps = 1e-2f32;
+    for idx in 0..input.len() {
+        let eval = |delta: f32| {
+            let mut m = input.clone();
+            m.as_mut_slice()[idx] += delta;
+            let mut t = Tape::new();
+            let x = t.leaf(m);
+            let l = build(&mut t, x);
+            t.value(l).item()
+        };
+        let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+        let a = analytic.as_slice()[idx];
+        prop_assert!(
+            (a - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+            "idx {idx}: analytic {a} vs numeric {numeric}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn attentionlike_graph_gradients(input in small_matrix(3, 4)) {
+        let w = Matrix::from_vec(4, 4, (0..16).map(|i| ((i * 7 % 11) as f32 - 5.0) / 10.0).collect());
+        check_gradient(
+            move |t, x| {
+                let wn = t.leaf(w.clone());
+                let q = t.matmul(x, wn);
+                let kt = t.transpose(q);
+                let scores = t.matmul(q, kt);
+                let scaled = t.scale(scores, 0.5);
+                let attn = t.softmax_rows(scaled);
+                let out = t.matmul(attn, q);
+                let sq = t.square(out);
+                t.sum(sq)
+            },
+            &input,
+        )?;
+    }
+
+    #[test]
+    fn residual_norm_graph_gradients(input in small_matrix(2, 6)) {
+        check_gradient(
+            |t, x| {
+                let g = t.gelu(x);
+                let res = t.add(x, g);
+                let normed = t.layer_norm_rows(res, 1e-5);
+                let s = t.sigmoid(normed);
+                let sq = t.square(s);
+                t.sum(sq)
+            },
+            &input,
+        )?;
+    }
+
+    #[test]
+    fn concat_split_graph_gradients(input in small_matrix(4, 3)) {
+        check_gradient(
+            |t, x| {
+                let top = t.slice_rows(x, 0, 2);
+                let bottom = t.slice_rows(x, 2, 2);
+                let merged = t.vcat(bottom, top);
+                let wide = t.hcat(merged, merged);
+                let m = t.mean_rows(wide);
+                let sq = t.square(m);
+                t.sum(sq)
+            },
+            &input,
+        )?;
+    }
+
+    #[test]
+    fn loss_graph_gradients(input in small_matrix(2, 5)) {
+        let targets = Matrix::from_vec(2, 5, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0]);
+        check_gradient(
+            move |t, x| t.bce_with_logits_weighted_sum(x, targets.clone(), 3.0),
+            &input,
+        )?;
+    }
+
+    #[test]
+    fn tanh_mulrow_graph_gradients(input in small_matrix(3, 4)) {
+        let row = Matrix::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.25]);
+        check_gradient(
+            move |t, x| {
+                let th = t.tanh(x);
+                let rn = t.leaf(row.clone());
+                let scaled = t.mul_row(th, rn);
+                let r = t.sigmoid(scaled);
+                let sq = t.square(r);
+                t.sum(sq)
+            },
+            &input,
+        )?;
+    }
+}

@@ -1,0 +1,25 @@
+//! # taste-tokenizer
+//!
+//! WordPiece-style subword tokenization and sequence packing for tabular
+//! input, mirroring how the paper feeds the ADTD encoders:
+//!
+//! * [`vocab`] — vocabulary construction from a corpus with frequency
+//!   cutoffs, special tokens, and a character-level fallback so every
+//!   string tokenizes.
+//! * [`tokenize`] — normalization (lowercasing, identifier splitting,
+//!   digit-shape tokens) and greedy longest-match WordPiece encoding.
+//! * [`packing`] — assembling the metadata-tower and content-tower input
+//!   sequences with per-segment token budgets (the paper reserves 150
+//!   tokens for table metadata, 10 per column's metadata, and 10 per cell)
+//!   and recording the per-column marker positions whose latent vectors
+//!   feed the classifier heads.
+
+#![warn(missing_docs)]
+
+pub mod packing;
+pub mod tokenize;
+pub mod vocab;
+
+pub use packing::{ColumnContent, PackedContent, PackedMeta, Packer, PackingBudget};
+pub use tokenize::{normalize, Tokenizer};
+pub use vocab::{Vocab, VocabBuilder};

@@ -1,0 +1,269 @@
+//! Sequence assembly for the two ADTD towers.
+//!
+//! The metadata-tower input is one sequence per (split) table:
+//!
+//! ```text
+//! [CLS] table-meta… [SEP] [COL] col0-meta… [SEP] [COL] col1-meta… [SEP] …
+//! ```
+//!
+//! and the content-tower input packs, for every column whose content was
+//! scanned:
+//!
+//! ```text
+//! [VAL] cell… [SEP] cell… [SEP] …  [VAL] …
+//! ```
+//!
+//! Each segment is budgeted in tokens (the paper uses 150 for table
+//! metadata, 10 per column metadata, 10 per cell; the reproduction scales
+//! these via [`PackingBudget`]). The positions of the `[COL]` / `[VAL]`
+//! markers are recorded: the encoder latent at a marker position is the
+//! column's representation fed to the classifier heads.
+
+use crate::tokenize::Tokenizer;
+use crate::vocab::Special;
+use serde::{Deserialize, Serialize};
+
+/// Per-segment token budgets.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PackingBudget {
+    /// Max tokens for table-level metadata (paper: 150).
+    pub table: usize,
+    /// Max tokens per column's metadata (paper: 10).
+    pub column: usize,
+    /// Max tokens per cell value (paper: 10).
+    pub cell: usize,
+    /// Hard cap on the assembled sequence length (paper: `W_max = 512`).
+    pub max_len: usize,
+}
+
+impl Default for PackingBudget {
+    fn default() -> Self {
+        // Reduced-scale defaults matching the default experiment config;
+        // the paper-scale values (150/10/10/512) are constructible.
+        PackingBudget { table: 24, column: 8, cell: 6, max_len: 256 }
+    }
+}
+
+impl PackingBudget {
+    /// The paper's production budgets.
+    pub fn paper() -> PackingBudget {
+        PackingBudget { table: 150, column: 10, cell: 10, max_len: 512 }
+    }
+}
+
+/// Packed metadata-tower input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedMeta {
+    /// Token ids.
+    pub tokens: Vec<u32>,
+    /// Position of each column's `[COL]` marker; `col_marker_pos[j]` is
+    /// the sequence index whose latent represents column `j`.
+    pub col_marker_pos: Vec<usize>,
+}
+
+/// Content of one scanned column: the first `n` non-empty cell renderings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnContent {
+    /// Rendered cell values in scan order.
+    pub cells: Vec<String>,
+}
+
+/// Packed content-tower input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedContent {
+    /// Token ids (empty when no column had content).
+    pub tokens: Vec<u32>,
+    /// Per input column: position of its `[VAL]` marker, or `None` for
+    /// columns whose content was not scanned.
+    pub val_marker_pos: Vec<Option<usize>>,
+}
+
+/// Assembles tower inputs under a [`PackingBudget`].
+#[derive(Debug, Clone, Copy)]
+pub struct Packer {
+    /// Budgets in effect.
+    pub budget: PackingBudget,
+}
+
+impl Packer {
+    /// Creates a packer.
+    pub fn new(budget: PackingBudget) -> Packer {
+        Packer { budget }
+    }
+
+    /// Packs the metadata sequence for one table. `col_texts[j]` is the
+    /// concatenated textual metadata of column `j` (name, comment, raw
+    /// type token). Columns beyond the `max_len` cap are still given a
+    /// marker (pointing at the last in-cap `[COL]`) so downstream shapes
+    /// stay aligned; in practice the column-split threshold `l` keeps
+    /// sequences within the cap.
+    pub fn pack_meta(&self, tok: &Tokenizer, table_text: &str, col_texts: &[String]) -> PackedMeta {
+        let v = tok.vocab();
+        let cls = v.special(Special::Cls);
+        let sep = v.special(Special::Sep);
+        let col = v.special(Special::Col);
+        let mut tokens = Vec::with_capacity(self.budget.max_len.min(128));
+        tokens.push(cls);
+        tokens.extend(tok.encode_budgeted(table_text, self.budget.table));
+        tokens.push(sep);
+        let mut col_marker_pos = Vec::with_capacity(col_texts.len());
+        for text in col_texts {
+            let body = tok.encode_budgeted(text, self.budget.column);
+            // +2 for the [COL] and [SEP] markers.
+            if tokens.len() + body.len() + 2 > self.budget.max_len {
+                let fallback = col_marker_pos.last().copied().unwrap_or(0);
+                col_marker_pos.push(fallback);
+                continue;
+            }
+            col_marker_pos.push(tokens.len());
+            tokens.push(col);
+            tokens.extend(body);
+            tokens.push(sep);
+        }
+        PackedMeta { tokens, col_marker_pos }
+    }
+
+    /// Packs the content sequence. `contents[j]` is `Some` exactly for the
+    /// columns whose content was scanned (the uncertain columns in P2).
+    pub fn pack_content(&self, tok: &Tokenizer, contents: &[Option<ColumnContent>]) -> PackedContent {
+        let v = tok.vocab();
+        let sep = v.special(Special::Sep);
+        let val = v.special(Special::Val);
+        let mut tokens = Vec::new();
+        let mut val_marker_pos = Vec::with_capacity(contents.len());
+        for content in contents {
+            let Some(content) = content else {
+                val_marker_pos.push(None);
+                continue;
+            };
+            if tokens.len() + 2 > self.budget.max_len {
+                val_marker_pos.push(None);
+                continue;
+            }
+            val_marker_pos.push(Some(tokens.len()));
+            tokens.push(val);
+            for cell in &content.cells {
+                let body = tok.encode_budgeted(cell, self.budget.cell);
+                if tokens.len() + body.len() + 1 > self.budget.max_len {
+                    break;
+                }
+                tokens.extend(body);
+                tokens.push(sep);
+            }
+        }
+        PackedContent { tokens, val_marker_pos }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::VocabBuilder;
+
+    fn tok() -> Tokenizer {
+        let mut b = VocabBuilder::new();
+        b.add_words(["orders", "sales", "city", "name", "amount", "shenzhen", "beijing", "int", "text"]);
+        b.add_words(["orders", "sales", "city", "name", "amount", "shenzhen", "beijing", "int", "text"]);
+        Tokenizer::new(b.build(1000, 1))
+    }
+
+    #[test]
+    fn meta_packing_layout_and_markers() {
+        let t = tok();
+        let p = Packer::new(PackingBudget::default());
+        let packed = p.pack_meta(&t, "orders sales", &["city text".into(), "amount int".into()]);
+        let v = t.vocab();
+        assert_eq!(packed.tokens[0], v.special(Special::Cls));
+        assert_eq!(packed.col_marker_pos.len(), 2);
+        for &pos in &packed.col_marker_pos {
+            assert_eq!(packed.tokens[pos], v.special(Special::Col));
+        }
+        // Markers are strictly increasing in the normal (uncapped) case.
+        assert!(packed.col_marker_pos[0] < packed.col_marker_pos[1]);
+    }
+
+    #[test]
+    fn meta_packing_respects_table_budget() {
+        let t = tok();
+        let budget = PackingBudget { table: 1, column: 8, cell: 4, max_len: 64 };
+        let p = Packer::new(budget);
+        let packed = p.pack_meta(&t, "orders sales city name amount", &[]);
+        // [CLS] + 1 table token + [SEP].
+        assert_eq!(packed.tokens.len(), 3);
+    }
+
+    #[test]
+    fn meta_packing_caps_total_length() {
+        let t = tok();
+        let budget = PackingBudget { table: 2, column: 4, cell: 4, max_len: 12 };
+        let p = Packer::new(budget);
+        let cols: Vec<String> = (0..10).map(|_| "city name".to_string()).collect();
+        let packed = p.pack_meta(&t, "orders", &cols);
+        assert!(packed.tokens.len() <= 12);
+        assert_eq!(packed.col_marker_pos.len(), 10, "every column keeps a marker");
+        for &pos in &packed.col_marker_pos {
+            assert!(pos < packed.tokens.len());
+        }
+    }
+
+    #[test]
+    fn content_packing_skips_unscanned_columns() {
+        let t = tok();
+        let p = Packer::new(PackingBudget::default());
+        let contents = vec![
+            None,
+            Some(ColumnContent { cells: vec!["shenzhen".into(), "beijing".into()] }),
+            None,
+        ];
+        let packed = p.pack_content(&t, &contents);
+        assert_eq!(packed.val_marker_pos.len(), 3);
+        assert!(packed.val_marker_pos[0].is_none());
+        assert!(packed.val_marker_pos[2].is_none());
+        let pos = packed.val_marker_pos[1].unwrap();
+        assert_eq!(packed.tokens[pos], t.vocab().special(Special::Val));
+        // Two cells and two separators follow the marker.
+        assert!(packed.tokens.len() >= 5);
+    }
+
+    #[test]
+    fn content_packing_empty_input_is_empty() {
+        let t = tok();
+        let p = Packer::new(PackingBudget::default());
+        let packed = p.pack_content(&t, &[None, None]);
+        assert!(packed.tokens.is_empty());
+        assert_eq!(packed.val_marker_pos, vec![None, None]);
+    }
+
+    #[test]
+    fn content_cell_budget_truncates_long_cells() {
+        let t = tok();
+        let budget = PackingBudget { table: 8, column: 8, cell: 2, max_len: 64 };
+        let p = Packer::new(budget);
+        let contents = vec![Some(ColumnContent {
+            cells: vec!["city name amount orders sales".into()],
+        })];
+        let packed = p.pack_content(&t, &contents);
+        // [VAL] + 2 budgeted tokens + [SEP].
+        assert_eq!(packed.tokens.len(), 4);
+    }
+
+    #[test]
+    fn content_max_len_stops_new_columns() {
+        let t = tok();
+        let budget = PackingBudget { table: 8, column: 8, cell: 4, max_len: 8 };
+        let p = Packer::new(budget);
+        let many: Vec<Option<ColumnContent>> = (0..5)
+            .map(|_| Some(ColumnContent { cells: vec!["shenzhen".into()] }))
+            .collect();
+        let packed = p.pack_content(&t, &many);
+        assert!(packed.tokens.len() <= 8);
+        let with_marker = packed.val_marker_pos.iter().filter(|p| p.is_some()).count();
+        assert!(with_marker < 5, "later columns must be dropped");
+    }
+
+    #[test]
+    fn paper_budget_values() {
+        let b = PackingBudget::paper();
+        assert_eq!((b.table, b.column, b.cell, b.max_len), (150, 10, 10, 512));
+    }
+}

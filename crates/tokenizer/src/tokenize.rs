@@ -1,0 +1,219 @@
+//! Text normalization and greedy WordPiece encoding.
+
+use crate::vocab::{Special, Vocab};
+
+/// Splits raw text into normalized words:
+///
+/// * lowercases ASCII;
+/// * splits on any non-alphanumeric character (so `ship_to-City` becomes
+///   `ship`, `to`, `city`), which also breaks snake_case identifiers;
+/// * splits camelCase boundaries (`shipToCity` → `ship`, `to`, `city`);
+/// * keeps digit runs as separate words (encoded later as shape tokens).
+pub fn normalize(text: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut current = String::new();
+    let mut current_is_digit = false;
+    let mut prev_lower = false;
+    for ch in text.chars() {
+        if ch.is_ascii_alphabetic() {
+            let lower = ch.is_ascii_lowercase();
+            if !current.is_empty() && (current_is_digit || (prev_lower && !lower)) {
+                words.push(std::mem::take(&mut current));
+            }
+            current.push(ch.to_ascii_lowercase());
+            current_is_digit = false;
+            prev_lower = lower;
+        } else if ch.is_ascii_digit() {
+            if !current.is_empty() && !current_is_digit {
+                words.push(std::mem::take(&mut current));
+            }
+            current.push(ch);
+            current_is_digit = true;
+            prev_lower = false;
+        } else {
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+            current_is_digit = false;
+            prev_lower = false;
+        }
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    words
+}
+
+/// Greedy longest-match WordPiece tokenizer over a frozen [`Vocab`].
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: Vocab,
+}
+
+impl Tokenizer {
+    /// Wraps a vocabulary.
+    pub fn new(vocab: Vocab) -> Tokenizer {
+        Tokenizer { vocab }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encodes raw text into token ids (no special markers added).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for word in normalize(text) {
+            self.encode_word(&word, &mut out);
+        }
+        out
+    }
+
+    /// Encodes raw text into at most `budget` token ids, truncating the
+    /// tail (the paper truncates inputs beyond segment budgets).
+    pub fn encode_budgeted(&self, text: &str, budget: usize) -> Vec<u32> {
+        let mut ids = self.encode(text);
+        ids.truncate(budget);
+        ids
+    }
+
+    fn encode_word(&self, word: &str, out: &mut Vec<u32>) {
+        // Digit runs become shape tokens: "2024" -> <d4>.
+        if word.bytes().all(|b| b.is_ascii_digit()) {
+            out.push(self.vocab.digit_shape(word.len()));
+            return;
+        }
+        // Whole-word hit.
+        if let Some(id) = self.vocab.id(word) {
+            out.push(id);
+            return;
+        }
+        // Greedy longest-prefix WordPiece with ## continuations.
+        let chars: Vec<char> = word.chars().collect();
+        let mut start = 0usize;
+        let mut pieces: Vec<u32> = Vec::new();
+        while start < chars.len() {
+            let mut matched = None;
+            let mut end = chars.len();
+            while end > start {
+                let piece: String = chars[start..end].iter().collect();
+                let key = if start == 0 { piece } else { format!("##{piece}") };
+                if let Some(id) = self.vocab.id(&key) {
+                    matched = Some((id, end));
+                    break;
+                }
+                end -= 1;
+            }
+            match matched {
+                Some((id, next)) => {
+                    pieces.push(id);
+                    start = next;
+                }
+                None => {
+                    // Unmatchable character (non-ASCII): whole word -> UNK.
+                    out.push(self.vocab.special(Special::Unk));
+                    return;
+                }
+            }
+        }
+        out.extend(pieces);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::VocabBuilder;
+
+    fn tokenizer_with(words: &[&str]) -> Tokenizer {
+        let mut b = VocabBuilder::new();
+        for w in words {
+            for _ in 0..2 {
+                b.add_word(w);
+            }
+        }
+        Tokenizer::new(b.build(1000, 1))
+    }
+
+    #[test]
+    fn normalize_splits_snake_and_camel_case() {
+        assert_eq!(normalize("ship_to_city"), vec!["ship", "to", "city"]);
+        assert_eq!(normalize("shipToCity"), vec!["ship", "to", "city"]);
+        assert_eq!(normalize("HTTPServer2"), vec!["httpserver", "2"]);
+        assert_eq!(normalize("order-id"), vec!["order", "id"]);
+    }
+
+    #[test]
+    fn normalize_separates_digit_runs() {
+        assert_eq!(normalize("q3_2024"), vec!["q", "3", "2024"]);
+        assert_eq!(normalize("abc123def"), vec!["abc", "123", "def"]);
+        assert_eq!(normalize(""), Vec::<String>::new());
+        assert_eq!(normalize("  ,,  "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn digit_runs_become_shape_tokens() {
+        let t = tokenizer_with(&[]);
+        let ids = t.encode("2024");
+        assert_eq!(ids, vec![t.vocab().digit_shape(4)]);
+        let ids = t.encode("4111111111111111"); // 16-digit card number
+        assert_eq!(ids, vec![t.vocab().digit_shape(16)]);
+    }
+
+    #[test]
+    fn known_words_hit_whole_word_entries() {
+        let t = tokenizer_with(&["city", "name"]);
+        let ids = t.encode("city name");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], t.vocab().id("city").unwrap());
+        assert_eq!(ids[1], t.vocab().id("name").unwrap());
+    }
+
+    #[test]
+    fn unknown_words_fall_back_to_characters() {
+        let t = tokenizer_with(&[]);
+        let ids = t.encode("cat");
+        // 'c', '##a', '##t' via fallback pieces.
+        assert_eq!(ids.len(), 3);
+        assert_eq!(t.vocab().token(ids[0]), Some("c"));
+        assert_eq!(t.vocab().token(ids[1]), Some("##a"));
+        assert_eq!(t.vocab().token(ids[2]), Some("##t"));
+    }
+
+    #[test]
+    fn non_ascii_words_become_unk() {
+        let t = tokenizer_with(&[]);
+        let ids = t.encode("héllo");
+        // normalize keeps only ascii alpha: "h" "llo"; "llo" decomposes via
+        // fallback, "h" hits fallback. Pure non-ascii word -> UNK.
+        assert!(!ids.is_empty());
+        let ids2 = t.encode("日本語");
+        assert!(ids2.is_empty(), "non-ascii chars are separators: {ids2:?}");
+    }
+
+    #[test]
+    fn budget_truncates_tail() {
+        let t = tokenizer_with(&["alpha", "beta", "gamma"]);
+        let full = t.encode("alpha beta gamma");
+        assert_eq!(full.len(), 3);
+        let cut = t.encode_budgeted("alpha beta gamma", 2);
+        assert_eq!(cut, &full[..2]);
+        assert!(t.encode_budgeted("alpha", 0).is_empty());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let t = tokenizer_with(&["customer", "id"]);
+        assert_eq!(t.encode("customer_id"), t.encode("customer_id"));
+    }
+
+    #[test]
+    fn greedy_prefers_longest_match() {
+        // With both "data" and "database" known, "database" must match
+        // whole rather than decomposing into "data" + pieces.
+        let t = tokenizer_with(&["data", "database"]);
+        let ids = t.encode("database");
+        assert_eq!(ids, vec![t.vocab().id("database").unwrap()]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Vocabulary construction with special tokens and subword units.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Reserved special token ids. The fixed block at the front of every
+/// vocabulary; [`Vocab::special_len`] returns its size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Special {
+    /// Padding (unused by the per-sample pipeline, reserved for parity).
+    Pad = 0,
+    /// Unknown word.
+    Unk = 1,
+    /// Sequence-level classification marker.
+    Cls = 2,
+    /// Segment separator.
+    Sep = 3,
+    /// Masked-token marker for MLM pre-training.
+    Mask = 4,
+    /// Column-metadata marker; its latent feeds the metadata classifier.
+    Col = 5,
+    /// Column-content marker; its latent feeds the content classifier.
+    Val = 6,
+}
+
+/// Number of digit-shape tokens `<d1> .. <dN>`; digit runs longer than
+/// this are clamped to the last bucket.
+pub const DIGIT_SHAPES: usize = 24;
+
+/// A frozen vocabulary: special tokens, digit shapes, word pieces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    #[serde(skip)]
+    index: FxHashMap<String, u32>,
+}
+
+impl Vocab {
+    fn specials() -> Vec<String> {
+        let mut v: Vec<String> = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]", "[COL]", "[VAL]"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for i in 1..=DIGIT_SHAPES {
+            v.push(format!("<d{i}>"));
+        }
+        v
+    }
+
+    /// Number of reserved (special + digit shape) tokens.
+    pub fn special_len() -> usize {
+        7 + DIGIT_SHAPES
+    }
+
+    /// Id of a special token.
+    pub fn special(&self, s: Special) -> u32 {
+        s as u32
+    }
+
+    /// Id of the digit-shape token for a digit run of length `len >= 1`.
+    pub fn digit_shape(&self, len: usize) -> u32 {
+        let bucket = len.clamp(1, DIGIT_SHAPES);
+        (7 + bucket - 1) as u32
+    }
+
+    /// Vocabulary size (model embedding rows).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// A vocabulary always holds the special block.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Id lookup for a surface token (word or `##piece`).
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Surface form of an id.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.tokens.get(id as usize).map(String::as_str)
+    }
+
+    /// Whether `id` is in the reserved special/digit-shape block. MLM
+    /// pre-training never masks these.
+    pub fn is_reserved(&self, id: u32) -> bool {
+        (id as usize) < Vocab::special_len()
+    }
+
+    /// Rebuilds the token index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+    }
+}
+
+/// Streaming vocabulary builder: feed normalized words, then freeze.
+///
+/// The builder keeps the `max_words` most frequent whole words seen at
+/// least `min_count` times, plus single-character pieces (`x` and `##x`)
+/// for every ASCII alphanumeric character, so greedy WordPiece matching
+/// always terminates with at worst a character decomposition.
+#[derive(Debug, Default)]
+pub struct VocabBuilder {
+    counts: FxHashMap<String, u64>,
+}
+
+impl VocabBuilder {
+    /// New empty builder.
+    pub fn new() -> VocabBuilder {
+        VocabBuilder::default()
+    }
+
+    /// Counts one normalized word occurrence.
+    pub fn add_word(&mut self, word: &str) {
+        if word.is_empty() {
+            return;
+        }
+        *self.counts.entry(word.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Counts every word of an already-normalized word iterator.
+    pub fn add_words<'a>(&mut self, words: impl IntoIterator<Item = &'a str>) {
+        for w in words {
+            self.add_word(w);
+        }
+    }
+
+    /// Number of distinct words observed so far.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Freezes into a [`Vocab`] with the top `max_words` words of
+    /// frequency `>= min_count`, plus the character fallback pieces.
+    pub fn build(self, max_words: usize, min_count: u64) -> Vocab {
+        let mut tokens = Vocab::specials();
+        // Character fallback: 'a'..'z', '0'..'9' as head and continuation.
+        for c in ('a'..='z').chain('0'..='9') {
+            tokens.push(c.to_string());
+            tokens.push(format!("##{c}"));
+        }
+        let mut words: Vec<(String, u64)> = self
+            .counts
+            .into_iter()
+            .filter(|(w, c)| *c >= min_count && w.len() > 1)
+            .collect();
+        // Sort by descending count, then lexicographic for determinism.
+        words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        words.truncate(max_words);
+        let existing: std::collections::HashSet<&str> =
+            tokens.iter().map(String::as_str).collect();
+        let mut new_tokens: Vec<String> = Vec::with_capacity(words.len());
+        for (w, _) in words {
+            if !existing.contains(w.as_str()) {
+                new_tokens.push(w);
+            }
+        }
+        tokens.extend(new_tokens);
+        let mut vocab = Vocab { tokens, index: FxHashMap::default() };
+        vocab.rebuild_index();
+        vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_occupy_fixed_front_block() {
+        let v = VocabBuilder::new().build(10, 1);
+        assert_eq!(v.special(Special::Pad), 0);
+        assert_eq!(v.special(Special::Unk), 1);
+        assert_eq!(v.special(Special::Cls), 2);
+        assert_eq!(v.special(Special::Sep), 3);
+        assert_eq!(v.special(Special::Mask), 4);
+        assert_eq!(v.special(Special::Col), 5);
+        assert_eq!(v.special(Special::Val), 6);
+        assert_eq!(v.token(2), Some("[CLS]"));
+        assert!(v.is_reserved(0));
+        assert!(v.is_reserved((Vocab::special_len() - 1) as u32));
+        assert!(!v.is_reserved(Vocab::special_len() as u32));
+    }
+
+    #[test]
+    fn digit_shapes_bucket_and_clamp() {
+        let v = VocabBuilder::new().build(10, 1);
+        assert_eq!(v.token(v.digit_shape(1)), Some("<d1>"));
+        assert_eq!(v.token(v.digit_shape(4)), Some("<d4>"));
+        assert_eq!(v.digit_shape(100), v.digit_shape(DIGIT_SHAPES));
+        assert_eq!(v.digit_shape(0), v.digit_shape(1));
+    }
+
+    #[test]
+    fn frequent_words_enter_vocab_in_count_order() {
+        let mut b = VocabBuilder::new();
+        for _ in 0..5 {
+            b.add_word("city");
+        }
+        for _ in 0..3 {
+            b.add_word("name");
+        }
+        b.add_word("rare");
+        let v = b.build(100, 2);
+        let city = v.id("city").unwrap();
+        let name = v.id("name").unwrap();
+        assert!(city < name, "more frequent word gets smaller id");
+        assert_eq!(v.id("rare"), None, "below min_count");
+    }
+
+    #[test]
+    fn max_words_caps_vocabulary() {
+        let mut b = VocabBuilder::new();
+        for i in 0..100 {
+            for _ in 0..(100 - i) {
+                b.add_word(&format!("word{i:03}"));
+            }
+        }
+        let v = b.build(10, 1);
+        assert!(v.id("word000").is_some());
+        assert!(v.id("word050").is_none());
+    }
+
+    #[test]
+    fn char_fallback_always_present() {
+        let v = VocabBuilder::new().build(0, 1);
+        assert!(v.id("a").is_some());
+        assert!(v.id("##z").is_some());
+        assert!(v.id("7").is_some());
+        assert!(v.id("##0").is_some());
+    }
+
+    #[test]
+    fn single_char_words_do_not_duplicate_fallback() {
+        let mut b = VocabBuilder::new();
+        b.add_word("a");
+        b.add_word("a");
+        let v = b.build(10, 1);
+        // 'a' exists exactly once.
+        let count = (0..v.len() as u32).filter(|&i| v.token(i) == Some("a")).count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn build_is_deterministic_under_tied_counts() {
+        let mk = || {
+            let mut b = VocabBuilder::new();
+            b.add_words(["beta", "alpha", "gamma"]);
+            b.build(10, 1)
+        };
+        let v1 = mk();
+        let v2 = mk();
+        assert_eq!(v1.id("alpha"), v2.id("alpha"));
+        assert_eq!(v1.id("beta"), v2.id("beta"));
+        // Ties resolve lexicographically.
+        assert!(v1.id("alpha").unwrap() < v1.id("beta").unwrap());
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let mut b = VocabBuilder::new();
+        b.add_words(["hello", "hello", "world", "world"]);
+        let v = b.build(10, 1);
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.id("hello"), v.id("hello"));
+        assert_eq!(back.len(), v.len());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for normalization, encoding, and packing.
+
+use proptest::prelude::*;
+use taste_tokenizer::packing::{ColumnContent, Packer, PackingBudget};
+use taste_tokenizer::{normalize, Tokenizer, VocabBuilder};
+
+fn tokenizer_from(words: &[String]) -> Tokenizer {
+    let mut b = VocabBuilder::new();
+    for w in words {
+        b.add_word(w);
+        b.add_word(w);
+    }
+    Tokenizer::new(b.build(500, 1))
+}
+
+proptest! {
+    #[test]
+    fn normalize_output_is_lowercase_alnum(text in ".{0,60}") {
+        for word in normalize(&text) {
+            prop_assert!(!word.is_empty());
+            prop_assert!(
+                word.chars().all(|c| c.is_ascii_lowercase()) || word.chars().all(|c| c.is_ascii_digit()),
+                "mixed word {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent_on_its_output(text in "[a-zA-Z0-9_ -]{0,50}") {
+        let once = normalize(&text);
+        let joined = once.join(" ");
+        let twice = normalize(&joined);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_in_vocab(text in "[a-zA-Z0-9_ .@-]{0,50}") {
+        let tok = tokenizer_from(&["city".into(), "name".into()]);
+        let a = tok.encode(&text);
+        let b = tok.encode(&text);
+        prop_assert_eq!(&a, &b);
+        for id in a {
+            prop_assert!(tok.vocab().token(id).is_some(), "unknown id {id}");
+        }
+    }
+
+    #[test]
+    fn budget_is_a_prefix(text in "[a-z ]{0,60}", budget in 0usize..20) {
+        let tok = tokenizer_from(&[]);
+        let full = tok.encode(&text);
+        let cut = tok.encode_budgeted(&text, budget);
+        prop_assert!(cut.len() <= budget);
+        prop_assert_eq!(&cut[..], &full[..cut.len()]);
+    }
+
+    #[test]
+    fn digit_runs_become_single_shape_tokens(digits in "[1-9][0-9]{0,18}") {
+        let tok = tokenizer_from(&[]);
+        let ids = tok.encode(&digits);
+        prop_assert_eq!(ids.len(), 1);
+        prop_assert_eq!(ids[0], tok.vocab().digit_shape(digits.len()));
+    }
+
+    #[test]
+    fn meta_packing_never_exceeds_cap_and_markers_valid(
+        ncols in 0usize..12,
+        table_words in 0usize..10,
+        max_len in 8usize..64,
+    ) {
+        let tok = tokenizer_from(&["city".into(), "orders".into()]);
+        let budget = PackingBudget { table: 6, column: 4, cell: 3, max_len };
+        let packer = Packer::new(budget);
+        let table_text = vec!["orders"; table_words].join(" ");
+        let cols: Vec<String> = (0..ncols).map(|i| format!("city{i}")).collect();
+        let packed = packer.pack_meta(&tok, &table_text, &cols);
+        prop_assert!(packed.tokens.len() <= max_len.max(2 + budget.table));
+        prop_assert_eq!(packed.col_marker_pos.len(), ncols);
+        for &pos in &packed.col_marker_pos {
+            prop_assert!(pos < packed.tokens.len().max(1));
+        }
+    }
+
+    #[test]
+    fn content_packing_marker_parity(present in prop::collection::vec(any::<bool>(), 0..10)) {
+        let tok = tokenizer_from(&["alpha".into()]);
+        let packer = Packer::new(PackingBudget::default());
+        let contents: Vec<Option<ColumnContent>> = present
+            .iter()
+            .map(|&p| p.then(|| ColumnContent { cells: vec!["alpha".into()] }))
+            .collect();
+        let packed = packer.pack_content(&tok, &contents);
+        prop_assert_eq!(packed.val_marker_pos.len(), present.len());
+        for (marker, &p) in packed.val_marker_pos.iter().zip(&present) {
+            // Absent content never gets a marker; present content gets
+            // one unless the cap dropped it (cap is large here).
+            if !p {
+                prop_assert!(marker.is_none());
+            } else {
+                prop_assert!(marker.is_some());
+            }
+        }
+    }
+}
