@@ -1,0 +1,20 @@
+# Convenience targets for the TASTE reproduction workspace.
+
+.PHONY: verify build test clippy repro
+
+# The one gate every change must pass.
+verify:
+	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+clippy:
+	cargo clippy --workspace -- -D warnings
+
+# Quick-scale reproduction of every table and figure.
+repro:
+	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- all

@@ -14,10 +14,10 @@ use std::time::Duration;
 use taste_core::Result;
 use taste_data::load::{load_split, LoadedSplit};
 use taste_data::splits::Split;
-use taste_db::LatencyProfile;
+use taste_db::{FaultProfile, LatencyProfile};
 use taste_framework::baseline_run::{run_baseline, BaselineRunConfig};
 use taste_framework::config::ScanKind;
-use taste_framework::{evaluate_report, DetectionReport, TasteConfig, TasteEngine};
+use taste_framework::{evaluate_report, DetectionReport, RetryConfig, TasteConfig, TasteEngine};
 use taste_model::Adtd;
 
 fn run_taste(model: &Arc<Adtd>, split: &LoadedSplit, cfg: TasteConfig) -> Result<DetectionReport> {
@@ -358,6 +358,79 @@ pub fn fig8(scale: &Scale) -> Result<()> {
     Ok(())
 }
 
+/// Fault sweep — robustness of the engine under seeded fault injection
+/// on the SynthGit test database: transient scan faults and connection
+/// drops at increasing rates, with retries and graceful degradation on.
+///
+/// Because a fault decision is one uniform roll compared against
+/// cumulative rate thresholds, a higher rate fails a strict superset of
+/// the operations of a lower rate at the same seed: degraded columns are
+/// monotone non-decreasing, F1 monotone non-increasing (degraded columns
+/// keep P1-only verdicts), and wall time non-decreasing (backoff sleeps
+/// plus re-paid scans) across the sweep.
+pub fn fault_sweep(scale: &Scale) -> Result<()> {
+    let bundle = build_bundle(DatasetKind::Git, scale)?;
+    let models = models::train_all(&bundle, scale)?;
+    let split = &bundle.test_timed;
+    // Sequential mode + an effectively disabled breaker keep the sweep
+    // deterministic: every point's degradations come from per-table retry
+    // exhaustion alone, not wall-clock-dependent breaker state.
+    let cfg = TasteConfig {
+        l: bundle.kind.default_l(),
+        pipelining: false,
+        retry: RetryConfig {
+            breaker_threshold: 1_000_000,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(5),
+            ..RetryConfig::default()
+        },
+        ..TasteConfig::default()
+    };
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut baseline = split.db.ledger().snapshot();
+    for rate in [0.0f64, 0.05, 0.1, 0.2, 0.4] {
+        split.db.set_fault_profile(FaultProfile::flaky(scale.seed, rate));
+        let report = run_taste(&models.taste, split, cfg)?;
+        let injected = split.db.ledger().snapshot_delta(&mut baseline);
+        let scores = evaluate_report(&report, &split.truth, split.ntypes);
+        let degraded_ratio = if report.total_columns == 0 {
+            0.0
+        } else {
+            report.degraded_columns() as f64 / report.total_columns as f64
+        };
+        rows.push(vec![
+            format!("{rate:.2}"),
+            secs(report.wall_time),
+            score(scores.f1),
+            pct(degraded_ratio),
+            report.total_retries().to_string(),
+            injected.failed_queries.to_string(),
+        ]);
+        out.push(json!({
+            "fault_rate": rate,
+            "time_s": report.wall_time.as_secs_f64(),
+            "f1": scores.f1,
+            "degraded_ratio": degraded_ratio,
+            "degraded_tables": report.degraded_tables(),
+            "retries": report.total_retries(),
+            "backoff_s": report.total_backoff().as_secs_f64(),
+            "failed_queries": injected.failed_queries,
+            "dropped_connections": injected.dropped_connections,
+            "reconnects": injected.reconnects,
+            "wasted_bytes": injected.wasted_bytes,
+        }));
+    }
+    split.db.set_fault_profile(FaultProfile::none());
+    print_table(
+        "Fault sweep: graceful degradation under injected faults (SynthGit)",
+        &["fault rate", "time", "F1", "degraded cols", "retries", "failed queries"],
+        &rows,
+    );
+    write_json("fault_sweep", &json!(out));
+    Ok(())
+}
+
 /// Runs every experiment in paper order.
 pub fn all(scale: &Scale) -> Result<()> {
     table2(scale)?;
@@ -368,5 +441,6 @@ pub fn all(scale: &Scale) -> Result<()> {
     fig6(scale)?;
     fig7(scale)?;
     fig8(scale)?;
+    fault_sweep(scale)?;
     Ok(())
 }

@@ -31,6 +31,12 @@ pub enum TasteError {
     Scheduler(String),
     /// Training diverged or produced a non-finite loss.
     Training(String),
+    /// A transient fault (dropped connection, throttled query, flaky
+    /// network) that is expected to succeed if the operation is retried.
+    Transient(String),
+    /// An operation exceeded its deadline (query timeout, connection-pool
+    /// acquire timeout). Retryable, but callers should budget for it.
+    Timeout(String),
 }
 
 impl TasteError {
@@ -48,6 +54,25 @@ impl TasteError {
     pub fn shape(what: impl Into<String>) -> Self {
         TasteError::ShapeMismatch(what.into())
     }
+
+    /// Shorthand for [`TasteError::Transient`].
+    pub fn transient(what: impl Into<String>) -> Self {
+        TasteError::Transient(what.into())
+    }
+
+    /// Shorthand for [`TasteError::Timeout`].
+    pub fn timeout(what: impl Into<String>) -> Self {
+        TasteError::Timeout(what.into())
+    }
+
+    /// Whether retrying the failed operation can plausibly succeed.
+    ///
+    /// Only fault-style failures ([`Transient`](TasteError::Transient) and
+    /// [`Timeout`](TasteError::Timeout)) are retryable; logical errors
+    /// (missing tables, bad arguments, shape mismatches) never are.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, TasteError::Transient(_) | TasteError::Timeout(_))
+    }
 }
 
 impl fmt::Display for TasteError {
@@ -60,6 +85,8 @@ impl fmt::Display for TasteError {
             TasteError::Serde(s) => write!(f, "serialization error: {s}"),
             TasteError::Scheduler(s) => write!(f, "scheduler error: {s}"),
             TasteError::Training(s) => write!(f, "training error: {s}"),
+            TasteError::Transient(s) => write!(f, "transient error: {s}"),
+            TasteError::Timeout(s) => write!(f, "timeout: {s}"),
         }
     }
 }
@@ -84,5 +111,21 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(TasteError::not_found("x"), TasteError::not_found("x"));
         assert_ne!(TasteError::not_found("x"), TasteError::invalid("x"));
+    }
+
+    #[test]
+    fn only_fault_variants_are_retryable() {
+        assert!(TasteError::transient("conn reset").is_retryable());
+        assert!(TasteError::timeout("scan > 5s").is_retryable());
+        assert!(!TasteError::not_found("t1").is_retryable());
+        assert!(!TasteError::invalid("alpha").is_retryable());
+        assert!(!TasteError::Database("x".into()).is_retryable());
+        assert!(!TasteError::Scheduler("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn fault_variants_display() {
+        assert_eq!(TasteError::transient("conn reset").to_string(), "transient error: conn reset");
+        assert_eq!(TasteError::timeout("scan").to_string(), "timeout: scan");
     }
 }

@@ -6,23 +6,53 @@
 //! batching tables of one database so the (costly) connection can be
 //! reused — the framework's scheduler does exactly that with one
 //! connection per preparation worker.
+//!
+//! When a [`crate::FaultProfile`] is active, every operation first rolls
+//! the database's [`crate::faults::FaultInjector`]. Injected failures
+//! surface as retryable [`TasteError::Transient`] / [`TasteError::Timeout`]
+//! errors; a dropped connection is *poisoned* and rejects every further
+//! query until [`Connection::reconnect`] succeeds.
 
 use crate::engine::{Database, ScanMethod};
+use crate::faults::FaultDecision;
 use crate::latency::LatencyProfile;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use taste_core::{Cell, ColumnMeta, Result, TableId, TableMeta};
+use taste_core::{Cell, ColumnMeta, Result, TableId, TableMeta, TasteError};
 
 /// An open connection to a [`Database`].
 pub struct Connection {
     db: Arc<Database>,
+    /// Set when an injected fault dropped the connection mid-query.
+    poisoned: AtomicBool,
 }
 
 impl Database {
     /// Opens a connection, paying the connect cost.
+    ///
+    /// Infallible without fault injection; under an active profile with
+    /// `connect_fail > 0` this panics on an injected failure — callers
+    /// that expect faults should use [`Database::try_connect`].
     pub fn connect(self: &Arc<Self>) -> Connection {
+        self.try_connect()
+            .expect("connect failed under fault injection; use try_connect")
+    }
+
+    /// Opens a connection, paying the connect cost; an injected connect
+    /// fault still pays the (wasted) handshake latency and returns a
+    /// retryable [`TasteError::Transient`].
+    pub fn try_connect(self: &Arc<Self>) -> Result<Connection> {
+        let decision = self.faults().on_connect();
         LatencyProfile::pay(self.latency().connect);
+        if decision != FaultDecision::Proceed {
+            self.ledger().record_failed_query();
+            return Err(TasteError::transient(format!(
+                "connect to {}: handshake reset",
+                self.name()
+            )));
+        }
         self.ledger().record_connection();
-        Connection { db: Arc::clone(self) }
+        Ok(Connection { db: Arc::clone(self), poisoned: AtomicBool::new(false) })
     }
 }
 
@@ -32,17 +62,91 @@ impl Connection {
         &self.db
     }
 
+    /// Whether an injected fault dropped this connection. A poisoned
+    /// connection rejects every query until [`Connection::reconnect`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Re-establishes a dropped connection in place, paying the connect
+    /// cost again. Subject to the same injected connect faults as
+    /// [`Database::try_connect`]. A no-op on a healthy connection.
+    pub fn reconnect(&self) -> Result<()> {
+        if !self.is_poisoned() {
+            return Ok(());
+        }
+        let decision = self.db.faults().on_connect();
+        LatencyProfile::pay(self.db.latency().connect);
+        if decision != FaultDecision::Proceed {
+            self.db.ledger().record_failed_query();
+            return Err(TasteError::transient(format!(
+                "reconnect to {}: handshake reset",
+                self.db.name()
+            )));
+        }
+        self.db.ledger().record_connection();
+        self.db.ledger().record_reconnect();
+        self.poisoned.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// Rejects queries on a poisoned connection.
+    fn guard(&self) -> Result<()> {
+        if self.is_poisoned() {
+            Err(TasteError::transient(format!(
+                "connection to {} is dropped; reconnect required",
+                self.db.name()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Realizes an injected fault on a query: pays the appropriate
+    /// latency, records it in the ledger, and produces the error.
+    /// `Proceed` is a no-op `Ok(())`.
+    fn inject(&self, decision: FaultDecision, what: &str) -> Result<()> {
+        match decision {
+            FaultDecision::Proceed => Ok(()),
+            FaultDecision::Transient => {
+                LatencyProfile::pay(self.db.latency().query_rtt);
+                self.db.ledger().record_failed_query();
+                Err(TasteError::transient(format!("{what}: connection reset by peer")))
+            }
+            FaultDecision::Timeout => {
+                LatencyProfile::pay(self.db.faults().profile().deadline);
+                self.db.ledger().record_injected_timeout();
+                Err(TasteError::timeout(format!("{what}: deadline exceeded")))
+            }
+            FaultDecision::Throttled => {
+                LatencyProfile::pay(self.db.latency().query_rtt);
+                self.db.ledger().record_throttled_query();
+                Err(TasteError::transient(format!("{what}: throttled by provider")))
+            }
+            FaultDecision::Drop => {
+                self.poisoned.store(true, Ordering::Release);
+                LatencyProfile::pay(self.db.latency().query_rtt);
+                self.db.ledger().record_dropped_connection();
+                Err(TasteError::transient(format!("{what}: connection dropped")))
+            }
+        }
+    }
+
     /// `SELECT * FROM information_schema.tables` — all table metadata.
-    pub fn fetch_tables(&self) -> Vec<TableMeta> {
+    pub fn fetch_tables(&self) -> Result<Vec<TableMeta>> {
+        self.guard()?;
+        self.inject(self.db.faults().on_metadata(None), "fetch_tables")?;
         let lat = self.db.latency();
         let tables = self.db.tables.read();
         LatencyProfile::pay(lat.metadata_query(tables.len()));
         self.db.ledger().record_metadata_query();
-        tables.iter().map(|t| t.meta.clone()).collect()
+        Ok(tables.iter().map(|t| t.meta.clone()).collect())
     }
 
     /// Table-level metadata for one table.
     pub fn fetch_table_meta(&self, tid: TableId) -> Result<TableMeta> {
+        self.guard()?;
+        self.inject(self.db.faults().on_metadata(Some(tid)), "fetch_table_meta")?;
         let lat = self.db.latency();
         LatencyProfile::pay(lat.metadata_query(1));
         self.db.ledger().record_metadata_query();
@@ -55,11 +159,13 @@ impl Connection {
     /// rate (histogram JSON is bulky — this is what makes the paper's
     /// *with histogram* variant slightly slower end-to-end, §6.3).
     pub fn fetch_columns_meta(&self, tid: TableId) -> Result<Vec<ColumnMeta>> {
+        self.guard()?;
         let (ncols, hist_cols) = self
             .db
             .with_table(tid, |t| {
                 (t.columns.len(), t.columns.iter().filter(|c| c.histogram.is_some()).count())
             })?;
+        self.inject(self.db.faults().on_metadata(Some(tid)), "fetch_columns_meta")?;
         let lat = self.db.latency();
         LatencyProfile::pay(lat.metadata_query(ncols) + lat.meta_per_column * (2 * hist_cols) as u32);
         self.db.ledger().record_metadata_query();
@@ -70,6 +176,12 @@ impl Connection {
     /// query. Returns row-major projected cells (in ascending-ordinal
     /// order). Pays per-row and per-byte costs and records the scan as
     /// `ordinals.len()` column scans in the ledger.
+    ///
+    /// Injected scan faults fire *after* the engine has located the rows
+    /// (logical errors like an unknown table stay non-retryable and
+    /// deterministic), so the ledger can attribute the wasted bytes: a
+    /// timed-out scan wastes the full transfer, a dropped connection
+    /// roughly half of it.
     pub fn scan_columns(
         &self,
         tid: TableId,
@@ -79,7 +191,15 @@ impl Connection {
         if ordinals.is_empty() {
             return Ok(Vec::new());
         }
+        self.guard()?;
         let (rows, bytes) = self.db.scan_raw(tid, ordinals, method)?;
+        let decision = self.db.faults().on_scan(tid);
+        match decision {
+            FaultDecision::Timeout => self.db.ledger().record_wasted_bytes(bytes as u64),
+            FaultDecision::Drop => self.db.ledger().record_wasted_bytes(bytes as u64 / 2),
+            _ => {}
+        }
+        self.inject(decision, "scan_columns")?;
         LatencyProfile::pay(self.db.latency().scan(rows.len(), bytes, method.is_sampled()));
         self.db
             .ledger()
@@ -91,6 +211,7 @@ impl Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultProfile;
     use std::time::Duration;
     use taste_core::{ColumnId, LabelSet, RawType, Table};
 
@@ -119,7 +240,7 @@ mod tests {
     fn connection_and_queries_hit_the_ledger() {
         let (db, tid) = mk_db(LatencyProfile::zero());
         let conn = db.connect();
-        let tables = conn.fetch_tables();
+        let tables = conn.fetch_tables().unwrap();
         assert_eq!(tables.len(), 1);
         assert_eq!(tables[0].name, "users");
         let cols = conn.fetch_columns_meta(tid).unwrap();
@@ -134,6 +255,7 @@ mod tests {
         assert_eq!(s.columns_scanned, 1);
         assert_eq!(s.rows_read, 2);
         assert!(s.bytes_read > 0);
+        assert_eq!(s.failed_queries, 0);
     }
 
     #[test]
@@ -175,5 +297,102 @@ mod tests {
         let t0 = std::time::Instant::now();
         conn.scan_columns(tid, &[0], ScanMethod::FirstM { m: 4 }).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn certain_scan_fault_is_transient_and_recorded() {
+        let (db, tid) = mk_db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile {
+            scan_transient: 1.0,
+            ..FaultProfile::none()
+        });
+        let conn = db.connect();
+        let err = conn.scan_columns(tid, &[0], ScanMethod::FirstM { m: 2 }).unwrap_err();
+        assert!(err.is_retryable(), "injected scan fault must be retryable: {err}");
+        let s = db.ledger().snapshot();
+        assert_eq!(s.failed_queries, 1);
+        assert_eq!(s.scan_queries, 0, "failed scan must not count as a completed scan");
+    }
+
+    #[test]
+    fn certain_timeout_pays_deadline_and_wastes_bytes() {
+        let (db, tid) = mk_db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile {
+            scan_timeout: 1.0,
+            deadline: Duration::from_millis(15),
+            ..FaultProfile::none()
+        });
+        let conn = db.connect();
+        let t0 = std::time::Instant::now();
+        let err = conn.scan_columns(tid, &[0], ScanMethod::FirstM { m: 4 }).unwrap_err();
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert!(matches!(err, TasteError::Timeout(_)));
+        let s = db.ledger().snapshot();
+        assert_eq!(s.injected_timeouts, 1);
+        assert!(s.wasted_bytes > 0);
+    }
+
+    #[test]
+    fn dropped_connection_poisons_until_reconnect() {
+        let (db, tid) = mk_db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile {
+            scan_drop: 1.0,
+            ..FaultProfile::none()
+        });
+        let conn = db.connect();
+        assert!(!conn.is_poisoned());
+        let err = conn.scan_columns(tid, &[0], ScanMethod::FirstM { m: 2 }).unwrap_err();
+        assert!(err.is_retryable());
+        assert!(conn.is_poisoned());
+        // Every query now fails without touching the engine.
+        assert!(conn.fetch_tables().is_err());
+        assert!(conn.fetch_columns_meta(tid).is_err());
+        // Reconnect restores service (connect_fail is 0 here).
+        conn.reconnect().unwrap();
+        assert!(!conn.is_poisoned());
+        assert!(conn.fetch_tables().is_ok());
+        let s = db.ledger().snapshot();
+        assert_eq!(s.dropped_connections, 1);
+        assert_eq!(s.reconnects, 1);
+        assert_eq!(s.connections_opened, 2);
+    }
+
+    #[test]
+    fn certain_connect_fault_fails_try_connect() {
+        let (db, _) = mk_db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile {
+            connect_fail: 1.0,
+            ..FaultProfile::none()
+        });
+        let err = db.try_connect().unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(db.ledger().snapshot().connections_opened, 0);
+    }
+
+    #[test]
+    fn logical_errors_beat_fault_injection() {
+        // An unknown table is a deterministic NotFound even at 100% fault
+        // rate — retrying it would never help.
+        let (db, _) = mk_db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile {
+            scan_transient: 1.0,
+            ..FaultProfile::none()
+        });
+        let conn = db.connect();
+        let err = conn.scan_columns(TableId(42), &[0], ScanMethod::FirstM { m: 1 }).unwrap_err();
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn disabled_profile_changes_nothing() {
+        let (db, tid) = mk_db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile::none());
+        let conn = db.connect();
+        for _ in 0..20 {
+            conn.scan_columns(tid, &[0], ScanMethod::FirstM { m: 2 }).unwrap();
+        }
+        let s = db.ledger().snapshot();
+        assert_eq!(s.failed_queries, 0);
+        assert_eq!(s.scan_queries, 20);
     }
 }

@@ -1,5 +1,6 @@
 //! The in-memory storage engine behind the simulated cloud database.
 
+use crate::faults::{FaultInjector, FaultProfile};
 use crate::latency::LatencyProfile;
 use crate::ledger::Ledger;
 use crate::rowcodec;
@@ -61,6 +62,7 @@ pub struct Database {
     name: String,
     latency: LatencyProfile,
     ledger: Arc<Ledger>,
+    faults: FaultInjector,
     pub(crate) tables: RwLock<Vec<StoredTable>>,
 }
 
@@ -71,8 +73,31 @@ impl Database {
             name: name.into(),
             latency,
             ledger: Arc::new(Ledger::new()),
+            faults: FaultInjector::new(),
             tables: RwLock::new(Vec::new()),
         })
+    }
+
+    /// Creates an empty database with fault injection already active.
+    pub fn with_faults(
+        name: impl Into<String>,
+        latency: LatencyProfile,
+        profile: FaultProfile,
+    ) -> Arc<Database> {
+        let db = Database::new(name, latency);
+        db.set_fault_profile(profile);
+        db
+    }
+
+    /// The fault injector (disabled unless a profile was installed).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Installs a fault profile, resetting the injector's fault sequence.
+    /// Pass [`FaultProfile::none()`] to disable injection entirely.
+    pub fn set_fault_profile(&self, profile: FaultProfile) {
+        self.faults.set_profile(profile);
     }
 
     /// Database name.

@@ -1,0 +1,377 @@
+//! Deterministic fault injection for the simulated cloud database.
+//!
+//! TASTE's deployment target is a remote RDS reached over a VPC, where
+//! connects drop, queries time out, and the service gets throttled. The
+//! [`FaultProfile`] makes the simulation reproduce those failure modes
+//! *deterministically*: every injected fault is a pure function of the
+//! profile seed, the operation kind, the target table, and a per-key
+//! attempt counter, so an experiment replays bit-for-bit and a retry of
+//! the same logical operation sees an independent (but reproducible)
+//! roll.
+//!
+//! Fault decisions use a single uniform roll compared against cumulative
+//! rate thresholds, so raising a rate fails a strict *superset* of the
+//! operations that failed at a lower rate — this is what makes the
+//! fault-sweep benchmark monotone by construction.
+//!
+//! With [`FaultProfile::none()`] the injector is a strict no-op: a single
+//! relaxed atomic load per operation, no counters, no sleeps.
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+use taste_core::rng::splitmix64;
+use taste_core::TableId;
+
+/// A periodic throttling window: of every `every` consecutive operations,
+/// the last `window` are rejected with a throttled (transient) error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Throttle {
+    /// Cycle length in operations (must be > 0 to have any effect).
+    pub every: u64,
+    /// Number of throttled operations at the end of each cycle.
+    pub window: u64,
+}
+
+/// Seeded fault-injection rates for one database.
+///
+/// All rates are probabilities in `[0, 1]`. Scan faults can be restricted
+/// to a single table with [`scan_target`](FaultProfile::scan_target),
+/// which the integration tests use to degrade one table deterministically
+/// while the rest of the batch proceeds cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Root seed for every fault roll.
+    pub seed: u64,
+    /// Probability that a connect attempt fails transiently.
+    pub connect_fail: f64,
+    /// Probability that a metadata query fails transiently.
+    pub meta_transient: f64,
+    /// Probability that a metadata query times out.
+    pub meta_timeout: f64,
+    /// Probability that a content scan fails transiently.
+    pub scan_transient: f64,
+    /// Probability that a content scan times out.
+    pub scan_timeout: f64,
+    /// Probability that a content scan drops (and poisons) the connection.
+    pub scan_drop: f64,
+    /// Simulated deadline paid (as wall-clock sleep) by timed-out queries.
+    pub deadline: Duration,
+    /// Optional periodic throttling window over metadata + scan operations.
+    pub throttle: Option<Throttle>,
+    /// When set, scan faults apply only to this table.
+    pub scan_target: Option<TableId>,
+}
+
+impl FaultProfile {
+    /// The disabled profile: every operation proceeds, nothing is rolled.
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            seed: 0,
+            connect_fail: 0.0,
+            meta_transient: 0.0,
+            meta_timeout: 0.0,
+            scan_transient: 0.0,
+            scan_timeout: 0.0,
+            scan_drop: 0.0,
+            deadline: Duration::from_millis(50),
+            throttle: None,
+            scan_target: None,
+        }
+    }
+
+    /// A flaky-network profile: content scans fail transiently at `rate`
+    /// and drop the connection at a quarter of `rate`. Metadata queries
+    /// and connects stay clean, mirroring the common cloud failure mode
+    /// where cheap catalog queries survive but bulk reads get reset.
+    pub fn flaky(seed: u64, rate: f64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            scan_transient: rate,
+            scan_drop: rate * 0.25,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Whether this profile injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.connect_fail == 0.0
+            && self.meta_transient == 0.0
+            && self.meta_timeout == 0.0
+            && self.scan_transient == 0.0
+            && self.scan_timeout == 0.0
+            && self.scan_drop == 0.0
+            && self.throttle.is_none()
+    }
+}
+
+/// Outcome of a fault roll for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// No fault — execute the operation normally.
+    Proceed,
+    /// Fail with a retryable transient error.
+    Transient,
+    /// Fail with a timeout after sleeping the profile deadline.
+    Timeout,
+    /// Fail and poison the connection (reconnect required).
+    Drop,
+    /// Rejected by a throttling window (retryable transient).
+    Throttled,
+}
+
+/// Operation kinds, used as the first component of the roll key.
+const KIND_CONNECT: u8 = 0;
+const KIND_METADATA: u8 = 1;
+const KIND_SCAN: u8 = 2;
+
+/// Key used for catalog-wide metadata queries (`fetch_tables`), which
+/// have no single target table.
+const CATALOG_KEY: u32 = u32::MAX;
+
+/// Per-database fault state: the active profile plus the attempt counters
+/// that make repeated operations roll independently but reproducibly.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Fast-path gate; false whenever the profile is `none()`.
+    enabled: AtomicBool,
+    profile: Mutex<FaultProfile>,
+    /// Global operation counter driving throttle windows.
+    ops: AtomicU64,
+    /// Connect attempts against this database.
+    connects: AtomicU64,
+    /// Per-(kind, table) attempt counters.
+    attempts: Mutex<FxHashMap<(u8, u32), u64>>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new()
+    }
+}
+
+impl FaultInjector {
+    /// A disabled injector (profile `none()`).
+    pub fn new() -> FaultInjector {
+        FaultInjector {
+            enabled: AtomicBool::new(false),
+            profile: Mutex::new(FaultProfile::none()),
+            ops: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            attempts: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Installs a new profile and resets every attempt counter, so the
+    /// fault sequence replays identically each time the profile is set.
+    pub fn set_profile(&self, profile: FaultProfile) {
+        let mut p = self.profile.lock();
+        *p = profile;
+        self.ops.store(0, Ordering::Relaxed);
+        self.connects.store(0, Ordering::Relaxed);
+        self.attempts.lock().clear();
+        self.enabled.store(!profile.is_none(), Ordering::Release);
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> FaultProfile {
+        *self.profile.lock()
+    }
+
+    /// Whether any fault injection is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Rolls a connect attempt.
+    pub fn on_connect(&self) -> FaultDecision {
+        if !self.is_enabled() {
+            return FaultDecision::Proceed;
+        }
+        let p = self.profile();
+        let attempt = self.connects.fetch_add(1, Ordering::Relaxed);
+        let u = roll(p.seed, KIND_CONNECT, CATALOG_KEY, attempt);
+        if u < p.connect_fail {
+            FaultDecision::Transient
+        } else {
+            FaultDecision::Proceed
+        }
+    }
+
+    /// Rolls a metadata query (`None` target = whole-catalog query).
+    pub fn on_metadata(&self, tid: Option<TableId>) -> FaultDecision {
+        if !self.is_enabled() {
+            return FaultDecision::Proceed;
+        }
+        let p = self.profile();
+        if self.throttled(&p) {
+            return FaultDecision::Throttled;
+        }
+        let key = tid.map_or(CATALOG_KEY, |t| t.0);
+        let attempt = self.next_attempt(KIND_METADATA, key);
+        let u = roll(p.seed, KIND_METADATA, key, attempt);
+        if u < p.meta_timeout {
+            FaultDecision::Timeout
+        } else if u < p.meta_timeout + p.meta_transient {
+            FaultDecision::Transient
+        } else {
+            FaultDecision::Proceed
+        }
+    }
+
+    /// Rolls a content scan of `tid`.
+    pub fn on_scan(&self, tid: TableId) -> FaultDecision {
+        if !self.is_enabled() {
+            return FaultDecision::Proceed;
+        }
+        let p = self.profile();
+        if self.throttled(&p) {
+            return FaultDecision::Throttled;
+        }
+        if let Some(target) = p.scan_target {
+            if target != tid {
+                return FaultDecision::Proceed;
+            }
+        }
+        let attempt = self.next_attempt(KIND_SCAN, tid.0);
+        let u = roll(p.seed, KIND_SCAN, tid.0, attempt);
+        if u < p.scan_drop {
+            FaultDecision::Drop
+        } else if u < p.scan_drop + p.scan_timeout {
+            FaultDecision::Timeout
+        } else if u < p.scan_drop + p.scan_timeout + p.scan_transient {
+            FaultDecision::Transient
+        } else {
+            FaultDecision::Proceed
+        }
+    }
+
+    fn throttled(&self, p: &FaultProfile) -> bool {
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        match p.throttle {
+            Some(t) if t.every > 0 => n % t.every >= t.every.saturating_sub(t.window),
+            _ => false,
+        }
+    }
+
+    fn next_attempt(&self, kind: u8, key: u32) -> u64 {
+        let mut map = self.attempts.lock();
+        let c = map.entry((kind, key)).or_insert(0);
+        let attempt = *c;
+        *c += 1;
+        attempt
+    }
+}
+
+/// Uniform roll in `[0, 1)` from (seed, kind, key, attempt) via SplitMix64.
+fn roll(seed: u64, kind: u8, key: u32, attempt: u64) -> f64 {
+    let mixed = splitmix64(
+        seed ^ splitmix64(((kind as u64) << 32) | key as u64) ^ splitmix64(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    );
+    // Top 53 bits → an exactly representable double in [0, 1).
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(p: FaultProfile) -> FaultInjector {
+        let inj = FaultInjector::new();
+        inj.set_profile(p);
+        inj
+    }
+
+    #[test]
+    fn none_profile_always_proceeds() {
+        let inj = injector(FaultProfile::none());
+        assert!(!inj.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(inj.on_connect(), FaultDecision::Proceed);
+            assert_eq!(inj.on_metadata(Some(TableId(3))), FaultDecision::Proceed);
+            assert_eq!(inj.on_scan(TableId(3)), FaultDecision::Proceed);
+        }
+    }
+
+    #[test]
+    fn decisions_replay_after_profile_reset() {
+        let p = FaultProfile::flaky(42, 0.5);
+        let inj = injector(p);
+        let first: Vec<_> = (0..64).map(|_| inj.on_scan(TableId(1))).collect();
+        inj.set_profile(p);
+        let second: Vec<_> = (0..64).map(|_| inj.on_scan(TableId(1))).collect();
+        assert_eq!(first, second);
+        assert!(first.iter().any(|d| *d != FaultDecision::Proceed));
+        assert!(first.iter().any(|d| *d == FaultDecision::Proceed));
+    }
+
+    #[test]
+    fn higher_rate_fails_a_superset() {
+        let lo = injector(FaultProfile::flaky(7, 0.1));
+        let hi = injector(FaultProfile::flaky(7, 0.6));
+        for _ in 0..256 {
+            let a = lo.on_scan(TableId(0));
+            let b = hi.on_scan(TableId(0));
+            if a != FaultDecision::Proceed {
+                assert_ne!(b, FaultDecision::Proceed, "fault at 0.1 must also fault at 0.6");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_target_restricts_faults() {
+        let p = FaultProfile {
+            scan_transient: 1.0,
+            scan_target: Some(TableId(5)),
+            ..FaultProfile::none()
+        };
+        let inj = injector(p);
+        assert_eq!(inj.on_scan(TableId(4)), FaultDecision::Proceed);
+        assert_eq!(inj.on_scan(TableId(5)), FaultDecision::Transient);
+    }
+
+    #[test]
+    fn throttle_window_rejects_tail_of_each_cycle() {
+        let p = FaultProfile {
+            throttle: Some(Throttle { every: 4, window: 2 }),
+            ..FaultProfile::none()
+        };
+        // A pure-throttle profile is still "some" faults.
+        assert!(!p.is_none());
+        let inj = injector(p);
+        let decisions: Vec<_> = (0..8).map(|_| inj.on_scan(TableId(0))).collect();
+        use FaultDecision::{Proceed, Throttled};
+        assert_eq!(decisions, vec![Proceed, Proceed, Throttled, Throttled, Proceed, Proceed, Throttled, Throttled]);
+    }
+
+    #[test]
+    fn tables_roll_independently() {
+        // With a mid rate, two tables should not share their exact fault
+        // pattern (they mix different keys into the roll).
+        let inj = injector(FaultProfile::flaky(3, 0.5));
+        let a: Vec<_> = (0..64).map(|_| inj.on_scan(TableId(0))).collect();
+        let b: Vec<_> = (0..64).map(|_| inj.on_scan(TableId(1))).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flaky_profile_shape() {
+        let p = FaultProfile::flaky(9, 0.2);
+        assert_eq!(p.seed, 9);
+        assert!((p.scan_transient - 0.2).abs() < 1e-12);
+        assert!((p.scan_drop - 0.05).abs() < 1e-12);
+        assert_eq!(p.connect_fail, 0.0);
+        assert!(!p.is_none());
+        assert!(FaultProfile::none().is_none());
+    }
+
+    #[test]
+    fn rolls_are_uniform_in_unit_interval() {
+        for attempt in 0..1000 {
+            let u = roll(123, KIND_SCAN, 7, attempt);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

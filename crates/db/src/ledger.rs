@@ -18,6 +18,12 @@ pub struct Ledger {
     columns_scanned: AtomicU64,
     rows_read: AtomicU64,
     bytes_read: AtomicU64,
+    failed_queries: AtomicU64,
+    injected_timeouts: AtomicU64,
+    dropped_connections: AtomicU64,
+    throttled_queries: AtomicU64,
+    wasted_bytes: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 /// A point-in-time copy of the ledger counters.
@@ -36,6 +42,24 @@ pub struct LedgerSnapshot {
     pub rows_read: u64,
     /// Cell bytes transferred by scans.
     pub bytes_read: u64,
+    /// Queries that failed from an injected fault (any kind).
+    #[serde(default)]
+    pub failed_queries: u64,
+    /// Queries that failed specifically by exceeding their deadline.
+    #[serde(default)]
+    pub injected_timeouts: u64,
+    /// Connections dropped (poisoned) mid-query by an injected fault.
+    #[serde(default)]
+    pub dropped_connections: u64,
+    /// Queries rejected by a throttling window.
+    #[serde(default)]
+    pub throttled_queries: u64,
+    /// Bytes transferred by scans whose query ultimately failed.
+    #[serde(default)]
+    pub wasted_bytes: u64,
+    /// Reconnects performed to replace poisoned connections.
+    #[serde(default)]
+    pub reconnects: u64,
 }
 
 impl LedgerSnapshot {
@@ -48,6 +72,12 @@ impl LedgerSnapshot {
             columns_scanned: self.columns_scanned - earlier.columns_scanned,
             rows_read: self.rows_read - earlier.rows_read,
             bytes_read: self.bytes_read - earlier.bytes_read,
+            failed_queries: self.failed_queries - earlier.failed_queries,
+            injected_timeouts: self.injected_timeouts - earlier.injected_timeouts,
+            dropped_connections: self.dropped_connections - earlier.dropped_connections,
+            throttled_queries: self.throttled_queries - earlier.throttled_queries,
+            wasted_bytes: self.wasted_bytes - earlier.wasted_bytes,
+            reconnects: self.reconnects - earlier.reconnects,
         }
     }
 
@@ -82,6 +112,33 @@ impl Ledger {
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_failed_query(&self) {
+        self.failed_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_injected_timeout(&self) {
+        self.failed_queries.fetch_add(1, Ordering::Relaxed);
+        self.injected_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dropped_connection(&self) {
+        self.failed_queries.fetch_add(1, Ordering::Relaxed);
+        self.dropped_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_throttled_query(&self) {
+        self.failed_queries.fetch_add(1, Ordering::Relaxed);
+        self.throttled_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wasted_bytes(&self, bytes: u64) {
+        self.wasted_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> LedgerSnapshot {
         LedgerSnapshot {
@@ -91,7 +148,25 @@ impl Ledger {
             columns_scanned: self.columns_scanned.load(Ordering::Relaxed),
             rows_read: self.rows_read.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            failed_queries: self.failed_queries.load(Ordering::Relaxed),
+            injected_timeouts: self.injected_timeouts.load(Ordering::Relaxed),
+            dropped_connections: self.dropped_connections.load(Ordering::Relaxed),
+            throttled_queries: self.throttled_queries.load(Ordering::Relaxed),
+            wasted_bytes: self.wasted_bytes.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
         }
+    }
+
+    /// Counter delta since `baseline`, advancing `baseline` to now.
+    ///
+    /// Back-to-back experiments in one process share the database's ledger;
+    /// this lets each run report only its own interaction counts without
+    /// destructively resetting the ledger under a concurrent reader.
+    pub fn snapshot_delta(&self, baseline: &mut LedgerSnapshot) -> LedgerSnapshot {
+        let now = self.snapshot();
+        let delta = now.since(baseline);
+        *baseline = now;
+        delta
     }
 
     /// Resets every counter to zero (between experiment runs).
@@ -102,6 +177,12 @@ impl Ledger {
         self.columns_scanned.store(0, Ordering::Relaxed);
         self.rows_read.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
+        self.failed_queries.store(0, Ordering::Relaxed);
+        self.injected_timeouts.store(0, Ordering::Relaxed);
+        self.dropped_connections.store(0, Ordering::Relaxed);
+        self.throttled_queries.store(0, Ordering::Relaxed);
+        self.wasted_bytes.store(0, Ordering::Relaxed);
+        self.reconnects.store(0, Ordering::Relaxed);
     }
 }
 
@@ -143,6 +224,40 @@ mod tests {
         let delta = l.snapshot().since(&before);
         assert_eq!(delta.columns_scanned, 3);
         assert_eq!(delta.scan_queries, 1);
+    }
+
+    #[test]
+    fn snapshot_delta_advances_baseline() {
+        let l = Ledger::new();
+        let mut baseline = l.snapshot();
+        l.record_scan(2, 5, 10);
+        let d1 = l.snapshot_delta(&mut baseline);
+        assert_eq!(d1.columns_scanned, 2);
+        l.record_scan(3, 1, 1);
+        let d2 = l.snapshot_delta(&mut baseline);
+        assert_eq!(d2.columns_scanned, 3);
+        // No further activity → empty delta.
+        assert_eq!(l.snapshot_delta(&mut baseline), LedgerSnapshot::default());
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_reset() {
+        let l = Ledger::new();
+        l.record_failed_query();
+        l.record_injected_timeout();
+        l.record_dropped_connection();
+        l.record_throttled_query();
+        l.record_wasted_bytes(512);
+        l.record_reconnect();
+        let s = l.snapshot();
+        assert_eq!(s.failed_queries, 4);
+        assert_eq!(s.injected_timeouts, 1);
+        assert_eq!(s.dropped_connections, 1);
+        assert_eq!(s.throttled_queries, 1);
+        assert_eq!(s.wasted_bytes, 512);
+        assert_eq!(s.reconnects, 1);
+        l.reset();
+        assert_eq!(l.snapshot(), LedgerSnapshot::default());
     }
 
     #[test]

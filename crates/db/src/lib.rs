@@ -20,12 +20,17 @@
 //!   bytes moved, metadata queries, connections opened. The "ratio of
 //!   scanned columns" metric (Fig. 5) is computed from it.
 //! * [`rowcodec`] — the compact cell/row byte encoding used by the engine.
+//! * [`faults`] — deterministic, seeded fault injection (transient errors,
+//!   connection drops, query timeouts, throttling windows), so the
+//!   framework's retry/degradation machinery can be exercised and measured
+//!   reproducibly.
 
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod connection;
 pub mod engine;
+pub mod faults;
 pub mod latency;
 pub mod ledger;
 pub mod pool;
@@ -34,6 +39,7 @@ pub mod sql;
 
 pub use connection::Connection;
 pub use engine::{Database, ScanMethod};
+pub use faults::{FaultDecision, FaultInjector, FaultProfile, Throttle};
 pub use latency::LatencyProfile;
 pub use ledger::{Ledger, LedgerSnapshot};
 pub use pool::{ConnectionPool, PooledConnection};

@@ -19,6 +19,7 @@ struct PoolState {
     idle: Vec<Connection>,
     created: usize,
     in_use: usize,
+    discarded: usize,
 }
 
 struct PoolInner {
@@ -54,7 +55,7 @@ impl ConnectionPool {
                 db,
                 max_connections,
                 acquire_timeout,
-                state: Mutex::new(PoolState { idle: Vec::new(), created: 0, in_use: 0 }),
+                state: Mutex::new(PoolState { idle: Vec::new(), created: 0, in_use: 0, discarded: 0 }),
                 available: Condvar::new(),
             }),
         }
@@ -64,8 +65,10 @@ impl ConnectionPool {
     /// otherwise blocking until a checkin or the acquire timeout.
     ///
     /// # Errors
-    /// Returns [`TasteError::Database`] on timeout (the user database's
-    /// connection limit is saturated).
+    /// Returns the retryable [`TasteError::Timeout`] on acquire timeout
+    /// (the user database's connection limit is saturated — a later
+    /// attempt may find a freed slot). An injected connect fault while
+    /// creating a fresh connection surfaces as [`TasteError::Transient`].
     pub fn get(&self) -> Result<PooledConnection> {
         let deadline = Instant::now() + self.inner.acquire_timeout;
         let mut state = self.inner.state.lock();
@@ -79,18 +82,30 @@ impl ConnectionPool {
                 state.in_use += 1;
                 // Pay the connect cost outside the lock.
                 drop(state);
-                let conn = self.inner.db.connect();
-                return Ok(PooledConnection { conn: Some(conn), pool: Arc::clone(&self.inner) });
+                match self.inner.db.try_connect() {
+                    Ok(conn) => {
+                        return Ok(PooledConnection { conn: Some(conn), pool: Arc::clone(&self.inner) })
+                    }
+                    Err(e) => {
+                        // Roll back the reservation so the slot stays usable.
+                        let mut state = self.inner.state.lock();
+                        state.created -= 1;
+                        state.in_use -= 1;
+                        drop(state);
+                        self.inner.available.notify_one();
+                        return Err(e);
+                    }
+                }
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(TasteError::Database(format!(
+                return Err(TasteError::timeout(format!(
                     "connection pool exhausted ({} in use) after {:?}",
                     state.in_use, self.inner.acquire_timeout
                 )));
             }
             if self.inner.available.wait_until(&mut state, deadline).timed_out() && state.idle.is_empty() {
-                return Err(TasteError::Database(format!(
+                return Err(TasteError::timeout(format!(
                     "connection pool exhausted ({} in use) after {:?}",
                     state.in_use, self.inner.acquire_timeout
                 )));
@@ -111,6 +126,11 @@ impl ConnectionPool {
     /// The configured ceiling.
     pub fn max_connections(&self) -> usize {
         self.inner.max_connections
+    }
+
+    /// Fault-poisoned connections discarded at checkin instead of reused.
+    pub fn discarded(&self) -> usize {
+        self.inner.state.lock().discarded
     }
 }
 
@@ -133,7 +153,15 @@ impl Drop for PooledConnection {
     fn drop(&mut self) {
         if let Some(conn) = self.conn.take() {
             let mut state = self.pool.state.lock();
-            state.idle.push(conn);
+            if conn.is_poisoned() {
+                // A fault dropped this connection mid-query: discard it so
+                // the next checkout opens a fresh one instead of handing a
+                // broken connection to another worker.
+                state.created -= 1;
+                state.discarded += 1;
+            } else {
+                state.idle.push(conn);
+            }
             state.in_use -= 1;
             drop(state);
             self.pool.available.notify_one();
@@ -254,6 +282,53 @@ mod tests {
         let pool = ConnectionPool::new(db, 1, Duration::from_millis(50));
         let c = pool.get().unwrap();
         // Deref: call Connection methods directly on the guard.
-        assert_eq!(c.fetch_tables().len(), 1);
+        assert_eq!(c.fetch_tables().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn acquire_timeout_is_retryable_timeout() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 1, Duration::from_millis(20));
+        let _held = pool.get().unwrap();
+        let err = pool.get().unwrap_err();
+        assert!(matches!(err, TasteError::Timeout(_)), "got {err:?}");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn poisoned_connections_are_discarded_not_reused() {
+        use crate::engine::ScanMethod;
+        use crate::faults::FaultProfile;
+        let db = db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile { scan_drop: 1.0, ..FaultProfile::none() });
+        let pool = ConnectionPool::new(Arc::clone(&db), 2, Duration::from_millis(100));
+        {
+            let c = pool.get().unwrap();
+            assert!(c.scan_columns(TableId(0), &[0], ScanMethod::FirstM { m: 1 }).is_err());
+            assert!(c.is_poisoned());
+        }
+        assert_eq!(pool.discarded(), 1);
+        assert_eq!(pool.created(), 0, "poisoned connection must free its slot");
+        // Disable faults: the next checkout opens a fresh, healthy connection.
+        db.set_fault_profile(FaultProfile::none());
+        let c = pool.get().unwrap();
+        assert!(!c.is_poisoned());
+        assert!(c.fetch_tables().is_ok());
+        assert_eq!(pool.created(), 1);
+    }
+
+    #[test]
+    fn failed_create_rolls_back_reservation() {
+        use crate::faults::FaultProfile;
+        let db = db(LatencyProfile::zero());
+        db.set_fault_profile(FaultProfile { connect_fail: 1.0, ..FaultProfile::none() });
+        let pool = ConnectionPool::new(Arc::clone(&db), 1, Duration::from_millis(20));
+        let err = pool.get().unwrap_err();
+        assert!(matches!(err, TasteError::Transient(_)), "got {err:?}");
+        assert_eq!(pool.created(), 0);
+        assert_eq!(pool.in_use(), 0);
+        // Slot is free again once faults clear.
+        db.set_fault_profile(FaultProfile::none());
+        assert!(pool.get().is_ok());
     }
 }

@@ -135,7 +135,7 @@ impl Parser {
 }
 
 fn table_id_by_name(conn: &Connection, name: &str) -> Result<TableId> {
-    let tables = conn.fetch_tables();
+    let tables = conn.fetch_tables()?;
     tables
         .iter()
         .find(|t| t.name.eq_ignore_ascii_case(name))

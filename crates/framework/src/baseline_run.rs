@@ -98,7 +98,12 @@ pub fn run_baseline(
                 ));
             }
         }
-        results.push(TableResult { table: tid, admitted, uncertain_columns: 0 });
+        results.push(TableResult {
+            table: tid,
+            admitted,
+            uncertain_columns: 0,
+            resilience: Default::default(),
+        });
     }
     let wall_time = t0.elapsed();
     let ledger = db.ledger().snapshot().since(&ledger_before);
@@ -110,6 +115,8 @@ pub fn run_baseline(
         total_columns,
         cache_hits: 0,
         cache_misses: 0,
+        breaker_trips: 0,
+        breaker_transitions: Vec::new(),
     })
 }
 

@@ -1,5 +1,6 @@
 //! Framework configuration: the knobs of §3.2, §6.1.2, and §6.2.
 
+use crate::retry::RetryConfig;
 use serde::{Deserialize, Serialize};
 use taste_core::{Result, TasteError};
 use taste_db::ScanMethod;
@@ -43,6 +44,9 @@ pub struct TasteConfig {
     pub use_histograms: bool,
     /// P2 admission threshold on the content tower's probabilities.
     pub p2_threshold: f32,
+    /// Retry / backoff / circuit-breaker policy for database stages.
+    #[serde(default)]
+    pub retry: RetryConfig,
 }
 
 impl Default for TasteConfig {
@@ -59,6 +63,7 @@ impl Default for TasteConfig {
             pool_size: 2,
             use_histograms: false,
             p2_threshold: 0.5,
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -93,6 +98,7 @@ impl TasteConfig {
         if !(0.0..=1.0).contains(&self.p2_threshold) {
             return Err(TasteError::invalid("p2 threshold out of range"));
         }
+        self.retry.validate()?;
         Ok(())
     }
 
@@ -151,6 +157,13 @@ mod tests {
         assert!(TasteConfig { l: 0, ..Default::default() }.validate().is_err());
         assert!(TasteConfig { m: 0, n: 0, ..Default::default() }.validate().is_err());
         assert!(TasteConfig { pool_size: 0, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn validation_covers_retry_policy() {
+        let bad_retry = RetryConfig { max_attempts: 0, ..Default::default() };
+        let c = TasteConfig { retry: bad_retry, ..Default::default() };
+        assert!(c.validate().is_err());
     }
 
     #[test]

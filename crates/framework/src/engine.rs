@@ -11,9 +11,18 @@
 //! per-table stage order is thus preserved while stages of different
 //! tables overlap: one table's content scan (I/O sleep) proceeds while
 //! another's inference (CPU) runs.
+//!
+//! Every database stage runs under the retry policy of
+//! [`crate::retry`]: transient faults are retried with backoff behind a
+//! per-database circuit breaker, and — with `retry.degrade` on — a table
+//! whose P2 content scan exhausts its budget falls back to its P1
+//! metadata-only verdicts instead of failing the batch (a table whose P1
+//! fails is reported as failed with empty verdicts). Either way a failing
+//! table can never wedge a pool worker or lose its slot in the report.
 
 use crate::config::TasteConfig;
-use crate::report::{DetectionReport, TableResult};
+use crate::report::{DetectionReport, ResilienceSummary, TableResult};
+use crate::retry::{connect_with_retry, run_with_retry, CircuitBreaker};
 use crate::stages::{infer_phase1, infer_phase2, prep_phase1, prep_phase2, P1Infer, P1Prep, P2Prep};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
@@ -40,6 +49,7 @@ struct TableState {
     prep2: Option<P2Prep>,
     finals: Option<Vec<LabelSet>>,
     error: Option<TasteError>,
+    resilience: ResilienceSummary,
 }
 
 type Shared = Arc<(Mutex<TableState>, AtomicUsize)>;
@@ -80,12 +90,16 @@ impl TasteEngine {
     /// returning the per-column admitted sets plus the cost telemetry.
     pub fn detect_batch(&self, db: &Arc<Database>, tables: &[TableId]) -> Result<DetectionReport> {
         self.cache.clear();
+        let breaker = CircuitBreaker::new(
+            self.config.retry.breaker_threshold,
+            self.config.retry.breaker_cooldown,
+        );
         let ledger_before = db.ledger().snapshot();
         let t0 = Instant::now();
         let states = if self.config.pipelining {
-            self.run_pipelined(db, tables)?
+            self.run_pipelined(db, tables, &breaker)?
         } else {
-            self.run_sequential(db, tables)?
+            self.run_sequential(db, tables, &breaker)?
         };
         let wall_time = t0.elapsed();
         let ledger = db.ledger().snapshot().since(&ledger_before);
@@ -106,7 +120,12 @@ impl TasteEngine {
                 .ok_or_else(|| TasteError::Scheduler(format!("table {} never finished", st.tid.0)))?;
             total_columns += finals.len() as u64;
             let uncertain_columns = st.infer1.as_ref().map_or(0, |i| i.uncertain.len());
-            results.push(TableResult { table: st.tid, admitted: finals, uncertain_columns });
+            results.push(TableResult {
+                table: st.tid,
+                admitted: finals,
+                uncertain_columns,
+                resilience: st.resilience,
+            });
         }
         Ok(DetectionReport {
             approach: "TASTE".into(),
@@ -116,6 +135,8 @@ impl TasteEngine {
             total_columns,
             cache_hits,
             cache_misses,
+            breaker_trips: breaker.trips(),
+            breaker_transitions: breaker.transitions(),
         })
     }
 
@@ -131,6 +152,7 @@ impl TasteEngine {
                         prep2: None,
                         finals: None,
                         error: None,
+                        resilience: ResilienceSummary::default(),
                     }),
                     AtomicUsize::new(0),
                 ))
@@ -140,35 +162,47 @@ impl TasteEngine {
 
     /// Sequential mode (*TASTE w/o pipelining*): one connection, tables
     /// processed one after another, stages in order.
-    fn run_sequential(&self, db: &Arc<Database>, tables: &[TableId]) -> Result<Vec<Shared>> {
+    fn run_sequential(
+        &self,
+        db: &Arc<Database>,
+        tables: &[TableId],
+        breaker: &Arc<CircuitBreaker>,
+    ) -> Result<Vec<Shared>> {
         let states = self.new_states(tables);
-        let conn = db.connect();
+        let conn = connect_with_retry(db, &self.config.retry)?;
         for state in &states {
-            run_stage(StageKind::P1Prep, state, &conn, &self.model, &self.cache, &self.config);
-            run_stage(StageKind::P1Infer, state, &conn, &self.model, &self.cache, &self.config);
-            run_stage(StageKind::P2Prep, state, &conn, &self.model, &self.cache, &self.config);
-            run_stage(StageKind::P2Infer, state, &conn, &self.model, &self.cache, &self.config);
+            for stage in StageKind::ORDER {
+                run_stage(stage, state, Some(&conn), &self.model, &self.cache, &self.config, breaker);
+            }
         }
         Ok(states)
     }
 
     /// Pipelined mode: Algorithm 1.
-    fn run_pipelined(&self, db: &Arc<Database>, tables: &[TableId]) -> Result<Vec<Shared>> {
+    fn run_pipelined(
+        &self,
+        db: &Arc<Database>,
+        tables: &[TableId],
+        breaker: &Arc<CircuitBreaker>,
+    ) -> Result<Vec<Shared>> {
         let states = self.new_states(tables);
         let pool = self.config.pool_size;
 
-        // TP1: preparation workers, each owning a reused connection.
+        // TP1: preparation workers, each owning a reused connection. A
+        // worker whose connect attempts all fail still drains jobs (with
+        // no connection), so prep stages degrade instead of deadlocking.
         let (prep_tx, prep_rx) = unbounded::<Job>();
         let tp1_active = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(pool * 2);
+        let retry_cfg = self.config.retry;
         for _ in 0..pool {
             let rx = prep_rx.clone();
             let active = Arc::clone(&tp1_active);
             let db = Arc::clone(db);
             handles.push(std::thread::spawn(move || {
-                let conn = db.connect();
+                let conn = connect_with_retry(&db, &retry_cfg).ok();
                 while let Ok(job) = rx.recv() {
-                    job(Some(&conn));
+                    job(conn.as_ref());
                     active.fetch_sub(1, Ordering::SeqCst);
                 }
             }));
@@ -198,7 +232,7 @@ impl TasteEngine {
                 if let Some(pos) = first_eligible(&queue, &states, true) {
                     let (t, stage) = queue.remove(pos);
                     tp1_active.fetch_add(1, Ordering::SeqCst);
-                    self.dispatch(&prep_tx, t, stage, &states);
+                    self.dispatch(&prep_tx, t, stage, &states, breaker);
                     dispatched = true;
                 }
             }
@@ -206,7 +240,7 @@ impl TasteEngine {
                 if let Some(pos) = first_eligible(&queue, &states, false) {
                     let (t, stage) = queue.remove(pos);
                     tp2_active.fetch_add(1, Ordering::SeqCst);
-                    self.dispatch(&infer_tx, t, stage, &states);
+                    self.dispatch(&infer_tx, t, stage, &states, breaker);
                     dispatched = true;
                 }
             }
@@ -222,19 +256,26 @@ impl TasteEngine {
         Ok(states)
     }
 
-    fn dispatch(&self, tx: &Sender<Job>, t: usize, stage: StageKind, states: &[Shared]) {
+    fn dispatch(
+        &self,
+        tx: &Sender<Job>,
+        t: usize,
+        stage: StageKind,
+        states: &[Shared],
+        breaker: &Arc<CircuitBreaker>,
+    ) {
         let state = Arc::clone(&states[t]);
         let model = Arc::clone(&self.model);
         let cache = Arc::clone(&self.cache);
         let cfg = self.config;
+        let breaker = Arc::clone(breaker);
         let job: Job = if stage.is_prep() {
             Box::new(move |conn| {
-                let conn = conn.expect("prep stages run on TP1 workers with a connection");
-                run_stage(stage, &state, conn, &model, &cache, &cfg);
+                run_stage(stage, &state, conn, &model, &cache, &cfg, &breaker);
             })
         } else {
             Box::new(move |_conn| {
-                run_stage_inference(stage, &state, &model, &cache, &cfg);
+                run_stage(stage, &state, None, &model, &cache, &cfg, &breaker);
             })
         };
         tx.send(job).expect("workers outlive the scheduler loop");
@@ -249,30 +290,23 @@ fn first_eligible(queue: &[(usize, StageKind)], states: &[Shared], prep: bool) -
     })
 }
 
-/// Executes one stage against the shared state (prep stages need the
-/// connection; inference stages ignore it).
+/// Executes one stage against the shared state (prep stages use the
+/// connection; inference stages ignore it) and advances the table's
+/// stage counter. Runs as a no-op once the table has errored, so the
+/// scheduler always drains the queue.
 fn run_stage(
     stage: StageKind,
     state: &Shared,
-    conn: &Connection,
+    conn: Option<&Connection>,
     model: &Adtd,
     cache: &LatentCache,
     cfg: &TasteConfig,
+    breaker: &CircuitBreaker,
 ) {
     {
         let mut st = state.0.lock();
         if st.error.is_none() {
-            execute(stage, &mut st, Some(conn), model, cache, cfg);
-        }
-    }
-    state.1.fetch_add(1, Ordering::SeqCst);
-}
-
-fn run_stage_inference(stage: StageKind, state: &Shared, model: &Adtd, cache: &LatentCache, cfg: &TasteConfig) {
-    {
-        let mut st = state.0.lock();
-        if st.error.is_none() {
-            execute(stage, &mut st, None, model, cache, cfg);
+            execute(stage, &mut st, conn, model, cache, cfg, breaker);
         }
     }
     state.1.fetch_add(1, Ordering::SeqCst);
@@ -285,26 +319,88 @@ fn execute(
     model: &Adtd,
     cache: &LatentCache,
     cfg: &TasteConfig,
+    breaker: &CircuitBreaker,
 ) {
     let result: Result<()> = (|| {
         match stage {
             StageKind::P1Prep => {
-                let conn = conn.ok_or_else(|| TasteError::Scheduler("prep without connection".into()))?;
-                st.prep1 = Some(prep_phase1(conn, st.tid, cfg)?);
+                let Some(conn) = conn else {
+                    // The worker never got a connection. Without P1
+                    // metadata there is nothing to fall back to: mark the
+                    // table failed (degrade mode) or fail the batch.
+                    if cfg.retry.degrade {
+                        st.resilience.failed = true;
+                        return Ok(());
+                    }
+                    return Err(TasteError::Scheduler("prep without connection".into()));
+                };
+                let tid = st.tid;
+                let (res, stats) =
+                    run_with_retry(&cfg.retry, breaker, conn, "prep_phase1", |c| prep_phase1(c, tid, cfg));
+                st.resilience.absorb(&stats);
+                match res {
+                    Ok(p) => st.prep1 = Some(p),
+                    Err(f) if f.retryable && cfg.retry.degrade => st.resilience.failed = true,
+                    Err(f) => return Err(f.error),
+                }
             }
             StageKind::P1Infer => {
+                if st.resilience.failed {
+                    return Ok(());
+                }
                 let prep = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P1Infer before P1Prep".into()))?;
                 st.infer1 = Some(infer_phase1(model, cfg, st.tid, prep, Some(cache)));
             }
             StageKind::P2Prep => {
-                let conn = conn.ok_or_else(|| TasteError::Scheduler("prep without connection".into()))?;
+                if st.resilience.failed {
+                    return Ok(());
+                }
+                let tid = st.tid;
+                let uncertain = st
+                    .infer1
+                    .as_ref()
+                    .ok_or_else(|| TasteError::Scheduler("P2Prep before P1Infer".into()))?
+                    .uncertain
+                    .clone();
                 let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Prep before P1Prep".into()))?;
-                let infer1 = st.infer1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Prep before P1Infer".into()))?;
-                st.prep2 = Some(prep_phase2(conn, st.tid, prep1, &infer1.uncertain, cfg)?);
+                let Some(conn) = conn else {
+                    // Lost connection: P1 verdicts survive, so degrade.
+                    if cfg.retry.degrade {
+                        st.resilience.degraded = true;
+                        st.resilience.degraded_columns += uncertain.len();
+                        return Ok(());
+                    }
+                    return Err(TasteError::Scheduler("prep without connection".into()));
+                };
+                let (res, stats) =
+                    run_with_retry(&cfg.retry, breaker, conn, "prep_phase2", |c| {
+                        prep_phase2(c, tid, prep1, &uncertain, cfg)
+                    });
+                st.resilience.absorb(&stats);
+                match res {
+                    Ok(p) => st.prep2 = Some(p),
+                    Err(f) if f.retryable && cfg.retry.degrade => {
+                        st.resilience.degraded = true;
+                        st.resilience.degraded_columns += uncertain.len();
+                    }
+                    Err(f) => return Err(f.error),
+                }
             }
             StageKind::P2Infer => {
-                let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?;
+                if st.resilience.failed {
+                    // P1 never produced verdicts; report the table with
+                    // empty admitted sets so the batch stays complete.
+                    st.finals = Some(Vec::new());
+                    return Ok(());
+                }
                 let infer1 = st.infer1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Infer".into()))?;
+                if st.resilience.degraded && st.prep2.is_none() {
+                    // Graceful degradation: P1 metadata-only verdicts
+                    // stand for the uncertain columns (α = β semantics).
+                    st.finals = Some(infer1.admitted.clone());
+                    return Ok(());
+                }
+                let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?;
                 let prep2 = st.prep2.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P2Prep".into()))?;
                 st.finals = Some(infer_phase2(model, cfg, st.tid, prep1, infer1, prep2, Some(cache)));
             }

@@ -21,6 +21,11 @@
 //! * [`report`] — [`report::DetectionReport`] (wall time, intrusiveness
 //!   ledger delta, scanned ratio, per-column admitted types) and
 //!   evaluation against ground truth.
+//! * [`retry`] — the fault-handling layer: capped exponential backoff
+//!   with decorrelated jitter, per-stage deadlines, and a per-database
+//!   circuit breaker. With degradation enabled, a table whose P2 scan
+//!   exhausts its retry budget falls back to P1 metadata-only verdicts
+//!   instead of failing the batch.
 
 #![warn(missing_docs)]
 
@@ -29,9 +34,11 @@ pub mod custom_types;
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod retry;
 pub mod rules;
 pub mod stages;
 
 pub use config::TasteConfig;
 pub use engine::TasteEngine;
-pub use report::{evaluate_report, DetectionReport, TableResult};
+pub use report::{evaluate_report, DetectionReport, ResilienceSummary, TableResult};
+pub use retry::{BreakerState, CircuitBreaker, RetryConfig};

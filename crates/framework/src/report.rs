@@ -1,9 +1,42 @@
 //! Detection reports and evaluation.
 
+use crate::retry::RetryStats;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use taste_core::{EvalAccumulator, EvalScores, LabelSet, TableId};
 use taste_db::LedgerSnapshot;
+
+/// Per-table fault-handling telemetry: what it cost to get this table's
+/// verdicts out of a flaky database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceSummary {
+    /// Database operation attempts across the table's stages.
+    pub attempts: u32,
+    /// Attempts beyond the first per stage (i.e. actual retries).
+    pub retries: u32,
+    /// Total backoff sleep spent on this table.
+    pub backoff: Duration,
+    /// Poisoned-connection reconnects performed for this table.
+    pub reconnects: u32,
+    /// Columns whose final verdicts fell back to P1 metadata-only
+    /// inference because the P2 content scan exhausted its retry budget.
+    pub degraded_columns: usize,
+    /// Whether any stage of this table degraded.
+    pub degraded: bool,
+    /// Whether the table failed outright (P1 exhausted under `degrade`):
+    /// it appears in the report with empty admitted sets.
+    pub failed: bool,
+}
+
+impl ResilienceSummary {
+    /// Folds one stage's retry telemetry into the table summary.
+    pub fn absorb(&mut self, stats: &RetryStats) {
+        self.attempts += stats.attempts;
+        self.retries += stats.retries;
+        self.backoff += stats.backoff;
+        self.reconnects += stats.reconnects;
+    }
+}
 
 /// Per-table detection outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -14,6 +47,9 @@ pub struct TableResult {
     pub admitted: Vec<LabelSet>,
     /// How many of the table's columns were uncertain after P1.
     pub uncertain_columns: usize,
+    /// Fault-handling telemetry (all zeros on a clean run).
+    #[serde(default)]
+    pub resilience: ResilienceSummary,
 }
 
 /// The outcome of one end-to-end detection batch.
@@ -35,6 +71,12 @@ pub struct DetectionReport {
     pub cache_hits: u64,
     /// Latent cache misses during the batch.
     pub cache_misses: u64,
+    /// Times the per-database circuit breaker tripped during the batch.
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Chronological circuit-breaker transition log for the batch.
+    #[serde(default)]
+    pub breaker_transitions: Vec<String>,
 }
 
 impl DetectionReport {
@@ -52,6 +94,26 @@ impl DetectionReport {
     /// Flattened admitted sets in (table, ordinal) order.
     pub fn all_admitted(&self) -> impl Iterator<Item = &LabelSet> {
         self.tables.iter().flat_map(|t| t.admitted.iter())
+    }
+
+    /// Columns that fell back to P1-only verdicts under faults.
+    pub fn degraded_columns(&self) -> usize {
+        self.tables.iter().map(|t| t.resilience.degraded_columns).sum()
+    }
+
+    /// Tables with at least one degraded stage (including failed tables).
+    pub fn degraded_tables(&self) -> usize {
+        self.tables.iter().filter(|t| t.resilience.degraded || t.resilience.failed).count()
+    }
+
+    /// Total database-operation retries across the batch.
+    pub fn total_retries(&self) -> u32 {
+        self.tables.iter().map(|t| t.resilience.retries).sum()
+    }
+
+    /// Total backoff sleep across the batch.
+    pub fn total_backoff(&self) -> Duration {
+        self.tables.iter().map(|t| t.resilience.backoff).sum()
     }
 }
 
@@ -91,11 +153,13 @@ mod tests {
                     table: TableId(0),
                     admitted: vec![ls(&[1]), ls(&[])],
                     uncertain_columns: 1,
+                    resilience: ResilienceSummary::default(),
                 },
                 TableResult {
                     table: TableId(1),
                     admitted: vec![ls(&[2])],
                     uncertain_columns: 0,
+                    resilience: ResilienceSummary::default(),
                 },
             ],
             wall_time: Duration::from_millis(5),
@@ -103,6 +167,8 @@ mod tests {
             total_columns: 3,
             cache_hits: 0,
             cache_misses: 0,
+            breaker_trips: 0,
+            breaker_transitions: Vec::new(),
         }
     }
 
@@ -133,5 +199,41 @@ mod tests {
         let r = report();
         let truth = vec![vec![ls(&[1])], vec![ls(&[3])]];
         let _ = evaluate_report(&r, &truth, 5);
+    }
+
+    #[test]
+    fn resilience_rollups() {
+        let mut r = report();
+        r.tables[0].resilience = ResilienceSummary {
+            attempts: 6,
+            retries: 4,
+            backoff: Duration::from_millis(12),
+            reconnects: 1,
+            degraded_columns: 2,
+            degraded: true,
+            failed: false,
+        };
+        assert_eq!(r.degraded_columns(), 2);
+        assert_eq!(r.degraded_tables(), 1);
+        assert_eq!(r.total_retries(), 4);
+        assert_eq!(r.total_backoff(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn resilience_absorbs_stage_stats() {
+        use crate::retry::RetryStats;
+        let mut s = ResilienceSummary::default();
+        s.absorb(&RetryStats {
+            attempts: 3,
+            retries: 2,
+            backoff: Duration::from_millis(4),
+            reconnects: 1,
+        });
+        s.absorb(&RetryStats { attempts: 1, ..Default::default() });
+        assert_eq!(s.attempts, 4);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.backoff, Duration::from_millis(4));
+        assert_eq!(s.reconnects, 1);
+        assert!(!s.degraded && !s.failed);
     }
 }

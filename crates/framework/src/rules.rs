@@ -141,7 +141,12 @@ impl RuleBaseline {
                     .collect();
                 admitted.push(self.detect(registry, &values));
             }
-            results.push(TableResult { table: tid, admitted, uncertain_columns: 0 });
+            results.push(TableResult {
+                table: tid,
+                admitted,
+                uncertain_columns: 0,
+                resilience: Default::default(),
+            });
         }
         Ok(DetectionReport {
             approach: "Rules".into(),
@@ -151,6 +156,8 @@ impl RuleBaseline {
             total_columns,
             cache_hits: 0,
             cache_misses: 0,
+            breaker_trips: 0,
+            breaker_transitions: Vec::new(),
         })
     }
 }

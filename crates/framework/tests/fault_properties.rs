@@ -1,0 +1,167 @@
+//! Property tests for the fault-injection + retry stack: under *any*
+//! seeded [`FaultProfile`], the pipelined engine must terminate, keep
+//! stage ordering per table, and report every table exactly once — a
+//! table either carries full verdicts or is explicitly marked
+//! failed/degraded, never silently dropped.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use taste_core::{Cell, ColumnId, ColumnMeta, LabelSet, RawType, Table, TableId, TableMeta};
+use taste_db::{Database, FaultProfile, LatencyProfile};
+use taste_framework::retry::RetryConfig;
+use taste_framework::{TasteConfig, TasteEngine};
+use taste_model::{Adtd, ModelConfig};
+use taste_tokenizer::{Tokenizer, VocabBuilder};
+
+fn tokenizer() -> Tokenizer {
+    let mut b = VocabBuilder::new();
+    for w in ["users", "city", "num", "text", "demo", "alpha", "beta"] {
+        b.add_word(w);
+        b.add_word(w);
+    }
+    Tokenizer::new(b.build(100, 1))
+}
+
+fn fixture_db(n_tables: usize) -> (Arc<Database>, Vec<TableId>) {
+    let db = Database::new("d", LatencyProfile::zero());
+    let mut ids = Vec::new();
+    for i in 0..n_tables {
+        let tid = TableId(0);
+        let ncols = 2 + i % 3;
+        let columns: Vec<ColumnMeta> = (0..ncols)
+            .map(|j| ColumnMeta {
+                id: ColumnId::new(tid, j as u16),
+                name: format!("city{j}"),
+                comment: None,
+                raw_type: RawType::Text,
+                nullable: false,
+                stats: Default::default(),
+                histogram: None,
+            })
+            .collect();
+        let rows = (0..15)
+            .map(|r| (0..ncols).map(|c| Cell::Text(format!("alpha{}", r * c))).collect())
+            .collect();
+        let t = Table {
+            meta: TableMeta { id: tid, name: format!("users_demo_{i}"), comment: None, row_count: 15 },
+            columns,
+            rows,
+            labels: vec![LabelSet::empty(); ncols],
+        };
+        ids.push(db.create_table(&t).unwrap());
+    }
+    (db, ids)
+}
+
+fn cfg() -> TasteConfig {
+    TasteConfig {
+        pipelining: true,
+        pool_size: 2,
+        alpha: 0.0001,
+        beta: 0.9999,
+        retry: RetryConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(10),
+            max_backoff: Duration::from_micros(50),
+            breaker_threshold: 10_000,
+            degrade: true,
+            ..RetryConfig::default()
+        },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The load-bearing invariant of graceful degradation: no fault mix
+    /// can wedge the scheduler, drop a table, or produce a half-filled
+    /// verdict vector.
+    #[test]
+    fn any_fault_profile_terminates_with_every_table_reported(
+        seed in any::<u64>(),
+        scan_transient in 0.0f64..0.9,
+        scan_drop in 0.0f64..0.5,
+        connect_fail in 0.0f64..0.5,
+        n_tables in 1usize..5,
+    ) {
+        let (db, ids) = fixture_db(n_tables);
+        db.set_fault_profile(FaultProfile {
+            seed,
+            scan_transient,
+            scan_drop,
+            connect_fail,
+            ..FaultProfile::none()
+        });
+        let cfg = cfg();
+        let engine = TasteEngine::new(
+            Arc::new(Adtd::new(ModelConfig::tiny(), tokenizer(), 4, 9)),
+            cfg,
+        ).unwrap();
+        let report = engine.detect_batch(&db, &ids).unwrap();
+
+        // Every table appears exactly once, in input order.
+        prop_assert_eq!(report.tables.len(), ids.len());
+        for (tr, &tid) in report.tables.iter().zip(&ids) {
+            prop_assert_eq!(tr.table, tid);
+        }
+
+        // Stage ordering per table: verdicts are either complete (one
+        // LabelSet per column — P1 then P2 or P1-only fallback) or the
+        // table is explicitly failed with an empty verdict vector.
+        for (i, tr) in report.tables.iter().enumerate() {
+            let ncols = 2 + i % 3;
+            if tr.resilience.failed {
+                prop_assert!(tr.admitted.is_empty());
+            } else {
+                prop_assert_eq!(tr.admitted.len(), ncols);
+                if tr.resilience.degraded {
+                    prop_assert!(tr.resilience.degraded_columns > 0);
+                    prop_assert!(tr.resilience.degraded_columns <= ncols);
+                }
+            }
+            // Retries never exceed the configured budget per stage
+            // (at most 2 retried stages: P1 prep + P2 prep).
+            prop_assert!(tr.resilience.retries <= 2 * (4 - 1));
+        }
+
+        // The rollups are consistent with the per-table summaries.
+        let degraded: usize = report.tables.iter()
+            .map(|t| t.resilience.degraded_columns)
+            .sum();
+        prop_assert_eq!(report.degraded_columns(), degraded);
+    }
+
+    /// Determinism: the same profile on the same catalog yields the same
+    /// report-level outcome, twice.
+    #[test]
+    fn same_profile_same_outcome(
+        seed in any::<u64>(),
+        scan_transient in 0.0f64..0.9,
+    ) {
+        let profile = |db: &Arc<Database>| db.set_fault_profile(FaultProfile {
+            seed,
+            scan_transient,
+            ..FaultProfile::none()
+        });
+        let cfg = cfg();
+        let run = || {
+            let (db, ids) = fixture_db(3);
+            profile(&db);
+            let engine = TasteEngine::new(
+                Arc::new(Adtd::new(ModelConfig::tiny(), tokenizer(), 4, 9)),
+                cfg,
+            ).unwrap();
+            engine.detect_batch(&db, &ids).unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.tables.len(), b.tables.len());
+        for (x, y) in a.tables.iter().zip(&b.tables) {
+            prop_assert_eq!(&x.admitted, &y.admitted);
+            prop_assert_eq!(x.resilience.degraded, y.resilience.degraded);
+            prop_assert_eq!(x.resilience.failed, y.resilience.failed);
+        }
+        prop_assert_eq!(a.degraded_columns(), b.degraded_columns());
+    }
+}
