@@ -1,6 +1,6 @@
 # Convenience targets for the TASTE reproduction workspace.
 
-.PHONY: verify build test clippy repro
+.PHONY: verify build test clippy crash-resume repro
 
 # The one gate every change must pass.
 verify:
@@ -14,6 +14,10 @@ test:
 
 clippy:
 	cargo clippy --workspace -- -D warnings
+
+# The release-mode kill-and-resume scenarios (too slow for `verify`).
+crash-resume:
+	cargo test --release -p taste-framework --test crash_resume -- --ignored
 
 # Quick-scale reproduction of every table and figure.
 repro:

@@ -12,7 +12,9 @@ fn main() {
     let scale = Scale::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro [table2|fig4|table3|table4|fig5|fig6|fig7|fig8|fault_sweep|all]...");
+        eprintln!(
+            "usage: repro [table2|fig4|table3|table4|fig5|fig6|fig7|fig8|fault_sweep|crash_resume|all]..."
+        );
         std::process::exit(2);
     }
     println!("reproduction scale: {:?}", scale);
@@ -28,6 +30,7 @@ fn main() {
             "fig7" => experiments::fig7(&scale),
             "fig8" => experiments::fig8(&scale),
             "fault_sweep" => experiments::fault_sweep(&scale),
+            "crash_resume" => experiments::crash_resume(&scale),
             "all" => experiments::all(&scale),
             other => {
                 eprintln!("unknown experiment: {other}");

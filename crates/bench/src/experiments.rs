@@ -11,13 +11,15 @@ use crate::scale::Scale;
 use serde_json::json;
 use std::sync::Arc;
 use std::time::Duration;
-use taste_core::Result;
+use taste_core::{Result, TasteError};
 use taste_data::load::{load_split, LoadedSplit};
 use taste_data::splits::Split;
 use taste_db::{FaultProfile, LatencyProfile};
 use taste_framework::baseline_run::{run_baseline, BaselineRunConfig};
 use taste_framework::config::ScanKind;
-use taste_framework::{evaluate_report, DetectionReport, RetryConfig, TasteConfig, TasteEngine};
+use taste_framework::{
+    evaluate_report, DetectionReport, HardeningConfig, RetryConfig, TasteConfig, TasteEngine,
+};
 use taste_model::Adtd;
 
 fn run_taste(model: &Arc<Adtd>, split: &LoadedSplit, cfg: TasteConfig) -> Result<DetectionReport> {
@@ -431,6 +433,110 @@ pub fn fault_sweep(scale: &Scale) -> Result<()> {
     Ok(())
 }
 
+/// Crash/resume — kill-and-resume determinism of the journaled engine
+/// on a flaky SynthGit tenant: an uninterrupted journaled run, a run
+/// halted mid-batch (simulated process kill between journal appends),
+/// and a resume from the halted run's journal. The resumed report must
+/// reproduce the uninterrupted verdicts exactly, with no table
+/// processed twice.
+pub fn crash_resume(scale: &Scale) -> Result<()> {
+    let bundle = build_bundle(DatasetKind::Git, scale)?;
+    let models = models::train_all(&bundle, scale)?;
+    let split = &bundle.test_fast;
+    let ids = split.db.table_ids();
+    // Sequential mode pins the halt point: exactly `halt_at` tables are
+    // journaled before the simulated kill.
+    let cfg = TasteConfig {
+        l: bundle.kind.default_l(),
+        pipelining: false,
+        retry: RetryConfig {
+            breaker_threshold: 1_000_000,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(5),
+            ..RetryConfig::default()
+        },
+        ..TasteConfig::default()
+    };
+    let full_path = std::env::temp_dir().join("taste-repro-journal-full.bin");
+    let crash_path = std::env::temp_dir().join("taste-repro-journal-crash.bin");
+    let flaky = || FaultProfile::flaky(scale.seed, 0.1);
+
+    // Uninterrupted reference run.
+    split.db.set_fault_profile(flaky());
+    let engine = TasteEngine::new(Arc::clone(&models.taste), cfg)?;
+    let full = engine.detect_batch_journaled(&split.db, &ids, &full_path)?;
+
+    // Halted run: dies after half the batch is journaled. Reinstalling
+    // the profile resets the fault layer's per-table attempt counters,
+    // so each run sees the same per-table fault rolls.
+    let halt_at = (ids.len() / 2).max(1);
+    let halt_cfg = TasteConfig {
+        hardening: HardeningConfig { halt_after_tables: Some(halt_at), ..Default::default() },
+        ..cfg
+    };
+    split.db.set_fault_profile(flaky());
+    let halt_engine = TasteEngine::new(Arc::clone(&models.taste), halt_cfg)?;
+    let aborted = halt_engine.detect_batch_journaled(&split.db, &ids, &crash_path)?;
+
+    // "Process restart": fresh engine, fresh fault counters, resume
+    // from the journal.
+    split.db.set_fault_profile(flaky());
+    let resume_engine = TasteEngine::new(Arc::clone(&models.taste), cfg)?;
+    let resumed = resume_engine.resume(&split.db, &ids, &crash_path)?;
+    split.db.set_fault_profile(FaultProfile::none());
+
+    let identical = full.tables.len() == resumed.tables.len()
+        && full
+            .tables
+            .iter()
+            .zip(&resumed.tables)
+            .all(|(a, b)| a.table == b.table && a.admitted == b.admitted);
+    let full_scores = evaluate_report(&full, &split.truth, split.ntypes);
+    let resumed_scores = evaluate_report(&resumed, &split.truth, split.ntypes);
+    let mut rows = Vec::new();
+    for (label, report, scores) in [
+        ("uninterrupted", &full, full_scores),
+        ("halted", &aborted, evaluate_report(&aborted, &split.truth, split.ntypes)),
+        ("resumed", &resumed, resumed_scores),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            report.tables.len().to_string(),
+            report.cancelled_tables().to_string(),
+            report.replayed_tables.to_string(),
+            secs(report.wall_time),
+            score(scores.f1),
+        ]);
+    }
+    print_table(
+        "Crash/resume: journaled detection under a mid-batch kill (SynthGit)",
+        &["run", "tables", "cancelled", "replayed", "time", "F1"],
+        &rows,
+    );
+    write_json(
+        "crash_resume",
+        &json!({
+            "tables": ids.len(),
+            "halt_after": halt_at,
+            "cancelled_at_halt": aborted.cancelled_tables(),
+            "replayed_on_resume": resumed.replayed_tables,
+            "journal_corrupt_records": resumed.journal_corrupt_records,
+            "journal_torn_tail": resumed.journal_torn_tail,
+            "verdicts_identical": identical,
+            "f1_uninterrupted": full_scores.f1,
+            "f1_resumed": resumed_scores.f1,
+        }),
+    );
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&crash_path);
+    if !identical {
+        return Err(TasteError::invalid(
+            "resumed verdicts diverged from the uninterrupted run",
+        ));
+    }
+    Ok(())
+}
+
 /// Runs every experiment in paper order.
 pub fn all(scale: &Scale) -> Result<()> {
     table2(scale)?;
@@ -442,5 +548,6 @@ pub fn all(scale: &Scale) -> Result<()> {
     fig7(scale)?;
     fig8(scale)?;
     fault_sweep(scale)?;
+    crash_resume(scale)?;
     Ok(())
 }

@@ -37,6 +37,15 @@ pub enum TasteError {
     /// An operation exceeded its deadline (query timeout, connection-pool
     /// acquire timeout). Retryable, but callers should budget for it.
     Timeout(String),
+    /// The operation was cancelled cooperatively (watchdog deadline, batch
+    /// halt, shutdown). Never retryable: the cancellation is a decision,
+    /// not a fault, and retrying would override it.
+    Cancelled(String),
+    /// Persisted state failed its integrity check (journal record or
+    /// cached latent with a bad checksum, torn write, bad magic). Never
+    /// retryable: re-reading the same bytes yields the same corruption;
+    /// the record must be quarantined instead.
+    Corrupt(String),
 }
 
 impl TasteError {
@@ -65,11 +74,24 @@ impl TasteError {
         TasteError::Timeout(what.into())
     }
 
+    /// Shorthand for [`TasteError::Cancelled`].
+    pub fn cancelled(what: impl Into<String>) -> Self {
+        TasteError::Cancelled(what.into())
+    }
+
+    /// Shorthand for [`TasteError::Corrupt`].
+    pub fn corrupt(what: impl Into<String>) -> Self {
+        TasteError::Corrupt(what.into())
+    }
+
     /// Whether retrying the failed operation can plausibly succeed.
     ///
     /// Only fault-style failures ([`Transient`](TasteError::Transient) and
     /// [`Timeout`](TasteError::Timeout)) are retryable; logical errors
     /// (missing tables, bad arguments, shape mismatches) never are.
+    /// [`Cancelled`](TasteError::Cancelled) is a decision, not a fault, and
+    /// [`Corrupt`](TasteError::Corrupt) is deterministic — retrying either
+    /// would be wrong, so both are explicitly non-retryable.
     pub fn is_retryable(&self) -> bool {
         matches!(self, TasteError::Transient(_) | TasteError::Timeout(_))
     }
@@ -87,6 +109,8 @@ impl fmt::Display for TasteError {
             TasteError::Training(s) => write!(f, "training error: {s}"),
             TasteError::Transient(s) => write!(f, "transient error: {s}"),
             TasteError::Timeout(s) => write!(f, "timeout: {s}"),
+            TasteError::Cancelled(s) => write!(f, "cancelled: {s}"),
+            TasteError::Corrupt(s) => write!(f, "corrupt: {s}"),
         }
     }
 }
@@ -121,6 +145,20 @@ mod tests {
         assert!(!TasteError::invalid("alpha").is_retryable());
         assert!(!TasteError::Database("x".into()).is_retryable());
         assert!(!TasteError::Scheduler("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn cancelled_and_corrupt_are_never_retryable() {
+        assert!(!TasteError::cancelled("watchdog deadline").is_retryable());
+        assert!(!TasteError::corrupt("journal crc mismatch").is_retryable());
+        assert_eq!(
+            TasteError::cancelled("batch halt").to_string(),
+            "cancelled: batch halt"
+        );
+        assert_eq!(
+            TasteError::corrupt("record 3").to_string(),
+            "corrupt: record 3"
+        );
     }
 
     #[test]

@@ -16,13 +16,20 @@
 //!   multi-label classification evaluation (Tables 3 and 4).
 //! * [`rng`] — deterministic seed derivation so every experiment in the
 //!   reproduction is replayable.
+//! * [`outcome`] — per-table terminal outcomes of a detection batch
+//!   ([`TableOutcome`]): completed, degraded, failed, panicked,
+//!   timed-out, or cancelled.
+//! * [`checksum`] — CRC32C and torn-write-safe record framing for the
+//!   crash-safety layer (verdict journal, latent-cache persistence).
 
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod error;
 pub mod histogram;
 pub mod labels;
 pub mod metrics;
+pub mod outcome;
 pub mod rng;
 pub mod table;
 pub mod types;
@@ -31,5 +38,6 @@ pub use error::{Result, TasteError};
 pub use histogram::{Histogram, HistogramKind};
 pub use labels::LabelSet;
 pub use metrics::{EvalAccumulator, EvalScores};
+pub use outcome::TableOutcome;
 pub use table::{Cell, ColumnId, ColumnMeta, RawType, Table, TableId, TableMeta};
 pub use types::{SemanticType, TypeId, TypeRegistry};

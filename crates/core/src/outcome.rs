@@ -1,0 +1,142 @@
+//! Per-table terminal outcomes of a detection batch.
+//!
+//! A production batch spanning thousands of tables must survive one
+//! table's bad data (a panic inside a stage), a wedged stage (a watchdog
+//! deadline), or an operator-initiated halt. Every table therefore ends
+//! in exactly one [`TableOutcome`], and the engine guarantees the batch
+//! report contains one entry per requested table regardless of how each
+//! one ended.
+//!
+//! State diagram (stages advance left to right; hazards exit downward):
+//!
+//! ```text
+//! P1Prep → P1Infer → P2Prep → P2Infer → Completed
+//!   |         |        |         |
+//!   |         |        +--(scan budget exhausted)----→ Degraded
+//!   +--(P1 budget exhausted)------------------------→ Failed
+//!   +--(stage panic caught)-------------------------→ Panicked
+//!   +--(stage deadline exceeded)--------------------→ TimedOut
+//!   +--(batch deadline / halt)---------------------→ Cancelled
+//! ```
+//!
+//! `Completed`, `Degraded`, `Failed`, `Panicked`, and `TimedOut` are
+//! *final*: the table's verdicts (possibly partial or empty) are settled
+//! and may be journaled. `Cancelled` is *not* final — the table never got
+//! its turn, so a resumed run must process it again.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How one table's pipeline ended.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableOutcome {
+    /// All stages ran; final verdicts are the full two-phase result.
+    #[default]
+    Completed,
+    /// P2 degraded (scan budget exhausted); verdicts are P1-only for the
+    /// affected columns.
+    Degraded,
+    /// P1 failed outright; the table is reported with empty verdicts.
+    Failed,
+    /// A stage panicked; the panic was caught at the stage boundary and
+    /// the rest of the batch was unaffected.
+    Panicked {
+        /// The stage that panicked (e.g. `"P1Infer"`).
+        stage: String,
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+    /// A stage exceeded its watchdog deadline. Verdicts are P1-only when
+    /// Phase 1 had already completed, empty otherwise.
+    TimedOut {
+        /// The stage that exceeded its deadline.
+        stage: String,
+    },
+    /// The batch was cancelled (batch deadline or halt) before this table
+    /// finished. Not a final verdict: resume re-runs the table.
+    Cancelled,
+}
+
+impl TableOutcome {
+    /// Whether this outcome settles the table's verdicts for good: final
+    /// outcomes are journaled and skipped on resume, `Cancelled` is not.
+    pub fn is_final(&self) -> bool {
+        !matches!(self, TableOutcome::Cancelled)
+    }
+
+    /// Whether the table's verdicts carry the full two-phase result (as
+    /// opposed to partial, empty, or absent verdicts).
+    pub fn is_clean(&self) -> bool {
+        matches!(self, TableOutcome::Completed)
+    }
+
+    /// Short label for tables and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TableOutcome::Completed => "completed",
+            TableOutcome::Degraded => "degraded",
+            TableOutcome::Failed => "failed",
+            TableOutcome::Panicked { .. } => "panicked",
+            TableOutcome::TimedOut { .. } => "timed-out",
+            TableOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for TableOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableOutcome::Panicked { stage, payload } => {
+                write!(f, "panicked at {stage}: {payload}")
+            }
+            TableOutcome::TimedOut { stage } => write!(f, "timed out at {stage}"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finality_partitions_outcomes() {
+        assert!(TableOutcome::Completed.is_final());
+        assert!(TableOutcome::Degraded.is_final());
+        assert!(TableOutcome::Failed.is_final());
+        assert!(TableOutcome::Panicked { stage: "P1Infer".into(), payload: "boom".into() }.is_final());
+        assert!(TableOutcome::TimedOut { stage: "P2Prep".into() }.is_final());
+        assert!(!TableOutcome::Cancelled.is_final());
+    }
+
+    #[test]
+    fn only_completed_is_clean() {
+        assert!(TableOutcome::Completed.is_clean());
+        assert!(!TableOutcome::Degraded.is_clean());
+        assert!(!TableOutcome::Cancelled.is_clean());
+    }
+
+    #[test]
+    fn display_includes_stage_context() {
+        let p = TableOutcome::Panicked { stage: "P1Infer".into(), payload: "index oob".into() };
+        assert_eq!(p.to_string(), "panicked at P1Infer: index oob");
+        assert_eq!(TableOutcome::TimedOut { stage: "P2Prep".into() }.to_string(), "timed out at P2Prep");
+        assert_eq!(TableOutcome::Completed.to_string(), "completed");
+        assert_eq!(TableOutcome::default(), TableOutcome::Completed);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let outcomes = vec![
+            TableOutcome::Completed,
+            TableOutcome::Degraded,
+            TableOutcome::Failed,
+            TableOutcome::Panicked { stage: "P2Infer".into(), payload: "nan".into() },
+            TableOutcome::TimedOut { stage: "P1Prep".into() },
+            TableOutcome::Cancelled,
+        ];
+        let json = serde_json::to_string(&outcomes).unwrap();
+        let back: Vec<TableOutcome> = serde_json::from_str(&json).unwrap();
+        assert_eq!(outcomes, back);
+    }
+}

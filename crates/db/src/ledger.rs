@@ -5,6 +5,25 @@
 //! (Fig. 5) — measures intrusiveness into user data sources. The ledger
 //! tracks every observable interaction with atomic counters so concurrent
 //! pipeline stages can record without locking.
+//!
+//! ## Consistency under concurrent readers
+//!
+//! Every counter is monotone and every fault event increments **exactly
+//! one** underlying counter; the aggregate `failed_queries` is *derived*
+//! at snapshot time as `other_failures + injected_timeouts +
+//! dropped_connections + throttled_queries`, computed from the very
+//! values the snapshot loaded. A snapshot taken mid-storm can therefore
+//! lag individual counters, but it can never violate the invariant
+//! `failed_queries >= injected_timeouts + dropped_connections +
+//! throttled_queries`, and neither can any delta between two snapshots
+//! (each component is independently monotone). This is why the recorders
+//! use `Relaxed` ordering: no cross-counter ordering is ever required.
+//!
+//! (The previous scheme stored `failed_queries` as its own counter and
+//! incremented it *alongside* the specific fault counter in two separate
+//! atomic operations — a concurrent reader could observe the specific
+//! increment without the aggregate one, producing deltas where a fault
+//! was double-counted or negative-skewed.)
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,12 +37,17 @@ pub struct Ledger {
     columns_scanned: AtomicU64,
     rows_read: AtomicU64,
     bytes_read: AtomicU64,
-    failed_queries: AtomicU64,
+    /// Failed queries *not* attributable to a specific fault class below;
+    /// the snapshot's `failed_queries` aggregate is derived, not stored.
+    other_failures: AtomicU64,
     injected_timeouts: AtomicU64,
     dropped_connections: AtomicU64,
     throttled_queries: AtomicU64,
     wasted_bytes: AtomicU64,
     reconnects: AtomicU64,
+    panicked_stages: AtomicU64,
+    timed_out_stages: AtomicU64,
+    cancelled_stages: AtomicU64,
 }
 
 /// A point-in-time copy of the ledger counters.
@@ -60,6 +84,17 @@ pub struct LedgerSnapshot {
     /// Reconnects performed to replace poisoned connections.
     #[serde(default)]
     pub reconnects: u64,
+    /// Engine stages that panicked and were isolated at the stage
+    /// boundary (work the database may have partially served for nothing).
+    #[serde(default)]
+    pub panicked_stages: u64,
+    /// Engine stages abandoned by the watchdog after exceeding their
+    /// deadline.
+    #[serde(default)]
+    pub timed_out_stages: u64,
+    /// Engine stages skipped because their batch was cancelled or halted.
+    #[serde(default)]
+    pub cancelled_stages: u64,
 }
 
 impl LedgerSnapshot {
@@ -78,6 +113,9 @@ impl LedgerSnapshot {
             throttled_queries: self.throttled_queries - earlier.throttled_queries,
             wasted_bytes: self.wasted_bytes - earlier.wasted_bytes,
             reconnects: self.reconnects - earlier.reconnects,
+            panicked_stages: self.panicked_stages - earlier.panicked_stages,
+            timed_out_stages: self.timed_out_stages - earlier.timed_out_stages,
+            cancelled_stages: self.cancelled_stages - earlier.cancelled_stages,
         }
     }
 
@@ -113,22 +151,37 @@ impl Ledger {
     }
 
     pub(crate) fn record_failed_query(&self) {
-        self.failed_queries.fetch_add(1, Ordering::Relaxed);
+        self.other_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_injected_timeout(&self) {
-        self.failed_queries.fetch_add(1, Ordering::Relaxed);
         self.injected_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_dropped_connection(&self) {
-        self.failed_queries.fetch_add(1, Ordering::Relaxed);
         self.dropped_connections.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_throttled_query(&self) {
-        self.failed_queries.fetch_add(1, Ordering::Relaxed);
         self.throttled_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an engine stage whose panic was caught and isolated.
+    ///
+    /// Public (unlike the query recorders) because panics happen in the
+    /// detection engine, above the database boundary.
+    pub fn record_panicked_stage(&self) {
+        self.panicked_stages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an engine stage abandoned past its watchdog deadline.
+    pub fn record_timed_out_stage(&self) {
+        self.timed_out_stages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an engine stage skipped by a batch cancellation or halt.
+    pub fn record_cancelled_stage(&self) {
+        self.cancelled_stages.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_wasted_bytes(&self, bytes: u64) {
@@ -140,7 +193,17 @@ impl Ledger {
     }
 
     /// Copies the current counter values.
+    ///
+    /// `failed_queries` is derived from the component counters loaded by
+    /// this very call, so the invariant `failed_queries >=
+    /// injected_timeouts + dropped_connections + throttled_queries` holds
+    /// in every snapshot — and in every delta between two snapshots —
+    /// even while writers are mid-storm on other threads.
     pub fn snapshot(&self) -> LedgerSnapshot {
+        let other_failures = self.other_failures.load(Ordering::Relaxed);
+        let injected_timeouts = self.injected_timeouts.load(Ordering::Relaxed);
+        let dropped_connections = self.dropped_connections.load(Ordering::Relaxed);
+        let throttled_queries = self.throttled_queries.load(Ordering::Relaxed);
         LedgerSnapshot {
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             metadata_queries: self.metadata_queries.load(Ordering::Relaxed),
@@ -148,12 +211,18 @@ impl Ledger {
             columns_scanned: self.columns_scanned.load(Ordering::Relaxed),
             rows_read: self.rows_read.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            failed_queries: self.failed_queries.load(Ordering::Relaxed),
-            injected_timeouts: self.injected_timeouts.load(Ordering::Relaxed),
-            dropped_connections: self.dropped_connections.load(Ordering::Relaxed),
-            throttled_queries: self.throttled_queries.load(Ordering::Relaxed),
+            failed_queries: other_failures
+                + injected_timeouts
+                + dropped_connections
+                + throttled_queries,
+            injected_timeouts,
+            dropped_connections,
+            throttled_queries,
             wasted_bytes: self.wasted_bytes.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            panicked_stages: self.panicked_stages.load(Ordering::Relaxed),
+            timed_out_stages: self.timed_out_stages.load(Ordering::Relaxed),
+            cancelled_stages: self.cancelled_stages.load(Ordering::Relaxed),
         }
     }
 
@@ -162,6 +231,13 @@ impl Ledger {
     /// Back-to-back experiments in one process share the database's ledger;
     /// this lets each run report only its own interaction counts without
     /// destructively resetting the ledger under a concurrent reader.
+    ///
+    /// The `&mut` borrow makes each reader's baseline exclusive by
+    /// construction: two readers tracking their own baselines see
+    /// non-overlapping, non-double-counted deltas of the same event
+    /// stream. Sharing one baseline between readers requires external
+    /// synchronization around the whole read-modify cycle — hand each
+    /// reader its own baseline instead.
     pub fn snapshot_delta(&self, baseline: &mut LedgerSnapshot) -> LedgerSnapshot {
         let now = self.snapshot();
         let delta = now.since(baseline);
@@ -177,12 +253,15 @@ impl Ledger {
         self.columns_scanned.store(0, Ordering::Relaxed);
         self.rows_read.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
-        self.failed_queries.store(0, Ordering::Relaxed);
+        self.other_failures.store(0, Ordering::Relaxed);
         self.injected_timeouts.store(0, Ordering::Relaxed);
         self.dropped_connections.store(0, Ordering::Relaxed);
         self.throttled_queries.store(0, Ordering::Relaxed);
         self.wasted_bytes.store(0, Ordering::Relaxed);
         self.reconnects.store(0, Ordering::Relaxed);
+        self.panicked_stages.store(0, Ordering::Relaxed);
+        self.timed_out_stages.store(0, Ordering::Relaxed);
+        self.cancelled_stages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -258,6 +337,74 @@ mod tests {
         assert_eq!(s.reconnects, 1);
         l.reset();
         assert_eq!(l.snapshot(), LedgerSnapshot::default());
+    }
+
+    #[test]
+    fn stage_outcome_counters_accumulate_and_reset() {
+        let l = Ledger::new();
+        l.record_panicked_stage();
+        l.record_timed_out_stage();
+        l.record_timed_out_stage();
+        l.record_cancelled_stage();
+        let s = l.snapshot();
+        assert_eq!(s.panicked_stages, 1);
+        assert_eq!(s.timed_out_stages, 2);
+        assert_eq!(s.cancelled_stages, 1);
+        l.reset();
+        assert_eq!(l.snapshot(), LedgerSnapshot::default());
+    }
+
+    #[test]
+    fn fault_invariant_holds_in_every_concurrent_snapshot() {
+        // Writers hammer the fault recorders while a reader snapshots
+        // continuously. The derived aggregate must never undercount the
+        // specific fault classes — in any snapshot or any delta.
+        let l = Arc::new(Ledger::new());
+        let mut writers = Vec::new();
+        for w in 0..4 {
+            let l = Arc::clone(&l);
+            writers.push(std::thread::spawn(move || {
+                for i in 0..5000 {
+                    match (w + i) % 4 {
+                        0 => l.record_injected_timeout(),
+                        1 => l.record_dropped_connection(),
+                        2 => l.record_throttled_query(),
+                        _ => l.record_failed_query(),
+                    }
+                }
+            }));
+        }
+        let reader = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                let mut prev = LedgerSnapshot::default();
+                for _ in 0..2000 {
+                    let s = l.snapshot();
+                    assert!(
+                        s.failed_queries
+                            >= s.injected_timeouts + s.dropped_connections + s.throttled_queries,
+                        "snapshot undercounts: {s:?}"
+                    );
+                    let d = s.since(&prev);
+                    assert!(
+                        d.failed_queries
+                            >= d.injected_timeouts + d.dropped_connections + d.throttled_queries,
+                        "delta undercounts: {d:?}"
+                    );
+                    prev = s;
+                }
+            })
+        };
+        for h in writers {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        let s = l.snapshot();
+        assert_eq!(s.failed_queries, 20_000);
+        assert_eq!(
+            s.injected_timeouts + s.dropped_connections + s.throttled_queries,
+            15_000
+        );
     }
 
     #[test]

@@ -102,6 +102,7 @@ pub fn run_baseline(
             table: tid,
             admitted,
             uncertain_columns: 0,
+            outcome: Default::default(),
             resilience: Default::default(),
         });
     }
@@ -117,6 +118,10 @@ pub fn run_baseline(
         cache_misses: 0,
         breaker_trips: 0,
         breaker_transitions: Vec::new(),
+        replayed_tables: 0,
+        journal_corrupt_records: 0,
+        journal_torn_tail: false,
+        cache_corrupt_entries: 0,
     })
 }
 

@@ -1,9 +1,90 @@
-//! Framework configuration: the knobs of §3.2, §6.1.2, and §6.2.
+//! Framework configuration: the knobs of §3.2, §6.1.2, and §6.2, plus
+//! the crash-safety hardening knobs (watchdog deadlines, halt points,
+//! and seeded fault injection for panic/stall testing).
 
 use crate::retry::RetryConfig;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 use taste_core::{Result, TasteError};
 use taste_db::ScanMethod;
+
+/// Crash-safety configuration for one engine: watchdog deadlines plus
+/// deterministic fault-injection points used by the crash/resume tests.
+///
+/// Deadlines are cooperative: the watchdog flips a per-table cancel
+/// token, which stages observe at stage boundaries and inside their
+/// row-scan loops. A stage that exceeds its deadline is therefore
+/// abandoned at its next cancellation check, never preempted mid-write.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardeningConfig {
+    /// Watchdog deadline for any single stage execution; `None` disables
+    /// per-stage timeouts. An expired table is reported as
+    /// [`taste_core::TableOutcome::TimedOut`] with its P1 verdicts when
+    /// Phase 1 already completed.
+    pub stage_deadline: Option<Duration>,
+    /// Deadline for the whole batch; on expiry every unfinished table is
+    /// cancelled and the batch drains cleanly. `None` disables it.
+    pub batch_deadline: Option<Duration>,
+    /// How often the watchdog thread re-checks the deadlines.
+    pub watchdog_poll: Duration,
+    /// Crash simulation: after this many tables have reached a journaled
+    /// final outcome, cancel the rest of the batch as if the process had
+    /// been killed. The crash/resume tests and `repro crash_resume` use
+    /// this to die at a seeded mid-batch point.
+    pub halt_after_tables: Option<usize>,
+    /// Fault injection: panic when the given `(table id, stage index
+    /// 0..=3)` starts executing — exercises panic isolation.
+    pub panic_at: Option<(u32, u8)>,
+    /// Fault injection: stall the given `(table id, stage index 0..=3)`
+    /// in a cancellation-aware loop for [`stall_for`](Self::stall_for) —
+    /// exercises the watchdog without wall-clock-sized tests.
+    pub stall_at: Option<(u32, u8)>,
+    /// Duration of an injected stall when it is not cancelled first.
+    pub stall_for: Duration,
+}
+
+impl Default for HardeningConfig {
+    fn default() -> Self {
+        HardeningConfig {
+            stage_deadline: None,
+            batch_deadline: None,
+            watchdog_poll: Duration::from_millis(1),
+            halt_after_tables: None,
+            panic_at: None,
+            stall_at: None,
+            stall_for: Duration::ZERO,
+        }
+    }
+}
+
+impl HardeningConfig {
+    /// Validates the hardening invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.watchdog_poll.is_zero() && (self.stage_deadline.is_some() || self.batch_deadline.is_some()) {
+            return Err(TasteError::invalid("watchdog poll interval must be positive"));
+        }
+        if matches!(self.stage_deadline, Some(d) if d.is_zero()) {
+            return Err(TasteError::invalid("stage deadline must be positive"));
+        }
+        if matches!(self.batch_deadline, Some(d) if d.is_zero()) {
+            return Err(TasteError::invalid("batch deadline must be positive"));
+        }
+        for point in [self.panic_at, self.stall_at].into_iter().flatten() {
+            if point.1 > 3 {
+                return Err(TasteError::invalid(format!(
+                    "fault-injection stage index {} out of range 0..=3",
+                    point.1
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any watchdog deadline is configured.
+    pub fn needs_watchdog(&self) -> bool {
+        self.stage_deadline.is_some() || self.batch_deadline.is_some()
+    }
+}
 
 /// Table scanning strategy (§6.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,6 +128,10 @@ pub struct TasteConfig {
     /// Retry / backoff / circuit-breaker policy for database stages.
     #[serde(default)]
     pub retry: RetryConfig,
+    /// Crash-safety policy: watchdog deadlines, halt points, and the
+    /// panic/stall fault-injection hooks.
+    #[serde(default)]
+    pub hardening: HardeningConfig,
 }
 
 impl Default for TasteConfig {
@@ -64,6 +149,7 @@ impl Default for TasteConfig {
             use_histograms: false,
             p2_threshold: 0.5,
             retry: RetryConfig::default(),
+            hardening: HardeningConfig::default(),
         }
     }
 }
@@ -99,6 +185,7 @@ impl TasteConfig {
             return Err(TasteError::invalid("p2 threshold out of range"));
         }
         self.retry.validate()?;
+        self.hardening.validate()?;
         Ok(())
     }
 
@@ -164,6 +251,34 @@ mod tests {
         let bad_retry = RetryConfig { max_attempts: 0, ..Default::default() };
         let c = TasteConfig { retry: bad_retry, ..Default::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_covers_hardening_policy() {
+        assert!(HardeningConfig::default().validate().is_ok());
+        let zero_poll = HardeningConfig {
+            stage_deadline: Some(Duration::from_millis(5)),
+            watchdog_poll: Duration::ZERO,
+            ..Default::default()
+        };
+        assert!(TasteConfig { hardening: zero_poll, ..Default::default() }.validate().is_err());
+        let zero_deadline = HardeningConfig {
+            batch_deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        assert!(zero_deadline.validate().is_err());
+        let bad_stage = HardeningConfig { panic_at: Some((0, 4)), ..Default::default() };
+        assert!(bad_stage.validate().is_err());
+        let ok = HardeningConfig {
+            stage_deadline: Some(Duration::from_millis(20)),
+            batch_deadline: Some(Duration::from_secs(5)),
+            stall_at: Some((1, 2)),
+            stall_for: Duration::from_millis(50),
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+        assert!(ok.needs_watchdog());
+        assert!(!HardeningConfig::default().needs_watchdog());
     }
 
     #[test]

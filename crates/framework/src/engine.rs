@@ -1,5 +1,5 @@
 //! The batch detection engine: sequential mode and the Algorithm 1
-//! pipelined scheduler (§5).
+//! pipelined scheduler (§5), hardened for crash-safe detection runs.
 //!
 //! Pipelined mode builds two worker pools — `TP1` for data-preparation
 //! stages (each worker owns one reused database connection, per the
@@ -19,19 +19,42 @@
 //! metadata-only verdicts instead of failing the batch (a table whose P1
 //! fails is reported as failed with empty verdicts). Either way a failing
 //! table can never wedge a pool worker or lose its slot in the report.
+//!
+//! On top of that sits the crash-safety layer:
+//!
+//! * **Panic isolation** — every stage executes under `catch_unwind`, so
+//!   a poisoned table is reported as
+//!   [`TableOutcome::Panicked`] while the worker survives and the pools
+//!   stay at full strength.
+//! * **Watchdog + cooperative cancellation** — with deadlines configured
+//!   in [`crate::config::HardeningConfig`], a monitor thread flips a
+//!   per-table [`CancelToken`] when a stage (or the batch) overruns;
+//!   stages observe the token at boundaries and inside row loops, and an
+//!   expired table is reported as [`TableOutcome::TimedOut`] with its P1
+//!   verdicts when Phase 1 completed.
+//! * **Resumable verdict journal** — [`TasteEngine::detect_batch_journaled`]
+//!   appends each table's final verdicts to a checksummed journal as it
+//!   finishes; after a crash, [`TasteEngine::resume`] replays the intact
+//!   records, re-runs only the unfinished tables, and merges both into
+//!   one report.
 
 use crate::config::TasteConfig;
+use crate::journal::{self, JournalRecord, JournalWriter};
 use crate::report::{DetectionReport, ResilienceSummary, TableResult};
 use crate::retry::{connect_with_retry, run_with_retry, CircuitBreaker};
 use crate::stages::{infer_phase1, infer_phase2, prep_phase1, prep_phase2, P1Infer, P1Prep, P2Prep};
+use crate::watchdog::{CancelReason, CancelToken, StageClocks, Watchdog};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rustc_hash::FxHashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use taste_core::{LabelSet, Result, TableId, TasteError};
+use taste_core::{LabelSet, Result, TableId, TableOutcome, TasteError};
 use taste_db::{Connection, Database};
-use taste_model::{Adtd, LatentCache};
+use taste_model::{Adtd, CacheRestoreStats, LatentCache};
 
 /// The TASTE detection engine: a trained model plus a configuration.
 pub struct TasteEngine {
@@ -39,6 +62,7 @@ pub struct TasteEngine {
     /// The active configuration.
     pub config: TasteConfig,
     cache: Arc<LatentCache>,
+    cache_corrupt: AtomicU64,
 }
 
 /// Shared per-table pipeline state.
@@ -49,10 +73,25 @@ struct TableState {
     prep2: Option<P2Prep>,
     finals: Option<Vec<LabelSet>>,
     error: Option<TasteError>,
+    outcome: Option<TableOutcome>,
     resilience: ResilienceSummary,
 }
 
 type Shared = Arc<(Mutex<TableState>, AtomicUsize)>;
+
+/// Everything one batch's stages share: the model artifacts, the fault
+/// policy, and the crash-safety plumbing (tokens, clocks, journal).
+struct BatchCtx {
+    model: Arc<Adtd>,
+    cache: Arc<LatentCache>,
+    cfg: TasteConfig,
+    breaker: Arc<CircuitBreaker>,
+    db: Arc<Database>,
+    tokens: Vec<CancelToken>,
+    clocks: Arc<StageClocks>,
+    journal: Option<Mutex<JournalWriter>>,
+    finished_final: AtomicUsize,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StageKind {
@@ -78,7 +117,12 @@ impl TasteEngine {
     /// Builds an engine; validates the configuration.
     pub fn new(model: Arc<Adtd>, config: TasteConfig) -> Result<TasteEngine> {
         config.validate()?;
-        Ok(TasteEngine { model, config, cache: Arc::new(LatentCache::new(512)) })
+        Ok(TasteEngine {
+            model,
+            config,
+            cache: Arc::new(LatentCache::new(512)),
+            cache_corrupt: AtomicU64::new(0),
+        })
     }
 
     /// The model in service.
@@ -90,17 +134,126 @@ impl TasteEngine {
     /// returning the per-column admitted sets plus the cost telemetry.
     pub fn detect_batch(&self, db: &Arc<Database>, tables: &[TableId]) -> Result<DetectionReport> {
         self.cache.clear();
+        self.run(db, tables, None)
+    }
+
+    /// Like [`detect_batch`](Self::detect_batch), but appends each
+    /// table's final verdicts to a fresh journal at `journal_path` as it
+    /// finishes, so a killed run can be picked up by
+    /// [`resume`](Self::resume).
+    pub fn detect_batch_journaled(
+        &self,
+        db: &Arc<Database>,
+        tables: &[TableId],
+        journal_path: &Path,
+    ) -> Result<DetectionReport> {
+        self.cache.clear();
+        let writer = JournalWriter::create(journal_path)?;
+        self.run(db, tables, Some(writer))
+    }
+
+    /// Resumes an interrupted journaled run: replays the intact journal
+    /// records (quarantining corrupt ones, truncating a torn tail),
+    /// re-runs only the tables without a journaled final outcome, and
+    /// returns the merged report in the original batch order.
+    ///
+    /// No table with an intact journal record is processed twice. The
+    /// latent cache is deliberately *not* cleared, so entries restored
+    /// via [`restore_cache`](Self::restore_cache) carry over.
+    pub fn resume(
+        &self,
+        db: &Arc<Database>,
+        tables: &[TableId],
+        journal_path: &Path,
+    ) -> Result<DetectionReport> {
+        let replayed = journal::replay(journal_path)?;
+        let mut done: FxHashMap<TableId, JournalRecord> = FxHashMap::default();
+        for rec in replayed.records {
+            done.insert(rec.table, rec);
+        }
+        let todo: Vec<TableId> = tables.iter().copied().filter(|tid| !done.contains_key(tid)).collect();
+        let writer = JournalWriter::append_to(journal_path)?;
+        let mut report = self.run(db, &todo, Some(writer))?;
+
+        let mut fresh: FxHashMap<TableId, TableResult> =
+            report.tables.drain(..).map(|tr| (tr.table, tr)).collect();
+        let mut merged = Vec::with_capacity(tables.len());
+        let mut replayed_tables = 0u64;
+        for tid in tables {
+            if let Some(rec) = done.remove(tid) {
+                replayed_tables += 1;
+                merged.push(rec.into_result());
+            } else if let Some(tr) = fresh.remove(tid) {
+                merged.push(tr);
+            }
+        }
+        report.total_columns = merged.iter().map(|t| t.admitted.len() as u64).sum();
+        report.tables = merged;
+        report.replayed_tables = replayed_tables;
+        report.journal_corrupt_records = replayed.corrupt_records;
+        report.journal_torn_tail = replayed.torn_tail;
+        Ok(report)
+    }
+
+    /// Persists the latent cache to `path` (checksummed records, atomic
+    /// rename); returns how many entries were written.
+    pub fn persist_cache(&self, path: &Path) -> Result<usize> {
+        self.cache.save(path)
+    }
+
+    /// Restores the latent cache from `path`, quarantining entries whose
+    /// checksum fails; corrupt-entry counts surface in subsequent
+    /// reports' `cache_corrupt_entries`.
+    pub fn restore_cache(&self, path: &Path) -> Result<CacheRestoreStats> {
+        let stats = self.cache.restore(path)?;
+        self.cache_corrupt.fetch_add(stats.corrupt as u64, Ordering::SeqCst);
+        Ok(stats)
+    }
+
+    /// The shared batch body behind every public entry point.
+    fn run(
+        &self,
+        db: &Arc<Database>,
+        tables: &[TableId],
+        journal: Option<JournalWriter>,
+    ) -> Result<DetectionReport> {
         let breaker = CircuitBreaker::new(
             self.config.retry.breaker_threshold,
             self.config.retry.breaker_cooldown,
         );
         let ledger_before = db.ledger().snapshot();
+        let clocks = Arc::new(StageClocks::new(tables.len()));
+        let ctx = Arc::new(BatchCtx {
+            model: Arc::clone(&self.model),
+            cache: Arc::clone(&self.cache),
+            cfg: self.config,
+            breaker: Arc::clone(&breaker),
+            db: Arc::clone(db),
+            tokens: (0..tables.len()).map(|_| CancelToken::new()).collect(),
+            clocks: Arc::clone(&clocks),
+            journal: journal.map(Mutex::new),
+            finished_final: AtomicUsize::new(0),
+        });
+        let hardening = self.config.hardening;
+        let watchdog = hardening.needs_watchdog().then(|| {
+            Watchdog::spawn(
+                hardening.stage_deadline,
+                hardening.batch_deadline,
+                hardening.watchdog_poll,
+                clocks,
+                ctx.tokens.clone(),
+            )
+        });
         let t0 = Instant::now();
-        let states = if self.config.pipelining {
-            self.run_pipelined(db, tables, &breaker)?
+        let run_result = if self.config.pipelining {
+            self.run_pipelined(db, tables, &ctx)
         } else {
-            self.run_sequential(db, tables, &breaker)?
+            self.run_sequential(db, tables, &ctx)
         };
+        if let Some(dog) = watchdog {
+            dog.stop();
+        }
+        let states = run_result?;
         let wall_time = t0.elapsed();
         let ledger = db.ledger().snapshot().since(&ledger_before);
         let (cache_hits, cache_misses) = self.cache.stats();
@@ -124,6 +277,7 @@ impl TasteEngine {
                 table: st.tid,
                 admitted: finals,
                 uncertain_columns,
+                outcome: st.outcome.unwrap_or_default(),
                 resilience: st.resilience,
             });
         }
@@ -137,6 +291,10 @@ impl TasteEngine {
             cache_misses,
             breaker_trips: breaker.trips(),
             breaker_transitions: breaker.transitions(),
+            replayed_tables: 0,
+            journal_corrupt_records: 0,
+            journal_torn_tail: false,
+            cache_corrupt_entries: self.cache_corrupt.load(Ordering::SeqCst),
         })
     }
 
@@ -152,6 +310,7 @@ impl TasteEngine {
                         prep2: None,
                         finals: None,
                         error: None,
+                        outcome: None,
                         resilience: ResilienceSummary::default(),
                     }),
                     AtomicUsize::new(0),
@@ -166,13 +325,13 @@ impl TasteEngine {
         &self,
         db: &Arc<Database>,
         tables: &[TableId],
-        breaker: &Arc<CircuitBreaker>,
+        ctx: &Arc<BatchCtx>,
     ) -> Result<Vec<Shared>> {
         let states = self.new_states(tables);
         let conn = connect_with_retry(db, &self.config.retry)?;
-        for state in &states {
+        for (t, state) in states.iter().enumerate() {
             for stage in StageKind::ORDER {
-                run_stage(stage, state, Some(&conn), &self.model, &self.cache, &self.config, breaker);
+                run_stage(stage, t, state, Some(&conn), ctx);
             }
         }
         Ok(states)
@@ -183,7 +342,7 @@ impl TasteEngine {
         &self,
         db: &Arc<Database>,
         tables: &[TableId],
-        breaker: &Arc<CircuitBreaker>,
+        ctx: &Arc<BatchCtx>,
     ) -> Result<Vec<Shared>> {
         let states = self.new_states(tables);
         let pool = self.config.pool_size;
@@ -232,7 +391,7 @@ impl TasteEngine {
                 if let Some(pos) = first_eligible(&queue, &states, true) {
                     let (t, stage) = queue.remove(pos);
                     tp1_active.fetch_add(1, Ordering::SeqCst);
-                    self.dispatch(&prep_tx, t, stage, &states, breaker);
+                    dispatch(&prep_tx, t, stage, &states, ctx);
                     dispatched = true;
                 }
             }
@@ -240,7 +399,7 @@ impl TasteEngine {
                 if let Some(pos) = first_eligible(&queue, &states, false) {
                     let (t, stage) = queue.remove(pos);
                     tp2_active.fetch_add(1, Ordering::SeqCst);
-                    self.dispatch(&infer_tx, t, stage, &states, breaker);
+                    dispatch(&infer_tx, t, stage, &states, ctx);
                     dispatched = true;
                 }
             }
@@ -255,34 +414,20 @@ impl TasteEngine {
         }
         Ok(states)
     }
-
-    fn dispatch(
-        &self,
-        tx: &Sender<Job>,
-        t: usize,
-        stage: StageKind,
-        states: &[Shared],
-        breaker: &Arc<CircuitBreaker>,
-    ) {
-        let state = Arc::clone(&states[t]);
-        let model = Arc::clone(&self.model);
-        let cache = Arc::clone(&self.cache);
-        let cfg = self.config;
-        let breaker = Arc::clone(breaker);
-        let job: Job = if stage.is_prep() {
-            Box::new(move |conn| {
-                run_stage(stage, &state, conn, &model, &cache, &cfg, &breaker);
-            })
-        } else {
-            Box::new(move |_conn| {
-                run_stage(stage, &state, None, &model, &cache, &cfg, &breaker);
-            })
-        };
-        tx.send(job).expect("workers outlive the scheduler loop");
-    }
 }
 
 type Job = Box<dyn FnOnce(Option<&Connection>) + Send>;
+
+fn dispatch(tx: &Sender<Job>, t: usize, stage: StageKind, states: &[Shared], ctx: &Arc<BatchCtx>) {
+    let state = Arc::clone(&states[t]);
+    let ctx = Arc::clone(ctx);
+    let job: Job = if stage.is_prep() {
+        Box::new(move |conn| run_stage(stage, t, &state, conn, &ctx))
+    } else {
+        Box::new(move |_conn| run_stage(stage, t, &state, None, &ctx))
+    };
+    tx.send(job).expect("workers outlive the scheduler loop");
+}
 
 fn first_eligible(queue: &[(usize, StageKind)], states: &[Shared], prep: bool) -> Option<usize> {
     queue.iter().position(|&(t, s)| {
@@ -290,131 +435,269 @@ fn first_eligible(queue: &[(usize, StageKind)], states: &[Shared], prep: bool) -
     })
 }
 
+/// Maps a cancellation reason observed at `stage` to the table outcome
+/// it implies: a stage timeout means the table was abandoned by the
+/// watchdog (final), while a batch timeout or halt leaves the table
+/// merely cancelled (non-final; a resumed run re-processes it).
+fn hazard_from_cancel(reason: CancelReason, stage: StageKind) -> TableOutcome {
+    match reason {
+        CancelReason::StageTimeout => TableOutcome::TimedOut { stage: format!("{stage:?}") },
+        CancelReason::BatchTimeout | CancelReason::Halted => TableOutcome::Cancelled,
+    }
+}
+
+/// Stamps a hazard outcome onto the table (first hazard wins) and
+/// mirrors it into the database ledger's stage-outcome counters.
+fn record_hazard(st: &mut TableState, outcome: TableOutcome, ctx: &BatchCtx) {
+    debug_assert!(st.outcome.is_none(), "hazards are recorded at most once");
+    match &outcome {
+        TableOutcome::Panicked { .. } => ctx.db.ledger().record_panicked_stage(),
+        TableOutcome::TimedOut { .. } => ctx.db.ledger().record_timed_out_stage(),
+        TableOutcome::Cancelled => ctx.db.ledger().record_cancelled_stage(),
+        _ => {}
+    }
+    st.outcome = Some(outcome);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Executes one stage against the shared state (prep stages use the
 /// connection; inference stages ignore it) and advances the table's
-/// stage counter. Runs as a no-op once the table has errored, so the
-/// scheduler always drains the queue.
-fn run_stage(
-    stage: StageKind,
-    state: &Shared,
-    conn: Option<&Connection>,
-    model: &Adtd,
-    cache: &LatentCache,
-    cfg: &TasteConfig,
-    breaker: &CircuitBreaker,
-) {
+/// stage counter. Runs as a no-op once the table has errored, been
+/// cancelled, or hit a hazard, so the scheduler always drains the queue.
+/// A panicking stage is caught here: the worker survives and the table
+/// is reported as [`TableOutcome::Panicked`].
+fn run_stage(stage: StageKind, t: usize, state: &Shared, conn: Option<&Connection>, ctx: &BatchCtx) {
+    let token = &ctx.tokens[t];
     {
         let mut st = state.0.lock();
-        if st.error.is_none() {
-            execute(stage, &mut st, conn, model, cache, cfg, breaker);
+        if st.error.is_none() && st.outcome.is_none() {
+            if let Some(reason) = token.reason() {
+                record_hazard(&mut st, hazard_from_cancel(reason, stage), ctx);
+            } else {
+                ctx.clocks.start(t);
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    execute(stage, &mut st, conn, token, ctx)
+                }));
+                ctx.clocks.finish(t);
+                match caught {
+                    Ok(Ok(())) => {}
+                    Ok(Err(TasteError::Cancelled(_))) => {
+                        // The stage observed its token mid-flight; map
+                        // the reason to the table's outcome.
+                        let reason = token.reason().unwrap_or(CancelReason::StageTimeout);
+                        record_hazard(&mut st, hazard_from_cancel(reason, stage), ctx);
+                    }
+                    Ok(Err(e)) => st.error = Some(e),
+                    Err(payload) => record_hazard(
+                        &mut st,
+                        TableOutcome::Panicked {
+                            stage: format!("{stage:?}"),
+                            payload: panic_message(payload.as_ref()),
+                        },
+                        ctx,
+                    ),
+                }
+            }
         }
     }
-    state.1.fetch_add(1, Ordering::SeqCst);
+    let done = state.1.fetch_add(1, Ordering::SeqCst) + 1;
+    if done == StageKind::ORDER.len() {
+        finalize_table(state, ctx);
+    }
+}
+
+/// Runs once per table, after its last stage slot: settles the final
+/// outcome, fills in fallback verdicts for hazard tables, journals final
+/// outcomes, and triggers the simulated halt when configured.
+fn finalize_table(state: &Shared, ctx: &BatchCtx) {
+    let mut st = state.0.lock();
+    if st.error.is_some() {
+        return; // the batch is failing; nothing to journal
+    }
+    let outcome = match st.outcome.clone() {
+        Some(o) => o,
+        None => {
+            let o = if st.resilience.failed {
+                TableOutcome::Failed
+            } else if st.resilience.degraded {
+                TableOutcome::Degraded
+            } else {
+                TableOutcome::Completed
+            };
+            st.outcome = Some(o.clone());
+            o
+        }
+    };
+    if st.finals.is_none() {
+        // Hazard path: a panicked or timed-out table keeps its P1
+        // verdicts when Phase 1 completed, otherwise empty sets; a
+        // cancelled table reports empty sets (resume re-runs it).
+        st.finals = Some(match (&outcome, st.infer1.as_ref()) {
+            (TableOutcome::Cancelled, _) | (_, None) => Vec::new(),
+            (_, Some(i1)) => i1.admitted.clone(),
+        });
+    }
+    if !outcome.is_final() {
+        return;
+    }
+    if let Some(journal) = &ctx.journal {
+        let record = JournalRecord {
+            table: st.tid,
+            outcome,
+            admitted: st.finals.clone().unwrap_or_default(),
+            uncertain_columns: st.infer1.as_ref().map_or(0, |i| i.uncertain.len()),
+            resilience: st.resilience,
+        };
+        if let Err(e) = journal.lock().append(&record) {
+            st.error = Some(e);
+            return;
+        }
+    }
+    let finished = ctx.finished_final.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(halt_after) = ctx.cfg.hardening.halt_after_tables {
+        if finished >= halt_after {
+            // Simulated crash: every table not yet finalized is
+            // cancelled, exactly as if the process had been killed
+            // between journal appends.
+            for token in &ctx.tokens {
+                token.cancel(CancelReason::Halted);
+            }
+        }
+    }
+}
+
+/// Deterministic fault injection (test/repro hook): panics or stalls
+/// when the configured `(table, stage)` point is reached. The stall is
+/// cancellation-aware so the watchdog can cut it short.
+fn inject_faults(stage: StageKind, tid: TableId, cfg: &TasteConfig, token: &CancelToken) -> Result<()> {
+    let h = &cfg.hardening;
+    let here = (tid.0, stage.index() as u8);
+    if h.panic_at == Some(here) {
+        panic!("injected panic: table {} stage {:?}", tid.0, stage);
+    }
+    if h.stall_at == Some(here) {
+        let start = Instant::now();
+        while start.elapsed() < h.stall_for {
+            token.check("injected stall")?;
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    Ok(())
 }
 
 fn execute(
     stage: StageKind,
     st: &mut TableState,
     conn: Option<&Connection>,
-    model: &Adtd,
-    cache: &LatentCache,
-    cfg: &TasteConfig,
-    breaker: &CircuitBreaker,
-) {
-    let result: Result<()> = (|| {
-        match stage {
-            StageKind::P1Prep => {
-                let Some(conn) = conn else {
-                    // The worker never got a connection. Without P1
-                    // metadata there is nothing to fall back to: mark the
-                    // table failed (degrade mode) or fail the batch.
-                    if cfg.retry.degrade {
-                        st.resilience.failed = true;
-                        return Ok(());
-                    }
-                    return Err(TasteError::Scheduler("prep without connection".into()));
-                };
-                let tid = st.tid;
-                let (res, stats) =
-                    run_with_retry(&cfg.retry, breaker, conn, "prep_phase1", |c| prep_phase1(c, tid, cfg));
-                st.resilience.absorb(&stats);
-                match res {
-                    Ok(p) => st.prep1 = Some(p),
-                    Err(f) if f.retryable && cfg.retry.degrade => st.resilience.failed = true,
-                    Err(f) => return Err(f.error),
-                }
-            }
-            StageKind::P1Infer => {
-                if st.resilience.failed {
+    token: &CancelToken,
+    ctx: &BatchCtx,
+) -> Result<()> {
+    let model = &*ctx.model;
+    let cache = &*ctx.cache;
+    let cfg = &ctx.cfg;
+    let breaker = &ctx.breaker;
+    inject_faults(stage, st.tid, cfg, token)?;
+    match stage {
+        StageKind::P1Prep => {
+            let Some(conn) = conn else {
+                // The worker never got a connection. Without P1
+                // metadata there is nothing to fall back to: mark the
+                // table failed (degrade mode) or fail the batch.
+                if cfg.retry.degrade {
+                    st.resilience.failed = true;
                     return Ok(());
                 }
-                let prep = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P1Infer before P1Prep".into()))?;
-                st.infer1 = Some(infer_phase1(model, cfg, st.tid, prep, Some(cache)));
-            }
-            StageKind::P2Prep => {
-                if st.resilience.failed {
-                    return Ok(());
-                }
-                let tid = st.tid;
-                let uncertain = st
-                    .infer1
-                    .as_ref()
-                    .ok_or_else(|| TasteError::Scheduler("P2Prep before P1Infer".into()))?
-                    .uncertain
-                    .clone();
-                let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Prep before P1Prep".into()))?;
-                let Some(conn) = conn else {
-                    // Lost connection: P1 verdicts survive, so degrade.
-                    if cfg.retry.degrade {
-                        st.resilience.degraded = true;
-                        st.resilience.degraded_columns += uncertain.len();
-                        return Ok(());
-                    }
-                    return Err(TasteError::Scheduler("prep without connection".into()));
-                };
-                let (res, stats) =
-                    run_with_retry(&cfg.retry, breaker, conn, "prep_phase2", |c| {
-                        prep_phase2(c, tid, prep1, &uncertain, cfg)
-                    });
-                st.resilience.absorb(&stats);
-                match res {
-                    Ok(p) => st.prep2 = Some(p),
-                    Err(f) if f.retryable && cfg.retry.degrade => {
-                        st.resilience.degraded = true;
-                        st.resilience.degraded_columns += uncertain.len();
-                    }
-                    Err(f) => return Err(f.error),
-                }
-            }
-            StageKind::P2Infer => {
-                if st.resilience.failed {
-                    // P1 never produced verdicts; report the table with
-                    // empty admitted sets so the batch stays complete.
-                    st.finals = Some(Vec::new());
-                    return Ok(());
-                }
-                let infer1 = st.infer1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Infer".into()))?;
-                if st.resilience.degraded && st.prep2.is_none() {
-                    // Graceful degradation: P1 metadata-only verdicts
-                    // stand for the uncertain columns (α = β semantics).
-                    st.finals = Some(infer1.admitted.clone());
-                    return Ok(());
-                }
-                let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?;
-                let prep2 = st.prep2.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P2Prep".into()))?;
-                st.finals = Some(infer_phase2(model, cfg, st.tid, prep1, infer1, prep2, Some(cache)));
+                return Err(TasteError::Scheduler("prep without connection".into()));
+            };
+            let tid = st.tid;
+            let (res, stats) =
+                run_with_retry(&cfg.retry, breaker, conn, "prep_phase1", |c| prep_phase1(c, tid, cfg));
+            st.resilience.absorb(&stats);
+            match res {
+                Ok(p) => st.prep1 = Some(p),
+                Err(f) if f.retryable && cfg.retry.degrade => st.resilience.failed = true,
+                Err(f) => return Err(f.error),
             }
         }
-        Ok(())
-    })();
-    if let Err(e) = result {
-        st.error = Some(e);
+        StageKind::P1Infer => {
+            if st.resilience.failed {
+                return Ok(());
+            }
+            let prep = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P1Infer before P1Prep".into()))?;
+            st.infer1 = Some(infer_phase1(model, cfg, st.tid, prep, Some(cache)));
+        }
+        StageKind::P2Prep => {
+            if st.resilience.failed {
+                return Ok(());
+            }
+            let tid = st.tid;
+            let uncertain = st
+                .infer1
+                .as_ref()
+                .ok_or_else(|| TasteError::Scheduler("P2Prep before P1Infer".into()))?
+                .uncertain
+                .clone();
+            let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Prep before P1Prep".into()))?;
+            let Some(conn) = conn else {
+                // Lost connection: P1 verdicts survive, so degrade.
+                if cfg.retry.degrade {
+                    st.resilience.degraded = true;
+                    st.resilience.degraded_columns += uncertain.len();
+                    return Ok(());
+                }
+                return Err(TasteError::Scheduler("prep without connection".into()));
+            };
+            let (res, stats) =
+                run_with_retry(&cfg.retry, breaker, conn, "prep_phase2", |c| {
+                    prep_phase2(c, tid, prep1, &uncertain, cfg, token)
+                });
+            st.resilience.absorb(&stats);
+            match res {
+                Ok(p) => st.prep2 = Some(p),
+                Err(f) if matches!(f.error, TasteError::Cancelled(_)) => return Err(f.error),
+                Err(f) if f.retryable && cfg.retry.degrade => {
+                    st.resilience.degraded = true;
+                    st.resilience.degraded_columns += uncertain.len();
+                }
+                Err(f) => return Err(f.error),
+            }
+        }
+        StageKind::P2Infer => {
+            if st.resilience.failed {
+                // P1 never produced verdicts; report the table with
+                // empty admitted sets so the batch stays complete.
+                st.finals = Some(Vec::new());
+                return Ok(());
+            }
+            let infer1 = st.infer1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Infer".into()))?;
+            if st.resilience.degraded && st.prep2.is_none() {
+                // Graceful degradation: P1 metadata-only verdicts
+                // stand for the uncertain columns (α = β semantics).
+                st.finals = Some(infer1.admitted.clone());
+                return Ok(());
+            }
+            let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?;
+            let prep2 = st.prep2.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P2Prep".into()))?;
+            st.finals = Some(infer_phase2(model, cfg, st.tid, prep1, infer1, prep2, Some(cache)));
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::HardeningConfig;
+    use std::path::PathBuf;
     use taste_core::{Cell, ColumnId, ColumnMeta, RawType, Table, TableMeta};
     use taste_db::LatencyProfile;
     use taste_model::ModelConfig;
@@ -465,6 +748,15 @@ mod tests {
         TasteEngine::new(model, cfg).unwrap()
     }
 
+    fn temp_path(tag: &str) -> PathBuf {
+        let tid = format!("{:?}", std::thread::current().id());
+        std::env::temp_dir().join(format!(
+            "taste-engine-{tag}-{}-{}",
+            std::process::id(),
+            tid.replace(|c: char| !c.is_ascii_alphanumeric(), "")
+        ))
+    }
+
     #[test]
     fn sequential_and_pipelined_agree() {
         let (db, ids) = fixture_db(6, LatencyProfile::zero());
@@ -477,6 +769,7 @@ mod tests {
             assert_eq!(a.table, b.table);
             assert_eq!(a.admitted, b.admitted, "pipelining must not change results");
             assert_eq!(a.uncertain_columns, b.uncertain_columns);
+            assert_eq!(a.outcome, TableOutcome::Completed);
         }
         assert_eq!(seq.total_columns, pipe.total_columns);
     }
@@ -578,5 +871,166 @@ mod tests {
         let report = engine(TasteConfig::default()).detect_batch(&db, &[]).unwrap();
         assert!(report.tables.is_empty());
         assert_eq!(report.total_columns, 0);
+    }
+
+    #[test]
+    fn panicking_stage_is_isolated_and_batch_completes() {
+        let (db, ids) = fixture_db(4, LatencyProfile::zero());
+        let hardening = HardeningConfig { panic_at: Some((ids[1].0, 1)), ..Default::default() };
+        let cfg = TasteConfig { pipelining: true, pool_size: 2, hardening, ..Default::default() };
+        let report = engine(cfg).detect_batch(&db, &ids).unwrap();
+        assert_eq!(report.tables.len(), 4, "the batch must complete despite the panic");
+        assert_eq!(report.panicked_tables(), 1);
+        assert_eq!(report.ledger.panicked_stages, 1);
+        for tr in &report.tables {
+            if tr.table == ids[1] {
+                match &tr.outcome {
+                    TableOutcome::Panicked { stage, payload } => {
+                        assert_eq!(stage, "P1Infer");
+                        assert!(payload.contains("injected panic"), "{payload}");
+                    }
+                    other => panic!("expected Panicked, got {other:?}"),
+                }
+                assert!(tr.admitted.is_empty(), "P1 never finished, no verdicts to keep");
+            } else {
+                assert_eq!(tr.outcome, TableOutcome::Completed);
+                assert!(!tr.admitted.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_stage_times_out_with_partial_p1_verdicts() {
+        let (db, ids) = fixture_db(3, LatencyProfile::zero());
+        let hardening = HardeningConfig {
+            stage_deadline: Some(Duration::from_millis(25)),
+            watchdog_poll: Duration::from_millis(1),
+            stall_at: Some((ids[2].0, 2)), // P2Prep of the last table
+            stall_for: Duration::from_secs(30),
+            ..Default::default()
+        };
+        let cfg = TasteConfig {
+            pipelining: true,
+            pool_size: 2,
+            alpha: 0.0001,
+            beta: 0.9999,
+            hardening,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let report = engine(cfg).detect_batch(&db, &ids).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "the watchdog must cut the stall short, not wait it out"
+        );
+        assert_eq!(report.timed_out_tables(), 1);
+        assert_eq!(report.ledger.timed_out_stages, 1);
+        let victim = report.tables.iter().find(|t| t.table == ids[2]).unwrap();
+        assert!(matches!(&victim.outcome, TableOutcome::TimedOut { stage } if stage == "P2Prep"));
+        assert!(
+            !victim.admitted.is_empty(),
+            "P1 completed, so its verdicts must survive the timeout"
+        );
+        for tr in report.tables.iter().filter(|t| t.table != ids[2]) {
+            assert_eq!(tr.outcome, TableOutcome::Completed);
+        }
+    }
+
+    #[test]
+    fn batch_deadline_drains_cleanly() {
+        let latency = LatencyProfile { query_rtt: Duration::from_millis(5), ..LatencyProfile::zero() };
+        let (db, ids) = fixture_db(6, latency);
+        let hardening = HardeningConfig {
+            batch_deadline: Some(Duration::from_millis(1)),
+            watchdog_poll: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let cfg = TasteConfig { pipelining: true, pool_size: 2, hardening, ..Default::default() };
+        let report = engine(cfg).detect_batch(&db, &ids).unwrap();
+        assert_eq!(report.tables.len(), 6, "cancelled batches still report every table");
+        assert!(report.cancelled_tables() >= 1, "the deadline must cancel unfinished tables");
+        assert_eq!(report.ledger.cancelled_stages as usize, report.cancelled_tables());
+    }
+
+    #[test]
+    fn halt_and_resume_matches_uninterrupted() {
+        let (db, ids) = fixture_db(5, LatencyProfile::zero());
+        let base = TasteConfig { pipelining: false, alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let full_path = temp_path("full");
+        let full = engine(base).detect_batch_journaled(&db, &ids, &full_path).unwrap();
+        assert!(full.tables.iter().all(|t| t.outcome == TableOutcome::Completed));
+
+        // Crash simulation: die after two journaled tables.
+        let halt_cfg = TasteConfig {
+            hardening: HardeningConfig { halt_after_tables: Some(2), ..Default::default() },
+            ..base
+        };
+        let halt_path = temp_path("halt");
+        let aborted = engine(halt_cfg).detect_batch_journaled(&db, &ids, &halt_path).unwrap();
+        assert_eq!(aborted.cancelled_tables(), 3, "sequential halt leaves exactly 3 tables");
+
+        let resumed = engine(base).resume(&db, &ids, &halt_path).unwrap();
+        assert_eq!(resumed.replayed_tables, 2);
+        assert_eq!(resumed.tables.len(), full.tables.len());
+        for (a, b) in full.tables.iter().zip(&resumed.tables) {
+            assert_eq!(a.table, b.table);
+            assert_eq!(a.admitted, b.admitted, "resume must reproduce the uninterrupted verdicts");
+            assert_eq!(b.outcome, TableOutcome::Completed);
+        }
+        assert_eq!(resumed.total_columns, full.total_columns);
+
+        // The journal now covers every table exactly once: no table was
+        // processed twice.
+        let replay = journal::replay(&halt_path).unwrap();
+        let mut seen: Vec<u32> = replay.records.iter().map(|r| r.table.0).collect();
+        seen.sort_unstable();
+        let mut want: Vec<u32> = ids.iter().map(|t| t.0).collect();
+        want.sort_unstable();
+        assert_eq!(seen, want);
+        std::fs::remove_file(&full_path).unwrap();
+        std::fs::remove_file(&halt_path).unwrap();
+    }
+
+    #[test]
+    fn resume_quarantines_corrupt_journal_records() {
+        let (db, ids) = fixture_db(3, LatencyProfile::zero());
+        let cfg = TasteConfig { pipelining: false, alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let path = temp_path("corrupt");
+        let full = engine(cfg).detect_batch_journaled(&db, &ids, &path).unwrap();
+
+        // Flip one payload byte inside the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len = match taste_core::checksum::decode_record(&bytes) {
+            taste_core::checksum::DecodeStep::Record { consumed, .. } => consumed,
+            other => panic!("journal must start with a record, got {other:?}"),
+        };
+        let victim = first_len + taste_core::checksum::RECORD_HEADER_LEN + 4;
+        bytes[victim] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let resumed = engine(cfg).resume(&db, &ids, &path).unwrap();
+        assert_eq!(resumed.journal_corrupt_records, 1);
+        assert_eq!(resumed.replayed_tables, 2, "the intact records are replayed");
+        assert_eq!(resumed.tables.len(), 3, "the corrupted table is re-run, not lost");
+        for (a, b) in full.tables.iter().zip(&resumed.tables) {
+            assert_eq!(a.table, b.table);
+            assert_eq!(a.admitted, b.admitted);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cache_persists_and_restores_through_the_engine() {
+        let (db, ids) = fixture_db(4, LatencyProfile::zero());
+        let cfg = TasteConfig { pipelining: false, alpha: 0.0001, beta: 0.9999, ..Default::default() };
+        let eng = engine(cfg);
+        let _ = eng.detect_batch(&db, &ids).unwrap();
+        let path = temp_path("cache");
+        let written = eng.persist_cache(&path).unwrap();
+        assert!(written > 0, "the wide band populates the cache");
+        let stats = eng.restore_cache(&path).unwrap();
+        assert_eq!(stats.loaded, written);
+        assert_eq!(stats.corrupt, 0);
+        std::fs::remove_file(&path).unwrap();
     }
 }

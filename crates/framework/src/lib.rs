@@ -26,6 +26,13 @@
 //!   circuit breaker. With degradation enabled, a table whose P2 scan
 //!   exhausts its retry budget falls back to P1 metadata-only verdicts
 //!   instead of failing the batch.
+//! * [`watchdog`] — cooperative cancellation: per-table
+//!   [`watchdog::CancelToken`]s flipped by a deadline-monitoring thread,
+//!   observed by stages at boundaries and inside row-scan loops.
+//! * [`journal`] — the resumable verdict journal: checksummed
+//!   append-only records of each table's final verdicts, replayed by
+//!   [`engine::TasteEngine::resume`] to skip finished tables after a
+//!   crash.
 
 #![warn(missing_docs)]
 
@@ -33,12 +40,16 @@ pub mod baseline_run;
 pub mod custom_types;
 pub mod config;
 pub mod engine;
+pub mod journal;
 pub mod report;
 pub mod retry;
 pub mod rules;
 pub mod stages;
+pub mod watchdog;
 
-pub use config::TasteConfig;
+pub use config::{HardeningConfig, TasteConfig};
 pub use engine::TasteEngine;
+pub use journal::{JournalRecord, JournalReplay, JournalWriter};
 pub use report::{evaluate_report, DetectionReport, ResilienceSummary, TableResult};
 pub use retry::{BreakerState, CircuitBreaker, RetryConfig};
+pub use watchdog::{CancelReason, CancelToken};

@@ -3,7 +3,7 @@
 use crate::retry::RetryStats;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
-use taste_core::{EvalAccumulator, EvalScores, LabelSet, TableId};
+use taste_core::{EvalAccumulator, EvalScores, LabelSet, TableId, TableOutcome};
 use taste_db::LedgerSnapshot;
 
 /// Per-table fault-handling telemetry: what it cost to get this table's
@@ -47,6 +47,10 @@ pub struct TableResult {
     pub admitted: Vec<LabelSet>,
     /// How many of the table's columns were uncertain after P1.
     pub uncertain_columns: usize,
+    /// How the table's pipeline run ended (see the state diagram in
+    /// [`taste_core::outcome`]).
+    #[serde(default)]
+    pub outcome: TableOutcome,
     /// Fault-handling telemetry (all zeros on a clean run).
     #[serde(default)]
     pub resilience: ResilienceSummary,
@@ -77,6 +81,19 @@ pub struct DetectionReport {
     /// Chronological circuit-breaker transition log for the batch.
     #[serde(default)]
     pub breaker_transitions: Vec<String>,
+    /// Tables whose results were replayed from a journal (resume runs).
+    #[serde(default)]
+    pub replayed_tables: u64,
+    /// Journal records quarantined on replay (checksum or decode
+    /// failure); the tables they covered were re-run.
+    #[serde(default)]
+    pub journal_corrupt_records: u64,
+    /// Whether replay found and truncated a torn journal tail.
+    #[serde(default)]
+    pub journal_torn_tail: bool,
+    /// Latent-cache entries quarantined on restore (checksum failure).
+    #[serde(default)]
+    pub cache_corrupt_entries: u64,
 }
 
 impl DetectionReport {
@@ -114,6 +131,23 @@ impl DetectionReport {
     /// Total backoff sleep across the batch.
     pub fn total_backoff(&self) -> Duration {
         self.tables.iter().map(|t| t.resilience.backoff).sum()
+    }
+
+    /// Tables whose pipeline panicked in some stage (isolated, batch
+    /// unaffected).
+    pub fn panicked_tables(&self) -> usize {
+        self.tables.iter().filter(|t| matches!(t.outcome, TableOutcome::Panicked { .. })).count()
+    }
+
+    /// Tables abandoned by the watchdog for exceeding a stage deadline.
+    pub fn timed_out_tables(&self) -> usize {
+        self.tables.iter().filter(|t| matches!(t.outcome, TableOutcome::TimedOut { .. })).count()
+    }
+
+    /// Tables cancelled before reaching any final outcome (batch
+    /// deadline or deliberate halt); a resumed run re-processes these.
+    pub fn cancelled_tables(&self) -> usize {
+        self.tables.iter().filter(|t| t.outcome == TableOutcome::Cancelled).count()
     }
 }
 
@@ -153,12 +187,14 @@ mod tests {
                     table: TableId(0),
                     admitted: vec![ls(&[1]), ls(&[])],
                     uncertain_columns: 1,
+                    outcome: TableOutcome::Completed,
                     resilience: ResilienceSummary::default(),
                 },
                 TableResult {
                     table: TableId(1),
                     admitted: vec![ls(&[2])],
                     uncertain_columns: 0,
+                    outcome: TableOutcome::Completed,
                     resilience: ResilienceSummary::default(),
                 },
             ],
@@ -169,6 +205,10 @@ mod tests {
             cache_misses: 0,
             breaker_trips: 0,
             breaker_transitions: Vec::new(),
+            replayed_tables: 0,
+            journal_corrupt_records: 0,
+            journal_torn_tail: false,
+            cache_corrupt_entries: 0,
         }
     }
 
@@ -217,6 +257,23 @@ mod tests {
         assert_eq!(r.degraded_tables(), 1);
         assert_eq!(r.total_retries(), 4);
         assert_eq!(r.total_backoff(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn outcome_rollups_count_each_kind() {
+        let mut r = report();
+        r.tables[0].outcome = TableOutcome::Panicked { stage: "P1Infer".into(), payload: "boom".into() };
+        r.tables[1].outcome = TableOutcome::TimedOut { stage: "P2Prep".into() };
+        r.tables.push(TableResult {
+            table: TableId(2),
+            admitted: Vec::new(),
+            uncertain_columns: 0,
+            outcome: TableOutcome::Cancelled,
+            resilience: ResilienceSummary::default(),
+        });
+        assert_eq!(r.panicked_tables(), 1);
+        assert_eq!(r.timed_out_tables(), 1);
+        assert_eq!(r.cancelled_tables(), 1);
     }
 
     #[test]

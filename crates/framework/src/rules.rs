@@ -145,6 +145,7 @@ impl RuleBaseline {
                 table: tid,
                 admitted,
                 uncertain_columns: 0,
+                outcome: Default::default(),
                 resilience: Default::default(),
             });
         }
@@ -158,6 +159,10 @@ impl RuleBaseline {
             cache_misses: 0,
             breaker_trips: 0,
             breaker_transitions: Vec::new(),
+            replayed_tables: 0,
+            journal_corrupt_records: 0,
+            journal_torn_tail: false,
+            cache_corrupt_entries: 0,
         })
     }
 }

@@ -6,6 +6,7 @@
 //! Algorithm 1 scheduler without duplicating any logic.
 
 use crate::config::TasteConfig;
+use crate::watchdog::CancelToken;
 use std::sync::Arc;
 use taste_core::{LabelSet, Result, TableId, TypeId};
 use taste_model::cache::CacheKey;
@@ -93,12 +94,16 @@ pub fn infer_phase1(
 /// P2-S1: scan the uncertain columns' content (only theirs — columns in
 /// `C \ C_u` are never read, §3.3) and select the first `n` non-empty
 /// values per column.
+///
+/// The row-selection loop observes `cancel` so a watchdog-abandoned
+/// table stops scanning mid-stage instead of running to completion.
 pub fn prep_phase2(
     conn: &Connection,
     tid: TableId,
     prep1: &P1Prep,
     uncertain: &[u16],
     cfg: &TasteConfig,
+    cancel: &CancelToken,
 ) -> Result<P2Prep> {
     let mut contents: Vec<Vec<Option<ColumnContent>>> = prep1
         .chunks
@@ -111,10 +116,12 @@ pub fn prep_phase2(
     let mut ordinals = uncertain.to_vec();
     ordinals.sort_unstable();
     ordinals.dedup();
+    cancel.check("prep_phase2 scan")?;
     let rows = conn.scan_columns(tid, &ordinals, cfg.scan_method())?;
     // rows are projected in ascending-ordinal order.
     let mut selected: Vec<ColumnContent> = vec![ColumnContent::default(); ordinals.len()];
     for row in &rows {
+        cancel.check("prep_phase2 row loop")?;
         for (k, cell) in row.iter().enumerate() {
             let bucket = &mut selected[k].cells;
             if bucket.len() < cfg.n && !cell.is_empty() {
@@ -287,7 +294,7 @@ mod tests {
         let cfg = TasteConfig { n: 3, ..Default::default() };
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let before = db.ledger().snapshot();
-        let p2 = prep_phase2(&conn, tid, &prep, &[1, 3], &cfg).unwrap();
+        let p2 = prep_phase2(&conn, tid, &prep, &[1, 3], &cfg, &CancelToken::new()).unwrap();
         let delta = db.ledger().snapshot().since(&before);
         assert_eq!(delta.columns_scanned, 2);
         let flat: Vec<&Option<ColumnContent>> = p2.contents.iter().flatten().collect();
@@ -303,9 +310,25 @@ mod tests {
         let cfg = TasteConfig::default();
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let before = db.ledger().snapshot();
-        let p2 = prep_phase2(&conn, tid, &prep, &[], &cfg).unwrap();
+        let p2 = prep_phase2(&conn, tid, &prep, &[], &cfg, &CancelToken::new()).unwrap();
         assert_eq!(db.ledger().snapshot().since(&before).scan_queries, 0);
         assert!(p2.contents.iter().flatten().all(Option::is_none));
+    }
+
+    #[test]
+    fn prep_phase2_observes_cancellation() {
+        use crate::watchdog::CancelReason;
+        let (db, tid) = db_with_table(3);
+        let conn = db.connect();
+        let cfg = TasteConfig::default();
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::StageTimeout);
+        let err = prep_phase2(&conn, tid, &prep, &[0, 1], &cfg, &token).unwrap_err();
+        assert!(matches!(err, taste_core::TasteError::Cancelled(_)), "{err:?}");
+        // An empty uncertain set short-circuits before the scan and
+        // never observes the token.
+        assert!(prep_phase2(&conn, tid, &prep, &[], &cfg, &token).is_ok());
     }
 
     #[test]
@@ -317,7 +340,7 @@ mod tests {
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let infer1 = infer_phase1(&m, &cfg, tid, &prep, None);
         // Only scan columns 0 and 2.
-        let p2 = prep_phase2(&conn, tid, &prep, &[0, 2], &cfg).unwrap();
+        let p2 = prep_phase2(&conn, tid, &prep, &[0, 2], &cfg, &CancelToken::new()).unwrap();
         let finals = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, None);
         assert_eq!(finals.len(), 4);
         // Unscanned columns keep their P1 admitted sets.
@@ -334,7 +357,7 @@ mod tests {
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let cache = LatentCache::new(8);
         let infer1 = infer_phase1(&m, &cfg, tid, &prep, Some(&cache));
-        let p2 = prep_phase2(&conn, tid, &prep, &infer1.uncertain, &cfg).unwrap();
+        let p2 = prep_phase2(&conn, tid, &prep, &infer1.uncertain, &cfg, &CancelToken::new()).unwrap();
         let cached = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, Some(&cache));
 
         let nc_cfg = TasteConfig { caching: false, ..cfg };

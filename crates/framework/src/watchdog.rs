@@ -1,0 +1,281 @@
+//! Cooperative cancellation and the stage watchdog.
+//!
+//! The Algorithm 1 scheduler must never let one wedged table hold a
+//! worker hostage. Every table gets a [`CancelToken`]; a monitor thread
+//! ([`Watchdog`]) tracks how long each in-flight stage has been running
+//! and flips the token of any table whose stage exceeds its deadline
+//! (reason [`CancelReason::StageTimeout`]) or whose batch exceeded its
+//! overall deadline ([`CancelReason::BatchTimeout`]). Stages observe the
+//! token at stage boundaries and inside row-scan loops, so a cancelled
+//! stage unwinds at its next check — cleanly, with the table reported as
+//! `TimedOut`/`Cancelled` and the rest of the batch unaffected.
+//!
+//! Cancellation is *edge-triggered and sticky*: the first reason to land
+//! wins, later ones are ignored, and a token never un-cancels. A stage
+//! racing the watchdog may finish its work after the flip; the table is
+//! still reported as timed out — the deadline had passed.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taste_core::{Result, TasteError};
+
+/// Why a [`CancelToken`] was flipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// One stage of the table exceeded the per-stage watchdog deadline.
+    StageTimeout,
+    /// The whole batch exceeded its deadline.
+    BatchTimeout,
+    /// The batch was halted deliberately (crash simulation / shutdown).
+    Halted,
+}
+
+const LIVE: u8 = 0;
+
+impl CancelReason {
+    fn code(self) -> u8 {
+        match self {
+            CancelReason::StageTimeout => 1,
+            CancelReason::BatchTimeout => 2,
+            CancelReason::Halted => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<CancelReason> {
+        match code {
+            1 => Some(CancelReason::StageTimeout),
+            2 => Some(CancelReason::BatchTimeout),
+            3 => Some(CancelReason::Halted),
+            _ => None,
+        }
+    }
+}
+
+/// A sticky, cloneable cancellation flag checked cooperatively by stage
+/// code. Cloning shares the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A live (uncancelled) token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the token. The first reason to land is kept; subsequent
+    /// cancellations are no-ops.
+    pub fn cancel(&self, reason: CancelReason) {
+        let _ = self.flag.compare_exchange(
+            LIVE,
+            reason.code(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) != LIVE
+    }
+
+    /// The first cancellation reason, if any.
+    pub fn reason(&self) -> Option<CancelReason> {
+        CancelReason::from_code(self.flag.load(Ordering::Acquire))
+    }
+
+    /// Cooperative check: `Ok(())` while live, `TasteError::Cancelled`
+    /// naming `at` once cancelled.
+    pub fn check(&self, at: &str) -> Result<()> {
+        match self.reason() {
+            None => Ok(()),
+            Some(reason) => Err(TasteError::cancelled(format!("{at}: {reason:?}"))),
+        }
+    }
+}
+
+/// Per-table in-flight stage clocks, shared between the workers (who
+/// punch in and out) and the watchdog thread (who reads them).
+#[derive(Debug)]
+pub struct StageClocks {
+    slots: Vec<Mutex<Option<Instant>>>,
+}
+
+impl StageClocks {
+    /// Clocks for `n` tables, all idle.
+    pub fn new(n: usize) -> StageClocks {
+        StageClocks { slots: (0..n).map(|_| Mutex::new(None)).collect() }
+    }
+
+    /// Marks table `t`'s next stage as started now.
+    pub fn start(&self, t: usize) {
+        *self.slots[t].lock() = Some(Instant::now());
+    }
+
+    /// Marks table `t` as having no stage in flight.
+    pub fn finish(&self, t: usize) {
+        *self.slots[t].lock() = None;
+    }
+
+    /// How long table `t`'s in-flight stage has been running, if any.
+    fn elapsed(&self, t: usize) -> Option<Duration> {
+        self.slots[t].lock().map(|started| started.elapsed())
+    }
+}
+
+/// The monitor thread enforcing stage and batch deadlines.
+///
+/// Dropping (or [`stop`](Watchdog::stop)-ping) the watchdog joins the
+/// thread; it never outlives the batch that spawned it.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns a watchdog polling `clocks` every `poll`, cancelling a
+    /// table's token after `stage_deadline` of one in-flight stage and
+    /// every token after `batch_deadline` of total batch runtime.
+    pub fn spawn(
+        stage_deadline: Option<Duration>,
+        batch_deadline: Option<Duration>,
+        poll: Duration,
+        clocks: Arc<StageClocks>,
+        tokens: Vec<CancelToken>,
+    ) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let batch_start = Instant::now();
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                if let Some(batch_dl) = batch_deadline {
+                    if batch_start.elapsed() >= batch_dl {
+                        for token in &tokens {
+                            token.cancel(CancelReason::BatchTimeout);
+                        }
+                        return;
+                    }
+                }
+                if let Some(stage_dl) = stage_deadline {
+                    for (t, token) in tokens.iter().enumerate() {
+                        if let Some(elapsed) = clocks.elapsed(t) {
+                            if elapsed >= stage_dl {
+                                token.cancel(CancelReason::StageTimeout);
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(poll);
+            }
+        });
+        Watchdog { stop, handle: Some(handle) }
+    }
+
+    /// Stops and joins the monitor thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_sticky_and_first_reason_wins() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.check("stage").is_ok());
+        token.cancel(CancelReason::StageTimeout);
+        token.cancel(CancelReason::BatchTimeout);
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), Some(CancelReason::StageTimeout));
+        let err = token.check("P2Prep row loop").unwrap_err();
+        assert!(matches!(err, TasteError::Cancelled(_)), "{err:?}");
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel(CancelReason::Halted);
+        assert_eq!(a.reason(), Some(CancelReason::Halted));
+    }
+
+    #[test]
+    fn watchdog_cancels_stage_past_deadline() {
+        let clocks = Arc::new(StageClocks::new(2));
+        let tokens = vec![CancelToken::new(), CancelToken::new()];
+        let dog = Watchdog::spawn(
+            Some(Duration::from_millis(10)),
+            None,
+            Duration::from_millis(1),
+            Arc::clone(&clocks),
+            tokens.clone(),
+        );
+        clocks.start(0); // table 0 wedges; table 1 never starts a stage
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !tokens[0].is_cancelled() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        dog.stop();
+        assert_eq!(tokens[0].reason(), Some(CancelReason::StageTimeout));
+        assert!(!tokens[1].is_cancelled(), "idle table must not be cancelled");
+    }
+
+    #[test]
+    fn watchdog_batch_deadline_cancels_everything() {
+        let clocks = Arc::new(StageClocks::new(3));
+        let tokens = vec![CancelToken::new(), CancelToken::new(), CancelToken::new()];
+        let dog = Watchdog::spawn(
+            None,
+            Some(Duration::from_millis(5)),
+            Duration::from_millis(1),
+            Arc::clone(&clocks),
+            tokens.clone(),
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while tokens.iter().any(|t| !t.is_cancelled()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        dog.stop();
+        for token in &tokens {
+            assert_eq!(token.reason(), Some(CancelReason::BatchTimeout));
+        }
+    }
+
+    #[test]
+    fn finished_stage_is_not_timed_out() {
+        let clocks = Arc::new(StageClocks::new(1));
+        let tokens = vec![CancelToken::new()];
+        clocks.start(0);
+        clocks.finish(0);
+        let dog = Watchdog::spawn(
+            Some(Duration::from_millis(2)),
+            None,
+            Duration::from_millis(1),
+            Arc::clone(&clocks),
+            tokens.clone(),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        dog.stop();
+        assert!(!tokens[0].is_cancelled());
+    }
+}

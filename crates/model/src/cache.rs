@@ -7,12 +7,24 @@
 //! slowdown (§6.3). Keys are `(table, chunk)` pairs; capacity is bounded
 //! with FIFO eviction (entries are written once and read at most once in
 //! a normal two-phase pass).
+//!
+//! ## Persistence
+//!
+//! A resumed detection run ([`save`](LatentCache::save) /
+//! [`restore`](LatentCache::restore)) can keep its P1 latents across a
+//! process death: entries are written as length-prefixed, CRC32C-framed
+//! records (see [`taste_core::checksum`]), so a torn write at process
+//! kill truncates cleanly and a bit-rotted entry is detected, skipped,
+//! and counted instead of silently skewing P2 inference.
 
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::Arc;
-use taste_core::TableId;
+use taste_core::checksum::{decode_record, encode_record, DecodeStep};
+use taste_core::{Result, TableId, TasteError};
 use taste_nn::Matrix;
 
 /// Cached output of one metadata-tower pass over one chunk.
@@ -110,6 +122,106 @@ impl LatentCache {
         inner.hits = 0;
         inner.misses = 0;
     }
+
+    /// Persists every cached entry to `path` as checksummed records,
+    /// writing to a temporary sibling file first and renaming into place
+    /// so a crash mid-save never leaves a half-written cache under the
+    /// real name. Returns the number of entries written.
+    pub fn save(&self, path: &Path) -> Result<usize> {
+        let mut buf = Vec::new();
+        let mut written = 0usize;
+        {
+            let inner = self.inner.lock();
+            // Insertion order keeps the file deterministic for a given
+            // run and preserves FIFO age across a save/restore cycle.
+            for key in &inner.order {
+                let Some(value) = inner.map.get(key) else { continue };
+                let entry = PersistedEntry {
+                    table: key.0 .0,
+                    chunk: key.1,
+                    layer_latents: value.layer_latents.clone(),
+                    col_marker_pos: value.col_marker_pos.clone(),
+                };
+                let payload = serde_json::to_vec(&entry)
+                    .map_err(|e| TasteError::Serde(format!("cache entry encode: {e}")))?;
+                buf.extend_from_slice(&encode_record(&payload));
+                written += 1;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &buf)
+            .map_err(|e| TasteError::Serde(format!("cache write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| TasteError::Serde(format!("cache rename {}: {e}", path.display())))?;
+        Ok(written)
+    }
+
+    /// Restores entries persisted by [`save`](LatentCache::save) into
+    /// this cache (on top of whatever it already holds, subject to the
+    /// capacity bound).
+    ///
+    /// Records that fail their checksum are quarantined — skipped and
+    /// counted in [`CacheRestoreStats::corrupt`] — and a torn tail stops
+    /// the restore at the last whole record. Neither is an error: a
+    /// restored cache is an optimization, and P2 recomputes any latent
+    /// that did not survive.
+    pub fn restore(&self, path: &Path) -> Result<CacheRestoreStats> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| TasteError::Serde(format!("cache read {}: {e}", path.display())))?;
+        let mut stats = CacheRestoreStats::default();
+        let mut at = 0usize;
+        while at < bytes.len() {
+            match decode_record(&bytes[at..]) {
+                DecodeStep::Record { payload, consumed } => {
+                    at += consumed;
+                    match serde_json::from_slice::<PersistedEntry>(payload) {
+                        Ok(entry) => {
+                            self.put(
+                                (TableId(entry.table), entry.chunk),
+                                Arc::new(CachedMeta {
+                                    layer_latents: entry.layer_latents,
+                                    col_marker_pos: entry.col_marker_pos,
+                                }),
+                            );
+                            stats.loaded += 1;
+                        }
+                        // Checksum-valid but undecodable: written by an
+                        // incompatible version. Quarantine it too.
+                        Err(_) => stats.corrupt += 1,
+                    }
+                }
+                DecodeStep::CorruptPayload { consumed } => {
+                    at += consumed;
+                    stats.corrupt += 1;
+                }
+                DecodeStep::TornTail => {
+                    stats.torn_tail = true;
+                    break;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// One cache entry as persisted on disk.
+#[derive(Serialize, Deserialize)]
+struct PersistedEntry {
+    table: u32,
+    chunk: u32,
+    layer_latents: Vec<Matrix>,
+    col_marker_pos: Vec<usize>,
+}
+
+/// What [`LatentCache::restore`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheRestoreStats {
+    /// Entries restored intact.
+    pub loaded: usize,
+    /// Records quarantined for a checksum or decode failure.
+    pub corrupt: usize,
+    /// Whether the file ended in a torn (partially written) record.
+    pub torn_tail: bool,
 }
 
 #[cfg(test)]
@@ -168,6 +280,76 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = LatentCache::new(0);
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "taste-cache-{tag}-{}-{:?}.bin",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn filled_cache(n: u32) -> LatentCache {
+        let cache = LatentCache::new(64);
+        for i in 0..n {
+            cache.put((TableId(i), i % 3), entry(1 + i as usize));
+        }
+        cache
+    }
+
+    #[test]
+    fn save_restore_roundtrip_preserves_entries() {
+        let path = temp_path("roundtrip");
+        let cache = filled_cache(5);
+        assert_eq!(cache.save(&path).unwrap(), 5);
+        let restored = LatentCache::new(64);
+        let stats = restored.restore(&path).unwrap();
+        assert_eq!(stats, CacheRestoreStats { loaded: 5, corrupt: 0, torn_tail: false });
+        assert_eq!(restored.len(), 5);
+        for i in 0..5u32 {
+            let got = restored.get(&(TableId(i), i % 3)).expect("entry survives");
+            let want = cache.get(&(TableId(i), i % 3)).unwrap();
+            assert_eq!(got.layer_latents, want.layer_latents);
+            assert_eq!(got.col_marker_pos, want.col_marker_pos);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_is_quarantined_not_fatal() {
+        let path = temp_path("corrupt");
+        filled_cache(4).save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the first record (header is 16 bytes).
+        bytes[20] ^= 0x55;
+        std::fs::write(&path, &bytes).unwrap();
+        let restored = LatentCache::new(64);
+        let stats = restored.restore(&path).unwrap();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(stats.loaded, 3);
+        assert!(!stats.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_stops_at_last_whole_record() {
+        let path = temp_path("torn");
+        filled_cache(4).save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the file mid-way through the final record.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let restored = LatentCache::new(64);
+        let stats = restored.restore(&path).unwrap();
+        assert_eq!(stats.loaded, 3);
+        assert!(stats.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_of_missing_file_errors() {
+        let restored = LatentCache::new(4);
+        assert!(restored.restore(std::path::Path::new("/nonexistent/cache.bin")).is_err());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod trainer;
 
 pub use adtd::{Adtd, MetaEncoding};
 pub use baselines::{BaselineKind, SingleTower};
-pub use cache::LatentCache;
+pub use cache::{CacheRestoreStats, LatentCache};
 pub use config::ModelConfig;
 pub use prepare::{ModelInput, TableChunk};
 pub use trainer::TrainConfig;

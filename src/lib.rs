@@ -32,7 +32,7 @@ pub use taste_tokenizer;
 pub mod prelude {
     pub use taste_core::{
         Cell, ColumnId, ColumnMeta, LabelSet, RawType, Result, Table, TableId, TableMeta,
-        TasteError, TypeId,
+        TableOutcome, TasteError, TypeId,
     };
     pub use taste_data::corpus::{Corpus, CorpusSpec};
     pub use taste_data::splits::Split;
@@ -41,7 +41,8 @@ pub mod prelude {
         Connection, ConnectionPool, Database, FaultProfile, LatencyProfile, ScanMethod,
     };
     pub use taste_framework::{
-        evaluate_report, DetectionReport, ResilienceSummary, RetryConfig, TasteConfig, TasteEngine,
+        evaluate_report, DetectionReport, HardeningConfig, ResilienceSummary, RetryConfig,
+        TasteConfig, TasteEngine,
     };
     pub use taste_model::{Adtd, ModelConfig, TrainConfig};
     pub use taste_tokenizer::{Tokenizer, Vocab, VocabBuilder};
