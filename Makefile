@@ -1,10 +1,10 @@
 # Convenience targets for the TASTE reproduction workspace.
 
-.PHONY: verify build test clippy crash-resume repro
+.PHONY: verify build test clippy crash-resume repro infer-bench
 
 # The one gate every change must pass.
 verify:
-	cargo build --release && cargo test -q && cargo clippy --workspace -- -D warnings
+	cargo build --release && cargo test -q && cargo clippy --all-targets -- -D warnings
 
 build:
 	cargo build --release
@@ -13,7 +13,7 @@ test:
 	cargo test -q
 
 clippy:
-	cargo clippy --workspace -- -D warnings
+	cargo clippy --all-targets -- -D warnings
 
 # The release-mode kill-and-resume scenarios (too slow for `verify`).
 crash-resume:
@@ -22,3 +22,7 @@ crash-resume:
 # Quick-scale reproduction of every table and figure.
 repro:
 	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- all
+
+# Quick-scale serving-backend benchmark (tape vs tape-free throughput).
+infer-bench:
+	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- infer_bench

@@ -10,7 +10,7 @@ use crate::models::{self, TrainedModels};
 use crate::scale::Scale;
 use serde_json::json;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use taste_core::{Result, TasteError};
 use taste_data::load::{load_split, LoadedSplit};
 use taste_data::splits::Split;
@@ -20,7 +20,9 @@ use taste_framework::config::ScanKind;
 use taste_framework::{
     evaluate_report, DetectionReport, HardeningConfig, RetryConfig, TasteConfig, TasteEngine,
 };
-use taste_model::Adtd;
+use taste_model::prepare::{training_inputs, ModelInput};
+use taste_model::{Adtd, ExecMode, Inferencer};
+use taste_tokenizer::ColumnContent;
 
 fn run_taste(model: &Arc<Adtd>, split: &LoadedSplit, cfg: TasteConfig) -> Result<DetectionReport> {
     let engine = TasteEngine::new(Arc::clone(model), cfg)?;
@@ -537,6 +539,154 @@ pub fn crash_resume(scale: &Scale) -> Result<()> {
     Ok(())
 }
 
+/// Serving-backend benchmark — P1/P2 inference throughput (columns/sec)
+/// of the tape-free executor against the recording tape on identical
+/// inputs, plus an end-to-end parity check between the two backends.
+///
+/// This measures raw model serving (no database, no scheduler): every
+/// chunk of the SynthWiki test split is pushed through `encode_meta` +
+/// `predict_meta` (P1) and, over cached encodings with every column
+/// scanned, `predict_content` (P2). The same long-lived [`Inferencer`]
+/// serves all chunks of a backend's pass, so the tape-free numbers
+/// reflect steady-state buffer reuse exactly as in the engine's worker
+/// threads.
+pub fn infer_bench(scale: &Scale) -> Result<()> {
+    let bundle = build_bundle(DatasetKind::Wiki, scale)?;
+    let model = models::taste_model(&bundle, scale, false, "plain")?;
+    let cfg = TasteConfig { l: bundle.kind.default_l(), ..TasteConfig::default() };
+    let ntypes = bundle.test_fast.ntypes;
+    let inputs: Vec<ModelInput> = bundle
+        .corpus
+        .split_tables(Split::Test)
+        .into_iter()
+        .flat_map(|t| training_inputs(t, ntypes, cfg.l, cfg.m, cfg.n, false))
+        .collect();
+    if inputs.is_empty() {
+        return Err(TasteError::invalid("test split produced no model inputs"));
+    }
+    let cols: usize = inputs.iter().map(|i| i.chunk.col_texts.len()).sum();
+    let repeats = scale.timing_runs.max(1);
+    let contents: Vec<Vec<Option<ColumnContent>>> = inputs
+        .iter()
+        .map(|inp| inp.contents.iter().cloned().map(Some).collect())
+        .collect();
+
+    struct BackendRun {
+        p1_s: f64,
+        p2_s: f64,
+        p1_preds: Vec<Vec<Vec<f32>>>,
+        p2_preds: Vec<Vec<Option<Vec<f32>>>>,
+    }
+
+    let run_backend = |mode: ExecMode| -> BackendRun {
+        let mut inf = Inferencer::new(mode);
+        // Warm pass: sizes the executor's arena so the timed passes
+        // measure steady-state serving; its encodings feed P2 below.
+        let encs: Vec<_> = inputs.iter().map(|inp| inf.encode_meta(&model, &inp.chunk)).collect();
+
+        let t0 = Instant::now();
+        let mut p1_preds = Vec::new();
+        for _ in 0..repeats {
+            p1_preds = inputs
+                .iter()
+                .map(|inp| {
+                    let enc = inf.encode_meta(&model, &inp.chunk);
+                    inf.predict_meta(&model, &enc, &inp.chunk.nonmeta)
+                })
+                .collect();
+        }
+        let p1_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mut p2_preds = Vec::new();
+        for _ in 0..repeats {
+            p2_preds = inputs
+                .iter()
+                .zip(&encs)
+                .zip(&contents)
+                .map(|((inp, enc), cont)| inf.predict_content(&model, enc, cont, &inp.chunk.nonmeta))
+                .collect();
+        }
+        let p2_s = t0.elapsed().as_secs_f64();
+        BackendRun { p1_s, p2_s, p1_preds, p2_preds }
+    };
+
+    let taped = run_backend(ExecMode::Taped);
+    let free = run_backend(ExecMode::TapeFree);
+
+    // Backend parity on every probability the bench produced.
+    let mut max_diff = 0f32;
+    for (a, b) in taped.p1_preds.iter().flatten().zip(free.p1_preds.iter().flatten()) {
+        for (x, y) in a.iter().zip(b) {
+            max_diff = max_diff.max((x - y).abs());
+        }
+    }
+    for (a, b) in taped.p2_preds.iter().flatten().zip(free.p2_preds.iter().flatten()) {
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                for (x, y) in a.iter().zip(b) {
+                    max_diff = max_diff.max((x - y).abs());
+                }
+            }
+            (None, None) => {}
+            _ => return Err(TasteError::invalid("backends disagree on which columns have P2 verdicts")),
+        }
+    }
+
+    let timed_cols = (cols * repeats) as f64;
+    let mut rows = Vec::new();
+    for (name, run) in [("tape (training executor)", &taped), ("tape-free (serving executor)", &free)] {
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", timed_cols / run.p1_s),
+            format!("{:.0}", timed_cols / run.p2_s),
+            format!("{:.3}s", run.p1_s),
+            format!("{:.3}s", run.p2_s),
+        ]);
+    }
+    let p1_speedup = taped.p1_s / free.p1_s;
+    let p2_speedup = taped.p2_s / free.p2_s;
+    rows.push(vec![
+        "speedup".to_string(),
+        format!("{p1_speedup:.2}x"),
+        format!("{p2_speedup:.2}x"),
+        String::new(),
+        String::new(),
+    ]);
+    print_table(
+        "Serving backends: inference throughput (SynthWiki test split)",
+        &["backend", "P1 cols/s", "P2 cols/s", "P1 time", "P2 time"],
+        &rows,
+    );
+    println!("backend parity: max |Δp| = {max_diff:.2e} over {cols} columns x {repeats} runs");
+    write_json(
+        "BENCH_infer",
+        &json!({
+            "dataset": DatasetKind::Wiki.label(),
+            "chunks": inputs.len(),
+            "columns": cols,
+            "repeats": repeats,
+            "p1": {
+                "tape_s": taped.p1_s, "tape_free_s": free.p1_s,
+                "tape_cols_per_s": timed_cols / taped.p1_s,
+                "tape_free_cols_per_s": timed_cols / free.p1_s,
+                "speedup": p1_speedup,
+            },
+            "p2": {
+                "tape_s": taped.p2_s, "tape_free_s": free.p2_s,
+                "tape_cols_per_s": timed_cols / taped.p2_s,
+                "tape_free_cols_per_s": timed_cols / free.p2_s,
+                "speedup": p2_speedup,
+            },
+            "parity_max_abs_diff": max_diff,
+        }),
+    );
+    if max_diff > 1e-5 {
+        return Err(TasteError::invalid("tape and tape-free predictions diverged beyond 1e-5"));
+    }
+    Ok(())
+}
+
 /// Runs every experiment in paper order.
 pub fn all(scale: &Scale) -> Result<()> {
     table2(scale)?;
@@ -549,5 +699,6 @@ pub fn all(scale: &Scale) -> Result<()> {
     fig8(scale)?;
     fault_sweep(scale)?;
     crash_resume(scale)?;
+    infer_bench(scale)?;
     Ok(())
 }

@@ -7,6 +7,36 @@ use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use taste_core::{Result, TasteError};
 use taste_db::ScanMethod;
+use taste_model::{ExecMode, Inferencer};
+
+/// Which execution backend serves model predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecBackend {
+    /// Tape-free eager evaluation into per-worker reusable buffers
+    /// (the serving default).
+    #[default]
+    TapeFree,
+    /// The recording autodiff tape, as training uses — kept selectable
+    /// so A/B parity runs can compare backends on identical batches.
+    Tape,
+}
+
+/// Execution-backend configuration for the serving path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Backend used by `infer_phase1` / `infer_phase2`.
+    pub backend: ExecBackend,
+}
+
+impl ExecutionConfig {
+    /// Builds a worker-local [`Inferencer`] for the configured backend.
+    pub fn inferencer(&self) -> Inferencer {
+        Inferencer::new(match self.backend {
+            ExecBackend::TapeFree => ExecMode::TapeFree,
+            ExecBackend::Tape => ExecMode::Taped,
+        })
+    }
+}
 
 /// Crash-safety configuration for one engine: watchdog deadlines plus
 /// deterministic fault-injection points used by the crash/resume tests.
@@ -132,6 +162,9 @@ pub struct TasteConfig {
     /// panic/stall fault-injection hooks.
     #[serde(default)]
     pub hardening: HardeningConfig,
+    /// Serving execution backend (tape-free by default).
+    #[serde(default)]
+    pub execution: ExecutionConfig,
 }
 
 impl Default for TasteConfig {
@@ -150,6 +183,7 @@ impl Default for TasteConfig {
             p2_threshold: 0.5,
             retry: RetryConfig::default(),
             hardening: HardeningConfig::default(),
+            execution: ExecutionConfig::default(),
         }
     }
 }
@@ -288,6 +322,23 @@ mod tests {
         assert!(!c.p2_possible());
         assert!(c.validate().is_ok());
         assert!(TasteConfig::default().p2_possible());
+    }
+
+    #[test]
+    fn execution_config_defaults_to_tape_free_and_maps_modes() {
+        let c = TasteConfig::default();
+        assert_eq!(c.execution.backend, ExecBackend::TapeFree);
+        assert_eq!(c.execution.inferencer().mode(), ExecMode::TapeFree);
+        let ab = ExecutionConfig { backend: ExecBackend::Tape };
+        assert_eq!(ab.inferencer().mode(), ExecMode::Taped);
+        // Configs serialized before the backend split deserialize to the
+        // tape-free default.
+        let legacy = serde_json::to_value(TasteConfig::default()).unwrap();
+        let mut obj = legacy.as_object().unwrap().clone();
+        obj.remove("execution");
+        let restored: TasteConfig =
+            serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
+        assert_eq!(restored.execution.backend, ExecBackend::TapeFree);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! Pipelined mode builds two worker pools — `TP1` for data-preparation
 //! stages (each worker owns one reused database connection, per the
 //! paper's batching guidance) and `TP2` for inference stages — plus a
-//! stage queue holding the four stages of every table in order. The
+//! stage queue holding the four stages of every table in order. Every
+//! worker also owns a long-lived [`Inferencer`] (see
+//! [`crate::config::ExecutionConfig`]), so tape-free inference reuses one
+//! arena of scratch buffers across all tables the worker serves. The
 //! scheduler repeatedly dispatches the *first eligible* stage of the
 //! matching kind to a free worker, where a stage is eligible exactly when
 //! all previous stages of its table have finished (Definition 5.1). The
@@ -54,7 +57,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taste_core::{LabelSet, Result, TableId, TableOutcome, TasteError};
 use taste_db::{Connection, Database};
-use taste_model::{Adtd, CacheRestoreStats, LatentCache};
+use taste_model::{Adtd, CacheRestoreStats, Inferencer, LatentCache};
 
 /// The TASTE detection engine: a trained model plus a configuration.
 pub struct TasteEngine {
@@ -329,9 +332,10 @@ impl TasteEngine {
     ) -> Result<Vec<Shared>> {
         let states = self.new_states(tables);
         let conn = connect_with_retry(db, &self.config.retry)?;
+        let mut inf = self.config.execution.inferencer();
         for (t, state) in states.iter().enumerate() {
             for stage in StageKind::ORDER {
-                run_stage(stage, t, state, Some(&conn), ctx);
+                run_stage(stage, t, state, Some(&conn), ctx, &mut inf);
             }
         }
         Ok(states)
@@ -354,27 +358,31 @@ impl TasteEngine {
         let tp1_active = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(pool * 2);
         let retry_cfg = self.config.retry;
+        let exec_cfg = self.config.execution;
         for _ in 0..pool {
             let rx = prep_rx.clone();
             let active = Arc::clone(&tp1_active);
             let db = Arc::clone(db);
             handles.push(std::thread::spawn(move || {
                 let conn = connect_with_retry(&db, &retry_cfg).ok();
+                let mut inf = exec_cfg.inferencer();
                 while let Ok(job) = rx.recv() {
-                    job(conn.as_ref());
+                    job(conn.as_ref(), &mut inf);
                     active.fetch_sub(1, Ordering::SeqCst);
                 }
             }));
         }
-        // TP2: inference workers.
+        // TP2: inference workers, each owning a long-lived inferencer
+        // whose scratch buffers persist across every table it serves.
         let (infer_tx, infer_rx) = unbounded::<Job>();
         let tp2_active = Arc::new(AtomicUsize::new(0));
         for _ in 0..pool {
             let rx = infer_rx.clone();
             let active = Arc::clone(&tp2_active);
             handles.push(std::thread::spawn(move || {
+                let mut inf = exec_cfg.inferencer();
                 while let Ok(job) = rx.recv() {
-                    job(None);
+                    job(None, &mut inf);
                     active.fetch_sub(1, Ordering::SeqCst);
                 }
             }));
@@ -416,15 +424,15 @@ impl TasteEngine {
     }
 }
 
-type Job = Box<dyn FnOnce(Option<&Connection>) + Send>;
+type Job = Box<dyn FnOnce(Option<&Connection>, &mut Inferencer) + Send>;
 
 fn dispatch(tx: &Sender<Job>, t: usize, stage: StageKind, states: &[Shared], ctx: &Arc<BatchCtx>) {
     let state = Arc::clone(&states[t]);
     let ctx = Arc::clone(ctx);
     let job: Job = if stage.is_prep() {
-        Box::new(move |conn| run_stage(stage, t, &state, conn, &ctx))
+        Box::new(move |conn, inf| run_stage(stage, t, &state, conn, &ctx, inf))
     } else {
-        Box::new(move |_conn| run_stage(stage, t, &state, None, &ctx))
+        Box::new(move |_conn, inf| run_stage(stage, t, &state, None, &ctx, inf))
     };
     tx.send(job).expect("workers outlive the scheduler loop");
 }
@@ -475,7 +483,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// cancelled, or hit a hazard, so the scheduler always drains the queue.
 /// A panicking stage is caught here: the worker survives and the table
 /// is reported as [`TableOutcome::Panicked`].
-fn run_stage(stage: StageKind, t: usize, state: &Shared, conn: Option<&Connection>, ctx: &BatchCtx) {
+fn run_stage(
+    stage: StageKind,
+    t: usize,
+    state: &Shared,
+    conn: Option<&Connection>,
+    ctx: &BatchCtx,
+    inf: &mut Inferencer,
+) {
     let token = &ctx.tokens[t];
     {
         let mut st = state.0.lock();
@@ -485,7 +500,7 @@ fn run_stage(stage: StageKind, t: usize, state: &Shared, conn: Option<&Connectio
             } else {
                 ctx.clocks.start(t);
                 let caught = catch_unwind(AssertUnwindSafe(|| {
-                    execute(stage, &mut st, conn, token, ctx)
+                    execute(stage, &mut st, conn, token, ctx, inf)
                 }));
                 ctx.clocks.finish(t);
                 match caught {
@@ -600,6 +615,7 @@ fn execute(
     conn: Option<&Connection>,
     token: &CancelToken,
     ctx: &BatchCtx,
+    inf: &mut Inferencer,
 ) -> Result<()> {
     let model = &*ctx.model;
     let cache = &*ctx.cache;
@@ -633,7 +649,7 @@ fn execute(
                 return Ok(());
             }
             let prep = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P1Infer before P1Prep".into()))?;
-            st.infer1 = Some(infer_phase1(model, cfg, st.tid, prep, Some(cache)));
+            st.infer1 = Some(infer_phase1(model, cfg, st.tid, prep, Some(cache), inf));
         }
         StageKind::P2Prep => {
             if st.resilience.failed {
@@ -687,7 +703,7 @@ fn execute(
             }
             let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?;
             let prep2 = st.prep2.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P2Prep".into()))?;
-            st.finals = Some(infer_phase2(model, cfg, st.tid, prep1, infer1, prep2, Some(cache)));
+            st.finals = Some(infer_phase2(model, cfg, st.tid, prep1, infer1, prep2, Some(cache), inf));
         }
     }
     Ok(())
@@ -772,6 +788,35 @@ mod tests {
             assert_eq!(a.outcome, TableOutcome::Completed);
         }
         assert_eq!(seq.total_columns, pipe.total_columns);
+    }
+
+    #[test]
+    fn detect_batch_verdicts_identical_across_backends() {
+        // The A/B knob: forcing the tape backend through the whole
+        // engine must reproduce the tape-free verdicts exactly, in both
+        // sequential and pipelined modes.
+        use crate::config::{ExecBackend, ExecutionConfig};
+        let (db, ids) = fixture_db(5, LatencyProfile::zero());
+        for pipelining in [false, true] {
+            let base = TasteConfig {
+                pipelining,
+                alpha: 0.0001,
+                beta: 0.9999,
+                ..Default::default()
+            };
+            let taped_cfg = TasteConfig {
+                execution: ExecutionConfig { backend: ExecBackend::Tape },
+                ..base
+            };
+            let free = engine(base).detect_batch(&db, &ids).unwrap();
+            let taped = engine(taped_cfg).detect_batch(&db, &ids).unwrap();
+            assert_eq!(free.tables.len(), taped.tables.len());
+            for (a, b) in free.tables.iter().zip(&taped.tables) {
+                assert_eq!(a.table, b.table);
+                assert_eq!(a.admitted, b.admitted, "backends must agree (pipelining={pipelining})");
+                assert_eq!(a.uncertain_columns, b.uncertain_columns);
+            }
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod rules;
 pub mod stages;
 pub mod watchdog;
 
-pub use config::{HardeningConfig, TasteConfig};
+pub use config::{ExecBackend, ExecutionConfig, HardeningConfig, TasteConfig};
 pub use engine::TasteEngine;
 pub use journal::{JournalRecord, JournalReplay, JournalWriter};
 pub use report::{evaluate_report, DetectionReport, ResilienceSummary, TableResult};

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use taste_core::{LabelSet, Result, TableId, TypeId};
 use taste_model::cache::CacheKey;
 use taste_model::prepare::{build_chunks, TableChunk};
-use taste_model::{Adtd, LatentCache, MetaEncoding};
+use taste_model::{Adtd, Inferencer, LatentCache, MetaEncoding};
 use taste_db::Connection;
 use taste_tokenizer::ColumnContent;
 
@@ -53,18 +53,23 @@ pub fn prep_phase1(conn: &Connection, tid: TableId, cfg: &TasteConfig) -> Result
 /// Under latent caching (`cfg.caching` and a cache supplied), each
 /// chunk's encoding is stored under `(tid, chunk_index)` for P2 to reuse;
 /// the *w/o caching* variant stores nothing and P2 recomputes.
+///
+/// Model compute runs on `inf`, the calling worker's long-lived
+/// [`Inferencer`] (tape-free by default; see
+/// [`crate::config::ExecutionConfig`]).
 pub fn infer_phase1(
     model: &Adtd,
     cfg: &TasteConfig,
     tid: TableId,
     prep: &P1Prep,
     cache: Option<&LatentCache>,
+    inf: &mut Inferencer,
 ) -> P1Infer {
     let mut admitted = Vec::with_capacity(prep.ncols);
     let mut uncertain = Vec::new();
     for (chunk_idx, chunk) in prep.chunks.iter().enumerate() {
-        let enc = Arc::new(model.encode_meta(chunk));
-        let probs = model.predict_meta(&enc, &chunk.nonmeta);
+        let enc = Arc::new(inf.encode_meta(model, chunk));
+        let probs = inf.predict_meta(model, &enc, &chunk.nonmeta);
         for (j, row) in probs.iter().enumerate() {
             let ordinal = chunk.ordinals[j];
             let mut a1 = LabelSet::empty();
@@ -146,6 +151,7 @@ pub fn prep_phase2(
 /// P2-S2: content-tower inference over the uncertain columns, combining
 /// `A^c = A_1^c` for certain columns and `A^c = A_2^c` for uncertain
 /// ones (§3.3). Returns the final admitted sets per column.
+#[allow(clippy::too_many_arguments)] // the stage's full upstream state
 pub fn infer_phase2(
     model: &Adtd,
     cfg: &TasteConfig,
@@ -154,6 +160,7 @@ pub fn infer_phase2(
     infer1: &P1Infer,
     prep2: &P2Prep,
     cache: Option<&LatentCache>,
+    inf: &mut Inferencer,
 ) -> Vec<LabelSet> {
     let mut finals = infer1.admitted.clone();
     if infer1.uncertain.is_empty() {
@@ -173,9 +180,9 @@ pub fn infer_phase2(
         let key: CacheKey = (tid, chunk_idx as u32);
         let enc: Arc<MetaEncoding> = match cache.and_then(|c| c.get(&key)) {
             Some(enc) => enc,
-            None => Arc::new(model.encode_meta(chunk)),
+            None => Arc::new(inf.encode_meta(model, chunk)),
         };
-        let probs = model.predict_content(&enc, chunk_contents, &chunk.nonmeta);
+        let probs = inf.predict_content(model, &enc, chunk_contents, &chunk.nonmeta);
         for (j, p) in probs.iter().enumerate() {
             if let Some(row) = p {
                 let a2 = LabelSet::from_iter(
@@ -211,6 +218,10 @@ mod tests {
 
     fn model(ntypes: usize) -> Adtd {
         Adtd::new(ModelConfig::tiny(), tokenizer(), ntypes, 1)
+    }
+
+    fn inf() -> Inferencer {
+        Inferencer::default()
     }
 
     fn db_with_table(ncols: usize) -> (Arc<Database>, TableId) {
@@ -259,14 +270,14 @@ mod tests {
         let cfg = TasteConfig::default().without_p2();
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let m = model(5);
-        let out = infer_phase1(&m, &cfg, tid, &prep, None);
+        let out = infer_phase1(&m, &cfg, tid, &prep, None, &mut inf());
         assert!(out.uncertain.is_empty(), "alpha == beta must yield no uncertain columns");
         assert_eq!(out.admitted.len(), 4);
 
         // With the widest band every column is uncertain for an
         // untrained model (probabilities hover near 0.5).
         let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, ..Default::default() };
-        let out = infer_phase1(&m, &cfg, tid, &prep, None);
+        let out = infer_phase1(&m, &cfg, tid, &prep, None, &mut inf());
         assert_eq!(out.uncertain.len(), 4);
     }
 
@@ -278,12 +289,12 @@ mod tests {
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let m = model(4);
         let cache = LatentCache::new(8);
-        let _out = infer_phase1(&m, &cfg, tid, &prep, Some(&cache));
+        let _out = infer_phase1(&m, &cfg, tid, &prep, Some(&cache), &mut inf());
         assert_eq!(cache.len(), 2, "one entry per chunk");
 
         let no_cache_cfg = TasteConfig { caching: false, ..cfg };
         let cache2 = LatentCache::new(8);
-        let _out2 = infer_phase1(&m, &no_cache_cfg, tid, &prep, Some(&cache2));
+        let _out2 = infer_phase1(&m, &no_cache_cfg, tid, &prep, Some(&cache2), &mut inf());
         assert!(cache2.is_empty());
     }
 
@@ -338,14 +349,39 @@ mod tests {
         let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, ..Default::default() };
         let m = model(4);
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
-        let infer1 = infer_phase1(&m, &cfg, tid, &prep, None);
+        let infer1 = infer_phase1(&m, &cfg, tid, &prep, None, &mut inf());
         // Only scan columns 0 and 2.
         let p2 = prep_phase2(&conn, tid, &prep, &[0, 2], &cfg, &CancelToken::new()).unwrap();
-        let finals = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, None);
+        let finals = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, None, &mut inf());
         assert_eq!(finals.len(), 4);
         // Unscanned columns keep their P1 admitted sets.
         assert_eq!(finals[1], infer1.admitted[1]);
         assert_eq!(finals[3], infer1.admitted[3]);
+    }
+
+    #[test]
+    fn stages_agree_across_execution_backends() {
+        // The same P1 + P2 pass, served tape-free and on the tape, must
+        // produce identical verdicts (the detect_batch-level version of
+        // this check lives in engine.rs).
+        use taste_model::ExecMode;
+        let (db, tid) = db_with_table(4);
+        let conn = db.connect();
+        let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, l: 2, ..Default::default() };
+        let m = model(4);
+        let prep = prep_phase1(&conn, tid, &cfg).unwrap();
+
+        let mut free = Inferencer::new(ExecMode::TapeFree);
+        let mut taped = Inferencer::new(ExecMode::Taped);
+        let i1_free = infer_phase1(&m, &cfg, tid, &prep, None, &mut free);
+        let i1_taped = infer_phase1(&m, &cfg, tid, &prep, None, &mut taped);
+        assert_eq!(i1_free.admitted, i1_taped.admitted);
+        assert_eq!(i1_free.uncertain, i1_taped.uncertain);
+
+        let p2 = prep_phase2(&conn, tid, &prep, &i1_free.uncertain, &cfg, &CancelToken::new()).unwrap();
+        let f_free = infer_phase2(&m, &cfg, tid, &prep, &i1_free, &p2, None, &mut free);
+        let f_taped = infer_phase2(&m, &cfg, tid, &prep, &i1_taped, &p2, None, &mut taped);
+        assert_eq!(f_free, f_taped, "backends must agree on final verdicts");
     }
 
     #[test]
@@ -356,13 +392,13 @@ mod tests {
         let m = model(4);
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let cache = LatentCache::new(8);
-        let infer1 = infer_phase1(&m, &cfg, tid, &prep, Some(&cache));
+        let infer1 = infer_phase1(&m, &cfg, tid, &prep, Some(&cache), &mut inf());
         let p2 = prep_phase2(&conn, tid, &prep, &infer1.uncertain, &cfg, &CancelToken::new()).unwrap();
-        let cached = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, Some(&cache));
+        let cached = infer_phase2(&m, &cfg, tid, &prep, &infer1, &p2, Some(&cache), &mut inf());
 
         let nc_cfg = TasteConfig { caching: false, ..cfg };
-        let infer1_nc = infer_phase1(&m, &nc_cfg, tid, &prep, None);
-        let recomputed = infer_phase2(&m, &nc_cfg, tid, &prep, &infer1_nc, &p2, None);
+        let infer1_nc = infer_phase1(&m, &nc_cfg, tid, &prep, None, &mut inf());
+        let recomputed = infer_phase2(&m, &nc_cfg, tid, &prep, &infer1_nc, &p2, None, &mut inf());
         assert_eq!(cached, recomputed, "caching must not change results");
     }
 }

@@ -126,7 +126,7 @@ fn p2_total_failure_degrades_to_p1_and_cycles_the_breaker() {
     db.set_fault_profile(FaultProfile::none());
     let conn = db.connect();
     let prep = prep_phase1(&conn, target, &cfg).unwrap();
-    let p1 = infer_phase1(&m, &cfg, target, &prep, None);
+    let p1 = infer_phase1(&m, &cfg, target, &prep, None, &mut taste_model::Inferencer::default());
     assert_eq!(degraded.admitted, p1.admitted);
 
     // Full breaker cycle, observed in order.

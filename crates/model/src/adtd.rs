@@ -9,6 +9,14 @@
 //! metadata tower ([`Adtd::encode_meta`] + [`Adtd::predict_meta`]); P2
 //! serves with the full model, feeding cached metadata latents into the
 //! content tower ([`Adtd::predict_content`]).
+//!
+//! Training and serving run on different execution backends. The
+//! `predict_*` entry points are tape-free: they evaluate on a
+//! [`taste_nn::InferExec`] (no autodiff DAG, recycled buffers), either a
+//! throwaway one (the plain methods) or a caller-pooled one (the `_in`
+//! variants used by the framework's worker threads). The `_ex` bodies are
+//! generic over [`Forward`], so A/B parity runs can force the recording
+//! [`Tape`] through the exact same code.
 
 use crate::cache::CachedMeta;
 use crate::config::ModelConfig;
@@ -18,7 +26,7 @@ use crate::prepare::{ModelInput, TableChunk};
 use rand::rngs::StdRng;
 use taste_nn::losses::AutomaticWeightedLoss;
 use taste_nn::modules::{dropout_mask, Linear};
-use taste_nn::{Matrix, NodeId, ParamStore, Tape};
+use taste_nn::{Forward, InferExec, Matrix, NodeId, ParamStore, Tape};
 use taste_tokenizer::{ColumnContent, PackedContent, PackedMeta, Packer, Tokenizer};
 
 /// Alias: the output of a metadata-tower pass is exactly what the latent
@@ -41,10 +49,10 @@ impl Head {
         }
     }
 
-    pub(crate) fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
-        let h = self.l1.forward(tape, store, x);
-        let a = tape.relu(h);
-        self.l2.forward(tape, store, a)
+    pub(crate) fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
+        let h = self.l1.forward(ex, store, x);
+        let a = ex.relu(h);
+        self.l2.forward(ex, store, a)
     }
 
     /// The two affine layers `(hidden, output)` of the head.
@@ -121,34 +129,71 @@ impl Adtd {
 
     /// P1 inference, step 1: run the metadata tower over a chunk and
     /// return the per-layer latents + marker positions (cacheable).
+    ///
+    /// Runs tape-free on a throwaway executor; use
+    /// [`Adtd::encode_meta_in`] from a worker that owns a pooled one.
     pub fn encode_meta(&self, chunk: &TableChunk) -> MetaEncoding {
+        self.encode_meta_in(&mut InferExec::new(), chunk)
+    }
+
+    /// [`Adtd::encode_meta`] on a caller-pooled executor, reusing its
+    /// scratch buffers.
+    pub fn encode_meta_in(&self, exec: &mut InferExec, chunk: &TableChunk) -> MetaEncoding {
+        let mut sess = exec.session(&self.store);
+        self.encode_meta_ex(&mut sess, chunk)
+    }
+
+    /// Backend-generic body of [`Adtd::encode_meta`]. The latents are
+    /// copied out of the executor because the encoding must outlive it
+    /// (that copy *is* the cacheable artifact).
+    pub fn encode_meta_ex<E: Forward + ?Sized>(&self, ex: &mut E, chunk: &TableChunk) -> MetaEncoding {
         let packed = self.pack_meta(chunk);
-        let mut tape = Tape::new();
         let tokens: Vec<usize> = packed.tokens.iter().map(|&t| t as usize).collect();
-        let latents = self.encoder.forward_meta(&mut tape, &self.store, &tokens);
+        let latents = self.encoder.forward_meta(ex, &self.store, &tokens);
         MetaEncoding {
-            layer_latents: latents.into_iter().map(|id| tape.value(id).clone()).collect(),
+            layer_latents: latents.into_iter().map(|id| ex.value(id).clone()).collect(),
             col_marker_pos: packed.col_marker_pos,
         }
     }
 
     /// P1 inference, step 2: per-column type probabilities from the
-    /// metadata encoding — the matrix `p_{c,s}` of §3.2.
+    /// metadata encoding — the matrix `p_{c,s}` of §3.2. Tape-free.
     pub fn predict_meta(&self, enc: &MetaEncoding, nonmeta: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        self.predict_meta_in(&mut InferExec::new(), enc, nonmeta)
+    }
+
+    /// [`Adtd::predict_meta`] on a caller-pooled executor.
+    pub fn predict_meta_in(
+        &self,
+        exec: &mut InferExec,
+        enc: &MetaEncoding,
+        nonmeta: &[Vec<f32>],
+    ) -> Vec<Vec<f32>> {
+        let mut sess = exec.session(&self.store);
+        self.predict_meta_ex(&mut sess, enc, nonmeta)
+    }
+
+    /// Backend-generic body of [`Adtd::predict_meta`]. The marker-row
+    /// gather and the feature stacking go straight into backend leaves —
+    /// no intermediate owned matrices on the hot path.
+    pub fn predict_meta_ex<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        enc: &MetaEncoding,
+        nonmeta: &[Vec<f32>],
+    ) -> Vec<Vec<f32>> {
         assert_eq!(enc.col_marker_pos.len(), nonmeta.len(), "column count mismatch");
         if nonmeta.is_empty() {
             return Vec::new();
         }
         let final_latent = enc.layer_latents.last().expect("encoder has layers");
-        let col_rows = final_latent.gather_rows(&enc.col_marker_pos);
-        let feats = rows_matrix(nonmeta);
-        let mut tape = Tape::new();
-        let latent_node = tape.leaf(col_rows);
-        let feat_node = tape.leaf(feats);
-        let x = tape.hcat(latent_node, feat_node);
-        let logits = self.meta_head.forward(&mut tape, &self.store, x);
-        let probs = tape.sigmoid(logits);
-        matrix_rows(tape.value(probs))
+        let latent_node = ex.leaf_gather(final_latent, &enc.col_marker_pos);
+        let feat_refs: Vec<&[f32]> = nonmeta.iter().map(Vec::as_slice).collect();
+        let feat_node = ex.leaf_rows(&feat_refs);
+        let x = ex.hcat(latent_node, feat_node);
+        let logits = self.meta_head.forward(ex, &self.store, x);
+        let probs = ex.sigmoid(logits);
+        matrix_rows(ex.value(probs))
     }
 
     /// P2 inference: content-tower pass reusing the cached metadata
@@ -161,23 +206,38 @@ impl Adtd {
         contents: &[Option<ColumnContent>],
         nonmeta: &[Vec<f32>],
     ) -> Vec<Option<Vec<f32>>> {
+        self.predict_content_in(&mut InferExec::new(), enc, contents, nonmeta)
+    }
+
+    /// [`Adtd::predict_content`] on a caller-pooled executor.
+    pub fn predict_content_in(
+        &self,
+        exec: &mut InferExec,
+        enc: &MetaEncoding,
+        contents: &[Option<ColumnContent>],
+        nonmeta: &[Vec<f32>],
+    ) -> Vec<Option<Vec<f32>>> {
+        let mut sess = exec.session(&self.store);
+        self.predict_content_ex(&mut sess, enc, contents, nonmeta)
+    }
+
+    /// Backend-generic body of [`Adtd::predict_content`]. Cached latents
+    /// enter as leaves, the marker gathers stay inside the backend (one
+    /// pass, no clone-out/re-leaf round trip), and features are stacked
+    /// directly from `nonmeta` row slices.
+    pub fn predict_content_ex<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        enc: &MetaEncoding,
+        contents: &[Option<ColumnContent>],
+        nonmeta: &[Vec<f32>],
+    ) -> Vec<Option<Vec<f32>>> {
         assert_eq!(contents.len(), nonmeta.len(), "column count mismatch");
         assert_eq!(contents.len(), enc.col_marker_pos.len(), "column count mismatch");
         let packed = self.pack_content(contents);
         if packed.tokens.is_empty() {
             return vec![None; contents.len()];
         }
-        let mut tape = Tape::new();
-        let meta_nodes: Vec<NodeId> = enc
-            .layer_latents
-            .iter()
-            .map(|m| tape.leaf(m.clone()))
-            .collect();
-        let tokens: Vec<usize> = packed.tokens.iter().map(|&t| t as usize).collect();
-        let content_latent = self.encoder.forward_content(&mut tape, &self.store, &tokens, &meta_nodes);
-        let content_final = tape.value(content_latent).clone();
-        let meta_final = enc.layer_latents.last().expect("encoder has layers");
-
         let mut included: Vec<usize> = Vec::new();
         let mut content_rows: Vec<usize> = Vec::new();
         for (j, pos) in packed.val_marker_pos.iter().enumerate() {
@@ -189,20 +249,24 @@ impl Adtd {
         if included.is_empty() {
             return vec![None; contents.len()];
         }
-        let c_rows = content_final.gather_rows(&content_rows);
-        let m_rows = meta_final.gather_rows(
+
+        let meta_nodes: Vec<NodeId> = enc.layer_latents.iter().map(|m| ex.leaf_copy(m)).collect();
+        let tokens: Vec<usize> = packed.tokens.iter().map(|&t| t as usize).collect();
+        let content_latent = self.encoder.forward_content(ex, &self.store, &tokens, &meta_nodes);
+        let meta_final = enc.layer_latents.last().expect("encoder has layers");
+
+        let c = ex.gather_rows(content_latent, &content_rows);
+        let m = ex.leaf_gather(
+            meta_final,
             &included.iter().map(|&j| enc.col_marker_pos[j]).collect::<Vec<_>>(),
         );
-        let f_rows = rows_matrix(&included.iter().map(|&j| nonmeta[j].clone()).collect::<Vec<_>>());
-        let mut tape2 = Tape::new();
-        let c = tape2.leaf(c_rows);
-        let m = tape2.leaf(m_rows);
-        let f = tape2.leaf(f_rows);
-        let cm = tape2.hcat(c, m);
-        let x = tape2.hcat(cm, f);
-        let logits = self.content_head.forward(&mut tape2, &self.store, x);
-        let probs = tape2.sigmoid(logits);
-        let prob_rows = matrix_rows(tape2.value(probs));
+        let feat_refs: Vec<&[f32]> = included.iter().map(|&j| nonmeta[j].as_slice()).collect();
+        let f = ex.leaf_rows(&feat_refs);
+        let cm = ex.hcat(c, m);
+        let x = ex.hcat(cm, f);
+        let logits = self.content_head.forward(ex, &self.store, x);
+        let probs = ex.sigmoid(logits);
+        let prob_rows = matrix_rows(ex.value(probs));
 
         let mut out = vec![None; contents.len()];
         for (row, j) in prob_rows.into_iter().zip(&included) {

@@ -6,7 +6,9 @@
 //! tower — the mechanism behind the *TASTE without caching* ablation's
 //! slowdown (§6.3). Keys are `(table, chunk)` pairs; capacity is bounded
 //! with FIFO eviction (entries are written once and read at most once in
-//! a normal two-phase pass).
+//! a normal two-phase pass). Cached latents are plain matrices, not tape
+//! nodes: P2 re-enters whichever execution backend serves the request
+//! (see [`taste_nn::Forward`]) by loading them as leaves.
 //!
 //! ## Persistence
 //!

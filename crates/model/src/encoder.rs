@@ -10,7 +10,7 @@
 
 use crate::config::ModelConfig;
 use taste_nn::modules::{Embedding, TransformerLayer};
-use taste_nn::{NodeId, ParamStore, Tape};
+use taste_nn::{Forward, NodeId, ParamStore};
 
 /// Shared embedding + transformer layers.
 pub struct Encoder {
@@ -37,12 +37,17 @@ impl Encoder {
     /// `[Encode_0 (embedding), Encode_1, ..., Encode_L]` — all of which
     /// the latent cache stores, because content-tower layer `i` consumes
     /// `Encode_{i-1}`.
-    pub fn forward_meta(&self, tape: &mut Tape, store: &ParamStore, tokens: &[usize]) -> Vec<NodeId> {
+    pub fn forward_meta<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        tokens: &[usize],
+    ) -> Vec<NodeId> {
         let mut latents = Vec::with_capacity(self.layers.len() + 1);
-        let mut x = self.emb.forward(tape, store, tokens);
+        let mut x = self.emb.forward(ex, store, tokens);
         latents.push(x);
         for layer in &self.layers {
-            x = layer.forward(tape, store, x, x);
+            x = layer.forward(ex, store, x, x);
             latents.push(x);
         }
         latents
@@ -56,9 +61,9 @@ impl Encoder {
     ///
     /// # Panics
     /// Panics when `meta_latents.len() != layers + 1`.
-    pub fn forward_content(
+    pub fn forward_content<E: Forward + ?Sized>(
         &self,
-        tape: &mut Tape,
+        ex: &mut E,
         store: &ParamStore,
         tokens: &[usize],
         meta_latents: &[NodeId],
@@ -68,19 +73,19 @@ impl Encoder {
             self.layers.len() + 1,
             "need one metadata latent per layer input"
         );
-        let mut x = self.emb.forward(tape, store, tokens);
+        let mut x = self.emb.forward(ex, store, tokens);
         for (i, layer) in self.layers.iter().enumerate() {
-            let kv = tape.vcat(meta_latents[i], x);
-            x = layer.forward(tape, store, x, kv);
+            let kv = ex.vcat(meta_latents[i], x);
+            x = layer.forward(ex, store, x, kv);
         }
         x
     }
 
     /// Plain self-attention forward returning only the final latent —
     /// the path used by the single-tower baselines and MLM pre-training.
-    pub fn forward_self(&self, tape: &mut Tape, store: &ParamStore, tokens: &[usize]) -> NodeId {
+    pub fn forward_self<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, tokens: &[usize]) -> NodeId {
         *self
-            .forward_meta(tape, store, tokens)
+            .forward_meta(ex, store, tokens)
             .last()
             .expect("at least the embedding latent")
     }
@@ -89,7 +94,7 @@ impl Encoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use taste_nn::Matrix;
+    use taste_nn::{InferExec, Matrix, Tape};
 
     fn setup() -> (ParamStore, Encoder, ModelConfig) {
         let cfg = ModelConfig::tiny();
@@ -134,6 +139,26 @@ mod tests {
         let out_cached = enc.forward_content(&mut tape2, &store, &[4, 5], &leaves);
         let replayed = tape2.value(out_cached).clone();
         assert_eq!(live, replayed, "cache replay must be bit-identical");
+    }
+
+    #[test]
+    fn towers_agree_across_backends() {
+        // Full two-tower forward: tape vs tape-free executor, identical.
+        let (store, enc, _) = setup();
+        let mut tape = Tape::new();
+        let meta_t = enc.forward_meta(&mut tape, &store, &[1, 2, 3]);
+        let out_t = enc.forward_content(&mut tape, &store, &[4, 5], &meta_t);
+        let metas: Vec<Matrix> = meta_t.iter().map(|&id| tape.value(id).clone()).collect();
+        let taped = tape.value(out_t).clone();
+
+        let mut exec = InferExec::new();
+        let mut s = exec.session(&store);
+        let meta_e = enc.forward_meta(&mut s, &store, &[1, 2, 3]);
+        let out_e = enc.forward_content(&mut s, &store, &[4, 5], &meta_e);
+        for (node, want) in meta_e.iter().zip(&metas) {
+            assert_eq!(s.value(*node), want);
+        }
+        assert_eq!(s.value(out_e), &taped);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! The serving-side execution handle: a long-lived [`Inferencer`] that
+//! owns a tape-free executor and dispatches the ADTD prediction entry
+//! points onto the configured backend.
+//!
+//! The framework's worker threads each hold one `Inferencer` for their
+//! whole lifetime, so the executor's scratch buffers are sized by the
+//! first table and reused for every table after it. The [`ExecMode::Taped`]
+//! mode exists for A/B parity runs only: it routes the *same* generic
+//! forward bodies through a fresh recording [`taste_nn::Tape`] per call,
+//! reproducing the pre-split serving behavior.
+
+use crate::adtd::{Adtd, MetaEncoding};
+use crate::prepare::TableChunk;
+use taste_nn::{InferExec, Tape};
+use taste_tokenizer::ColumnContent;
+
+/// Which execution backend serves predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Eager, tape-free evaluation into reusable buffers (the default).
+    #[default]
+    TapeFree,
+    /// Record every op on an autodiff tape, as training does — slower,
+    /// kept selectable to A/B the backends on identical inputs.
+    Taped,
+}
+
+/// A reusable serving context: one per worker thread.
+pub struct Inferencer {
+    mode: ExecMode,
+    exec: InferExec,
+}
+
+impl Inferencer {
+    /// A new inferencer in the given mode; buffers grow on first use.
+    pub fn new(mode: ExecMode) -> Inferencer {
+        Inferencer { mode, exec: InferExec::new() }
+    }
+
+    /// The backend this inferencer dispatches to.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// [`Adtd::encode_meta`] on this inferencer's backend.
+    pub fn encode_meta(&mut self, model: &Adtd, chunk: &TableChunk) -> MetaEncoding {
+        match self.mode {
+            ExecMode::TapeFree => model.encode_meta_in(&mut self.exec, chunk),
+            ExecMode::Taped => model.encode_meta_ex(&mut Tape::new(), chunk),
+        }
+    }
+
+    /// [`Adtd::predict_meta`] on this inferencer's backend.
+    pub fn predict_meta(
+        &mut self,
+        model: &Adtd,
+        enc: &MetaEncoding,
+        nonmeta: &[Vec<f32>],
+    ) -> Vec<Vec<f32>> {
+        match self.mode {
+            ExecMode::TapeFree => model.predict_meta_in(&mut self.exec, enc, nonmeta),
+            ExecMode::Taped => model.predict_meta_ex(&mut Tape::new(), enc, nonmeta),
+        }
+    }
+
+    /// [`Adtd::predict_content`] on this inferencer's backend.
+    pub fn predict_content(
+        &mut self,
+        model: &Adtd,
+        enc: &MetaEncoding,
+        contents: &[Option<ColumnContent>],
+        nonmeta: &[Vec<f32>],
+    ) -> Vec<Option<Vec<f32>>> {
+        match self.mode {
+            ExecMode::TapeFree => model.predict_content_in(&mut self.exec, enc, contents, nonmeta),
+            ExecMode::Taped => model.predict_content_ex(&mut Tape::new(), enc, contents, nonmeta),
+        }
+    }
+}
+
+impl Default for Inferencer {
+    fn default() -> Inferencer {
+        Inferencer::new(ExecMode::TapeFree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::features::NONMETA_DIM;
+    use taste_tokenizer::{Tokenizer, VocabBuilder};
+
+    fn model() -> Adtd {
+        let mut b = VocabBuilder::new();
+        b.add_words(["orders", "city", "name", "phone", "int", "text"]);
+        b.add_words(["orders", "city", "name", "phone", "int", "text"]);
+        Adtd::new(ModelConfig::tiny(), Tokenizer::new(b.build(100, 1)), 4, 3)
+    }
+
+    fn chunk(ncols: usize) -> TableChunk {
+        TableChunk {
+            table_text: "orders".into(),
+            col_texts: (0..ncols).map(|i| format!("city{i} text")).collect(),
+            nonmeta: (0..ncols).map(|_| vec![0.5; NONMETA_DIM]).collect(),
+            ordinals: (0..ncols as u16).collect(),
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_full_two_phase_prediction() {
+        let m = model();
+        let c = chunk(3);
+        let contents = vec![
+            Some(ColumnContent { cells: vec!["city".into(), "name".into()] }),
+            None,
+            Some(ColumnContent { cells: vec!["phone".into()] }),
+        ];
+
+        let mut free = Inferencer::new(ExecMode::TapeFree);
+        let mut taped = Inferencer::new(ExecMode::Taped);
+
+        let enc_f = free.encode_meta(&m, &c);
+        let enc_t = taped.encode_meta(&m, &c);
+        assert_eq!(enc_f.layer_latents, enc_t.layer_latents);
+        assert_eq!(enc_f.col_marker_pos, enc_t.col_marker_pos);
+
+        assert_eq!(
+            free.predict_meta(&m, &enc_f, &c.nonmeta),
+            taped.predict_meta(&m, &enc_t, &c.nonmeta)
+        );
+        assert_eq!(
+            free.predict_content(&m, &enc_f, &contents, &c.nonmeta),
+            taped.predict_content(&m, &enc_t, &contents, &c.nonmeta)
+        );
+    }
+
+    #[test]
+    fn tape_free_mode_matches_plain_adtd_entry_points() {
+        let m = model();
+        let c = chunk(2);
+        let mut inf = Inferencer::default();
+        let enc = inf.encode_meta(&m, &c);
+        let plain = m.encode_meta(&c);
+        assert_eq!(enc.layer_latents, plain.layer_latents);
+        assert_eq!(inf.predict_meta(&m, &enc, &c.nonmeta), m.predict_meta(&plain, &c.nonmeta));
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`adtd`] — the Asymmetric Double-Tower Detection model: two
 //!   classifier heads over shared towers, trained with multi-label BCE
 //!   under the automatic weighted multi-task loss (§4.3–4.4).
+//! * [`infer`] — the serving-side [`infer::Inferencer`]: a per-worker
+//!   handle owning a tape-free executor (or, for A/B runs, routing the
+//!   same forwards through the recording tape).
 //! * [`baselines`] — the TURL and Doduo analogs (single-tower,
 //!   content-dependent; §6.2) used for every comparison.
 //! * [`pretrain`] — Masked Language Model pre-training on the unlabeled
@@ -35,6 +38,7 @@ pub mod encoder;
 pub mod extend;
 pub mod feedback;
 pub mod features;
+pub mod infer;
 pub mod prepare;
 pub mod pretrain;
 pub mod trainer;
@@ -43,5 +47,6 @@ pub use adtd::{Adtd, MetaEncoding};
 pub use baselines::{BaselineKind, SingleTower};
 pub use cache::{CacheRestoreStats, LatentCache};
 pub use config::ModelConfig;
+pub use infer::{ExecMode, Inferencer};
 pub use prepare::{ModelInput, TableChunk};
 pub use trainer::TrainConfig;

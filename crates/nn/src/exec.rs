@@ -1,0 +1,678 @@
+//! Execution backends: the [`Forward`] trait abstracting the forward op
+//! set, and the tape-free [`InferExec`] serving backend.
+//!
+//! Training and serving have opposite needs. Training wants a recorded
+//! DAG it can differentiate — that is [`Tape`], which clones parameter
+//! matrices into leaf nodes and allocates a fresh [`Matrix`] per op so
+//! the backward pass can revisit every intermediate. Serving wants none
+//! of that: `predict_meta` / `predict_content` never call `backward`, so
+//! every tape node is pure overhead.
+//!
+//! [`Forward`] captures the op surface both paths share (matmul, adds,
+//! activations, layer norm, softmax, slicing, concatenation, gathers).
+//! Model forwards written against `impl Forward` run unchanged on either
+//! backend:
+//!
+//! * [`Tape`] implements it by delegating to its recording constructors —
+//!   the training path is untouched.
+//! * [`InferExec`] evaluates eagerly into an arena of scratch buffers.
+//!   No DAG is built, parameter nodes are resolved as references into the
+//!   [`ParamStore`] (never cloned), and buffers are recycled across
+//!   sessions, so a warmed executor performs no allocation at all on
+//!   steady-state prediction calls.
+//!
+//! Both backends run the *same* numeric kernels ([`Matrix::matmul_into`],
+//! the in-place softmax/layer-norm routines, shared activation scalars),
+//! so their forward values are bit-identical — the parity tests assert a
+//! 1e-5 tolerance but in practice observe exact equality.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{gelu_f, sigmoid_f, NodeId, Tape};
+
+/// The forward op set shared by the training ([`Tape`]) and serving
+/// ([`InferExec`]) backends.
+///
+/// Handles returned by one backend instance are only meaningful with
+/// that instance. Methods taking a [`ParamStore`] must receive the same
+/// store for every call within a session.
+pub trait Forward {
+    /// A constant / input leaf owning `value`.
+    fn leaf(&mut self, value: Matrix) -> NodeId;
+
+    /// A leaf referencing the trainable parameter `pid`.
+    fn param(&mut self, store: &ParamStore, pid: ParamId) -> NodeId;
+
+    /// Embedding lookup: gathers `indices` rows of the parameter matrix.
+    fn gather_param_rows(&mut self, store: &ParamStore, pid: ParamId, indices: &[usize]) -> NodeId;
+
+    /// The forward value of a node.
+    fn value(&self, id: NodeId) -> &Matrix;
+
+    /// Matrix product.
+    fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId;
+
+    /// Elementwise sum of two same-shape nodes.
+    fn add(&mut self, a: NodeId, b: NodeId) -> NodeId;
+
+    /// Elementwise product of two same-shape nodes.
+    fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId;
+
+    /// Broadcast add of a `[1, n]` row vector to every row of `[m, n]`.
+    fn add_row(&mut self, x: NodeId, row: NodeId) -> NodeId;
+
+    /// Broadcast multiply of every row of `[m, n]` by a `[1, n]` row.
+    fn mul_row(&mut self, x: NodeId, row: NodeId) -> NodeId;
+
+    /// Scalar scaling.
+    fn scale(&mut self, x: NodeId, alpha: f32) -> NodeId;
+
+    /// Rectified linear unit.
+    fn relu(&mut self, x: NodeId) -> NodeId;
+
+    /// GELU activation (tanh approximation, as BERT uses).
+    fn gelu(&mut self, x: NodeId) -> NodeId;
+
+    /// Logistic sigmoid.
+    fn sigmoid(&mut self, x: NodeId) -> NodeId;
+
+    /// Hyperbolic tangent.
+    fn tanh(&mut self, x: NodeId) -> NodeId;
+
+    /// Row-wise softmax.
+    fn softmax_rows(&mut self, x: NodeId) -> NodeId;
+
+    /// Row-wise layer normalization without the affine transform.
+    fn layer_norm_rows(&mut self, x: NodeId, eps: f32) -> NodeId;
+
+    /// Vertical concatenation (token axis).
+    fn vcat(&mut self, a: NodeId, b: NodeId) -> NodeId;
+
+    /// Horizontal concatenation (feature axis).
+    fn hcat(&mut self, a: NodeId, b: NodeId) -> NodeId;
+
+    /// Copy of rows `[start, start+len)`.
+    fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> NodeId;
+
+    /// Copy of columns `[start, start+len)`.
+    fn slice_cols(&mut self, x: NodeId, start: usize, len: usize) -> NodeId;
+
+    /// Transpose.
+    fn transpose(&mut self, x: NodeId) -> NodeId;
+
+    /// Column means: `[m, n] -> [1, n]`.
+    fn mean_rows(&mut self, x: NodeId) -> NodeId;
+
+    /// A leaf holding a copy of `value`. Backends with reusable buffers
+    /// override this to copy into recycled storage instead of cloning.
+    fn leaf_copy(&mut self, value: &Matrix) -> NodeId {
+        self.leaf(value.clone())
+    }
+
+    /// A leaf holding the given feature rows stacked into a matrix — the
+    /// backend-aware replacement for building a [`Matrix`] out of
+    /// per-column feature vectors and then cloning it into a leaf.
+    ///
+    /// # Panics
+    /// Panics when `rows` is empty or ragged.
+    fn leaf_rows(&mut self, rows: &[&[f32]]) -> NodeId {
+        self.leaf(stack_rows(rows))
+    }
+
+    /// A leaf holding `indices` rows gathered from `src`.
+    fn leaf_gather(&mut self, src: &Matrix, indices: &[usize]) -> NodeId {
+        self.leaf(src.gather_rows(indices))
+    }
+
+    /// Gathers `indices` rows of a node into a `[indices.len(), cols]`
+    /// node. The default builds a slice/vcat chain (differentiable on a
+    /// tape); eager backends override it with a single gather.
+    ///
+    /// # Panics
+    /// Panics when `indices` is empty.
+    fn gather_rows(&mut self, x: NodeId, indices: &[usize]) -> NodeId {
+        assert!(!indices.is_empty(), "cannot gather zero rows");
+        let mut acc: Option<NodeId> = None;
+        for &p in indices {
+            let row = self.slice_rows(x, p, 1);
+            acc = Some(match acc {
+                Some(prev) => self.vcat(prev, row),
+                None => row,
+            });
+        }
+        acc.expect("non-empty indices")
+    }
+}
+
+/// Stacks row slices into a dense matrix.
+fn stack_rows(rows: &[&[f32]]) -> Matrix {
+    assert!(!rows.is_empty(), "cannot stack zero rows");
+    let cols = rows[0].len();
+    let mut out = Matrix::zeros(rows.len(), cols);
+    for (r, src) in rows.iter().enumerate() {
+        assert_eq!(src.len(), cols, "ragged feature rows");
+        out.row_slice_mut(r).copy_from_slice(src);
+    }
+    out
+}
+
+impl Forward for Tape {
+    fn leaf(&mut self, value: Matrix) -> NodeId {
+        Tape::leaf(self, value)
+    }
+
+    fn param(&mut self, store: &ParamStore, pid: ParamId) -> NodeId {
+        Tape::param(self, store, pid)
+    }
+
+    fn gather_param_rows(&mut self, store: &ParamStore, pid: ParamId, indices: &[usize]) -> NodeId {
+        Tape::gather_param_rows(self, store, pid, indices)
+    }
+
+    fn value(&self, id: NodeId) -> &Matrix {
+        Tape::value(self, id)
+    }
+
+    fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        Tape::matmul(self, a, b)
+    }
+
+    fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        Tape::add(self, a, b)
+    }
+
+    fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        Tape::mul(self, a, b)
+    }
+
+    fn add_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
+        Tape::add_row(self, x, row)
+    }
+
+    fn mul_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
+        Tape::mul_row(self, x, row)
+    }
+
+    fn scale(&mut self, x: NodeId, alpha: f32) -> NodeId {
+        Tape::scale(self, x, alpha)
+    }
+
+    fn relu(&mut self, x: NodeId) -> NodeId {
+        Tape::relu(self, x)
+    }
+
+    fn gelu(&mut self, x: NodeId) -> NodeId {
+        Tape::gelu(self, x)
+    }
+
+    fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        Tape::sigmoid(self, x)
+    }
+
+    fn tanh(&mut self, x: NodeId) -> NodeId {
+        Tape::tanh(self, x)
+    }
+
+    fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        Tape::softmax_rows(self, x)
+    }
+
+    fn layer_norm_rows(&mut self, x: NodeId, eps: f32) -> NodeId {
+        Tape::layer_norm_rows(self, x, eps)
+    }
+
+    fn vcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        Tape::vcat(self, a, b)
+    }
+
+    fn hcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        Tape::hcat(self, a, b)
+    }
+
+    fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        Tape::slice_rows(self, x, start, len)
+    }
+
+    fn slice_cols(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        Tape::slice_cols(self, x, start, len)
+    }
+
+    fn transpose(&mut self, x: NodeId) -> NodeId {
+        Tape::transpose(self, x)
+    }
+
+    fn mean_rows(&mut self, x: NodeId) -> NodeId {
+        Tape::mean_rows(self, x)
+    }
+}
+
+/// Where a session node's value lives: a recycled arena buffer, or a
+/// parameter resolved by reference (never copied).
+#[derive(Clone, Copy)]
+enum Slot {
+    Buf(usize),
+    Param(ParamId),
+}
+
+/// The tape-free serving executor: an arena of scratch [`Matrix`] buffers
+/// recycled across calls.
+///
+/// An `InferExec` is cheap to create but meant to be long-lived — one per
+/// worker thread — because its buffers persist across
+/// [`InferExec::session`] calls: the first prediction sizes the arena and
+/// every subsequent same-shaped prediction runs allocation-free.
+#[derive(Default)]
+pub struct InferExec {
+    bufs: Vec<Matrix>,
+    slots: Vec<Slot>,
+    live: usize,
+}
+
+impl InferExec {
+    /// An empty executor; buffers are grown on first use.
+    pub fn new() -> InferExec {
+        InferExec::default()
+    }
+
+    /// Starts a forward session over `store`. All buffers from previous
+    /// sessions become recyclable; their contents are dead.
+    pub fn session<'s>(&'s mut self, store: &'s ParamStore) -> ExecSession<'s> {
+        self.live = 0;
+        self.slots.clear();
+        ExecSession { exec: self, store }
+    }
+
+    /// Number of arena buffers currently owned (a stable count across
+    /// repeated same-shape sessions demonstrates buffer reuse).
+    pub fn buffer_count(&self) -> usize {
+        self.bufs.len()
+    }
+
+    fn alloc(&mut self, rows: usize, cols: usize) -> usize {
+        let idx = self.live;
+        if idx == self.bufs.len() {
+            self.bufs.push(Matrix::zeros(rows, cols));
+        } else {
+            self.bufs[idx].reset_shape(rows, cols);
+        }
+        self.live += 1;
+        idx
+    }
+}
+
+/// One forward pass on an [`InferExec`]: borrows the executor's arena and
+/// the parameter store, and implements [`Forward`] by eager evaluation.
+pub struct ExecSession<'s> {
+    exec: &'s mut InferExec,
+    store: &'s ParamStore,
+}
+
+impl ExecSession<'_> {
+    fn get(&self, id: NodeId) -> &Matrix {
+        match self.exec.slots[id.index()] {
+            Slot::Buf(i) => &self.exec.bufs[i],
+            Slot::Param(p) => self.store.value(p),
+        }
+    }
+
+    fn push_slot(&mut self, slot: Slot) -> NodeId {
+        self.exec.slots.push(slot);
+        NodeId::from_index(self.exec.slots.len() - 1)
+    }
+
+    /// Allocates a `[rows, cols]` output buffer, lets `f` fill it (the
+    /// buffer contents are unspecified on entry — `f` must overwrite
+    /// every element), and returns its node. The buffer is temporarily
+    /// moved out of the arena so `f` can read other nodes through
+    /// `&self` while writing the output.
+    fn compute(&mut self, rows: usize, cols: usize, f: impl FnOnce(&Self, &mut Matrix)) -> NodeId {
+        let oi = self.exec.alloc(rows, cols);
+        let mut out = std::mem::take(&mut self.exec.bufs[oi]);
+        f(self, &mut out);
+        debug_assert!(out.all_finite(), "non-finite forward value");
+        self.exec.bufs[oi] = out;
+        self.push_slot(Slot::Buf(oi))
+    }
+
+    fn map_into(&mut self, x: NodeId, f: impl Fn(f32) -> f32) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        self.compute(rows, cols, |s, out| {
+            for (o, &v) in out.as_mut_slice().iter_mut().zip(s.get(x).as_slice()) {
+                *o = f(v);
+            }
+        })
+    }
+
+    fn zip_into(&mut self, a: NodeId, b: NodeId, f: impl Fn(f32, f32) -> f32) -> NodeId {
+        let (rows, cols) = self.get(a).shape();
+        assert_eq!(self.get(b).shape(), (rows, cols), "elementwise shape mismatch");
+        self.compute(rows, cols, |s, out| {
+            let av = s.get(a).as_slice();
+            let bv = s.get(b).as_slice();
+            for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(av).zip(bv) {
+                *o = f(x, y);
+            }
+        })
+    }
+}
+
+impl Forward for ExecSession<'_> {
+    fn leaf(&mut self, value: Matrix) -> NodeId {
+        self.leaf_copy(&value)
+    }
+
+    fn param(&mut self, store: &ParamStore, pid: ParamId) -> NodeId {
+        debug_assert!(
+            std::ptr::eq(store, self.store),
+            "param() must use the session's store"
+        );
+        let _ = store;
+        self.push_slot(Slot::Param(pid))
+    }
+
+    fn gather_param_rows(&mut self, store: &ParamStore, pid: ParamId, indices: &[usize]) -> NodeId {
+        debug_assert!(
+            std::ptr::eq(store, self.store),
+            "gather_param_rows() must use the session's store"
+        );
+        let _ = store;
+        let cols = self.store.value(pid).cols();
+        self.compute(indices.len(), cols, |s, out| {
+            let table = s.store.value(pid);
+            for (r, &i) in indices.iter().enumerate() {
+                out.row_slice_mut(r).copy_from_slice(table.row_slice(i));
+            }
+        })
+    }
+
+    fn value(&self, id: NodeId) -> &Matrix {
+        self.get(id)
+    }
+
+    fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let rows = self.get(a).rows();
+        let cols = self.get(b).cols();
+        self.compute(rows, cols, |s, out| s.get(a).matmul_into(s.get(b), out))
+    }
+
+    fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.zip_into(a, b, |x, y| x + y)
+    }
+
+    fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.zip_into(a, b, |x, y| x * y)
+    }
+
+    fn add_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        let rv = self.get(row);
+        assert_eq!(rv.rows(), 1, "add_row: rhs must be a row vector");
+        assert_eq!(cols, rv.cols(), "add_row: column mismatch");
+        self.compute(rows, cols, |s, out| {
+            let rvs = s.get(row).as_slice();
+            for r in 0..rows {
+                let src = s.get(x).row_slice(r);
+                for ((o, &v), &b) in out.row_slice_mut(r).iter_mut().zip(src).zip(rvs) {
+                    *o = v + b;
+                }
+            }
+        })
+    }
+
+    fn mul_row(&mut self, x: NodeId, row: NodeId) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        let rv = self.get(row);
+        assert_eq!(rv.rows(), 1, "mul_row: rhs must be a row vector");
+        assert_eq!(cols, rv.cols(), "mul_row: column mismatch");
+        self.compute(rows, cols, |s, out| {
+            let rvs = s.get(row).as_slice();
+            for r in 0..rows {
+                let src = s.get(x).row_slice(r);
+                for ((o, &v), &b) in out.row_slice_mut(r).iter_mut().zip(src).zip(rvs) {
+                    *o = v * b;
+                }
+            }
+        })
+    }
+
+    fn scale(&mut self, x: NodeId, alpha: f32) -> NodeId {
+        self.map_into(x, |v| v * alpha)
+    }
+
+    fn relu(&mut self, x: NodeId) -> NodeId {
+        self.map_into(x, |v| v.max(0.0))
+    }
+
+    fn gelu(&mut self, x: NodeId) -> NodeId {
+        self.map_into(x, gelu_f)
+    }
+
+    fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        self.map_into(x, sigmoid_f)
+    }
+
+    fn tanh(&mut self, x: NodeId) -> NodeId {
+        self.map_into(x, f32::tanh)
+    }
+
+    fn softmax_rows(&mut self, x: NodeId) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        self.compute(rows, cols, |s, out| {
+            out.copy_from(s.get(x));
+            out.softmax_rows_inplace();
+        })
+    }
+
+    fn layer_norm_rows(&mut self, x: NodeId, eps: f32) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        self.compute(rows, cols, |s, out| {
+            out.copy_from(s.get(x));
+            out.layer_norm_rows_inplace(eps);
+        })
+    }
+
+    fn vcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (ar, cols) = self.get(a).shape();
+        let (br, bc) = self.get(b).shape();
+        assert_eq!(cols, bc, "vcat column mismatch");
+        self.compute(ar + br, cols, |s, out| {
+            out.as_mut_slice()[..ar * cols].copy_from_slice(s.get(a).as_slice());
+            out.as_mut_slice()[ar * cols..].copy_from_slice(s.get(b).as_slice());
+        })
+    }
+
+    fn hcat(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (rows, ac) = self.get(a).shape();
+        let (br, bc) = self.get(b).shape();
+        assert_eq!(rows, br, "hcat row mismatch");
+        self.compute(rows, ac + bc, |s, out| {
+            for r in 0..rows {
+                let dst = out.row_slice_mut(r);
+                dst[..ac].copy_from_slice(s.get(a).row_slice(r));
+                dst[ac..].copy_from_slice(s.get(b).row_slice(r));
+            }
+        })
+    }
+
+    fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        assert!(start + len <= rows, "slice_rows out of range");
+        self.compute(len, cols, |s, out| {
+            let src = &s.get(x).as_slice()[start * cols..(start + len) * cols];
+            out.as_mut_slice().copy_from_slice(src);
+        })
+    }
+
+    fn slice_cols(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        assert!(start + len <= cols, "slice_cols out of range");
+        self.compute(rows, len, |s, out| {
+            for r in 0..rows {
+                let src = &s.get(x).row_slice(r)[start..start + len];
+                out.row_slice_mut(r).copy_from_slice(src);
+            }
+        })
+    }
+
+    fn transpose(&mut self, x: NodeId) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        self.compute(cols, rows, |s, out| {
+            let src = s.get(x);
+            for r in 0..rows {
+                for (c, &v) in src.row_slice(r).iter().enumerate() {
+                    out.set(c, r, v);
+                }
+            }
+        })
+    }
+
+    fn mean_rows(&mut self, x: NodeId) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        let m = rows as f32;
+        self.compute(1, cols, |s, out| {
+            out.fill_zero();
+            let src = s.get(x);
+            for r in 0..rows {
+                for (o, &v) in out.as_mut_slice().iter_mut().zip(src.row_slice(r)) {
+                    *o += v;
+                }
+            }
+            for o in out.as_mut_slice() {
+                *o /= m;
+            }
+        })
+    }
+
+    fn leaf_copy(&mut self, value: &Matrix) -> NodeId {
+        let (rows, cols) = value.shape();
+        self.compute(rows, cols, |_, out| out.copy_from(value))
+    }
+
+    fn leaf_rows(&mut self, rows: &[&[f32]]) -> NodeId {
+        assert!(!rows.is_empty(), "cannot stack zero rows");
+        let cols = rows[0].len();
+        self.compute(rows.len(), cols, |_, out| {
+            for (r, src) in rows.iter().enumerate() {
+                assert_eq!(src.len(), cols, "ragged feature rows");
+                out.row_slice_mut(r).copy_from_slice(src);
+            }
+        })
+    }
+
+    fn leaf_gather(&mut self, src: &Matrix, indices: &[usize]) -> NodeId {
+        self.compute(indices.len(), src.cols(), |_, out| {
+            for (r, &i) in indices.iter().enumerate() {
+                out.row_slice_mut(r).copy_from_slice(src.row_slice(i));
+            }
+        })
+    }
+
+    fn gather_rows(&mut self, x: NodeId, indices: &[usize]) -> NodeId {
+        assert!(!indices.is_empty(), "cannot gather zero rows");
+        let (rows, cols) = self.get(x).shape();
+        self.compute(indices.len(), cols, |s, out| {
+            let src = s.get(x);
+            for (r, &i) in indices.iter().enumerate() {
+                assert!(i < rows, "gather index {i} out of {rows} rows");
+                out.row_slice_mut(r).copy_from_slice(src.row_slice(i));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(seed: u64) -> ParamStore {
+        ParamStore::new(seed)
+    }
+
+    #[test]
+    fn session_ops_match_tape_ops() {
+        let mut store = store_with(7);
+        let w = store.normal("w", 4, 3, 0.5);
+        let x = Matrix::from_vec(2, 4, vec![0.3, -1.2, 0.8, 0.1, 2.0, -0.5, 0.0, 1.5]);
+
+        let mut tape = Tape::new();
+        let xt = Forward::leaf_copy(&mut tape, &x);
+        let wt = Forward::param(&mut tape, &store, w);
+        let yt = Forward::matmul(&mut tape, xt, wt);
+        let st = Forward::sigmoid(&mut tape, yt);
+        let taped = Forward::value(&tape, st).clone();
+
+        let mut exec = InferExec::new();
+        let mut s = exec.session(&store);
+        let xs = s.leaf_copy(&x);
+        let ws = s.param(&store, w);
+        let ys = s.matmul(xs, ws);
+        let ss = s.sigmoid(ys);
+        assert_eq!(s.value(ss), &taped, "backends must agree exactly");
+    }
+
+    #[test]
+    fn arena_buffers_are_reused_across_sessions() {
+        let store = store_with(1);
+        let x = Matrix::full(8, 8, 0.25);
+        let mut exec = InferExec::new();
+        let count_after = |exec: &mut InferExec| {
+            let mut s = exec.session(&store);
+            let a = s.leaf_copy(&x);
+            let b = s.leaf_copy(&x);
+            let c = s.matmul(a, b);
+            let d = s.gelu(c);
+            let e = s.layer_norm_rows(d, 1e-5);
+            let _ = s.softmax_rows(e);
+            exec.buffer_count()
+        };
+        let first = count_after(&mut exec);
+        assert!(first > 0);
+        for _ in 0..5 {
+            assert_eq!(
+                count_after(&mut exec),
+                first,
+                "steady-state sessions must not grow the arena"
+            );
+        }
+    }
+
+    #[test]
+    fn param_nodes_resolve_by_reference() {
+        let mut store = store_with(3);
+        let w = store.normal("w", 16, 16, 0.1);
+        let mut exec = InferExec::new();
+        let mut s = exec.session(&store);
+        let wn = s.param(&store, w);
+        // The param node's value is the store's matrix itself.
+        assert!(std::ptr::eq(s.value(wn), store.value(w)));
+        // And it occupies no arena buffer.
+        drop(s);
+        assert_eq!(exec.buffer_count(), 0);
+    }
+
+    #[test]
+    fn gather_and_leaf_helpers_agree_with_defaults() {
+        let store = store_with(4);
+        let src = Matrix::from_vec(4, 2, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let rows: Vec<&[f32]> = vec![&[1.0, 2.0], &[9.0, 9.0]];
+
+        let mut tape = Tape::new();
+        let xt = Forward::leaf_copy(&mut tape, &src);
+        let gt = Forward::gather_rows(&mut tape, xt, &[2, 0, 2]);
+        let lt = Forward::leaf_rows(&mut tape, &rows);
+        let lg = Forward::leaf_gather(&mut tape, &src, &[3, 1]);
+        let expected_g = Forward::value(&tape, gt).clone();
+        let expected_l = Forward::value(&tape, lt).clone();
+        let expected_lg = Forward::value(&tape, lg).clone();
+
+        let mut exec = InferExec::new();
+        let mut s = exec.session(&store);
+        let xs = s.leaf_copy(&src);
+        let gs = s.gather_rows(xs, &[2, 0, 2]);
+        assert_eq!(s.value(gs), &expected_g);
+        let ls = s.leaf_rows(&rows);
+        assert_eq!(s.value(ls), &expected_l);
+        let lgs = s.leaf_gather(&src, &[3, 1]);
+        assert_eq!(s.value(lgs), &expected_lg);
+    }
+}

@@ -9,6 +9,10 @@
 //! * [`tape`] — reverse-mode automatic differentiation over matrices.
 //!   A [`tape::Tape`] records the forward computation; [`tape::Tape::backward`]
 //!   replays it in reverse, producing gradients for every leaf.
+//! * [`exec`] — the execution-backend split: the [`exec::Forward`] trait
+//!   abstracts the forward op set so the same model code runs on the
+//!   recording [`tape::Tape`] (training) or the tape-free, buffer-reusing
+//!   [`exec::InferExec`] (serving).
 //! * [`params`] — named trainable parameters with Adam state, plus
 //!   Xavier/normal initialization.
 //! * [`modules`] — Linear, LayerNorm, Embedding, multi-head (cross-)
@@ -23,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod losses;
 pub mod matrix;
 pub mod modules;
@@ -31,6 +36,7 @@ pub mod params;
 pub mod summary;
 pub mod tape;
 
+pub use exec::{ExecSession, Forward, InferExec};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamConfig, LrSchedule};
 pub use params::{ParamId, ParamStore};

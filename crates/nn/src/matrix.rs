@@ -2,8 +2,18 @@
 //!
 //! Everything in the DL stack is expressed over 2-D matrices; sequence
 //! batches are processed sample-at-a-time (each sample is `[seq, hidden]`),
-//! which keeps the autodiff simple and avoids padding/masking entirely —
-//! every sample carries its own sequence length.
+//! which avoids padding/masking entirely — every sample carries its own
+//! sequence length. That invariant holds for *both* execution backends
+//! (see [`crate::exec`]): the recording [`crate::Tape`] used for training
+//! and the tape-free `InferExec` used for serving evaluate the same
+//! sample-at-a-time op sequence.
+//!
+//! The matmul kernels here are shared by both backends so that training
+//! and serving produce bit-identical forward values: [`Matrix::matmul`]
+//! delegates to the k-blocked [`Matrix::matmul_into`], which keeps a
+//! panel of the right-hand side hot in cache while preserving the
+//! per-element summation order, and the `_into` variants write into
+//! caller-provided buffers so the inference arena can reuse allocations.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -14,6 +24,14 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// An empty `0×0` matrix (used as a placeholder by the inference
+    /// arena when temporarily moving buffers out of their slots).
+    fn default() -> Matrix {
+        Matrix { rows: 0, cols: 0, data: Vec::new() }
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -132,32 +150,59 @@ impl Matrix {
         self.data[0]
     }
 
-    /// Matrix product `self @ rhs` using a cache-friendly i-k-j loop.
+    /// Matrix product `self @ rhs`.
+    ///
+    /// Delegates to [`Matrix::matmul_into`] so every caller (tape or
+    /// tape-free) runs the identical kernel.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self @ rhs` written into `out`, which is fully overwritten.
+    ///
+    /// The kernel is a k-blocked i-k-j loop: for each block of `KB` inner
+    /// indices the `[KB, n]` panel of `rhs` stays hot in cache across all
+    /// rows of `self`, while each output element still accumulates its
+    /// inner products in ascending-`k` order — so the result is
+    /// bit-identical to an unblocked i-k-j loop.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or when `out` is not
+    /// `[self.rows, rhs.cols]`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul {}x{} @ {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape");
+        const KB: usize = 64;
         let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = self.row_slice(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        out.fill_zero();
+        let mut kb = 0;
+        while kb < self.cols {
+            let kend = (kb + KB).min(self.cols);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols + kb..i * self.cols + kend];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let k = kb + kk;
+                    let b_row = &rhs.data[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+            kb = kend;
         }
-        out
     }
 
     /// `self @ rhs^T` without materializing the transpose.
@@ -310,8 +355,30 @@ impl Matrix {
     /// Row-wise softmax (numerically stabilized by the row max).
     pub fn softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_slice_mut(r);
+        out.softmax_rows_inplace();
+        out
+    }
+
+    /// Reshapes in place to `rows × cols`, reusing the existing
+    /// allocation when its capacity suffices. The contents afterwards are
+    /// unspecified; every element must be overwritten before use. This is
+    /// the buffer-recycling primitive behind the inference arena.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites `self` with a copy of `src`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.reset_shape(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Row-wise softmax in place (numerically stabilized by the row max).
+    pub fn softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_slice_mut(r);
             let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for v in row.iter_mut() {
@@ -323,7 +390,20 @@ impl Matrix {
                 *v *= inv;
             }
         }
-        out
+    }
+
+    /// Row-wise layer normalization in place (no affine transform).
+    pub fn layer_norm_rows_inplace(&mut self, eps: f32) {
+        for r in 0..self.rows {
+            let row = self.row_slice_mut(r);
+            let n = row.len() as f32;
+            let mean: f32 = row.iter().sum::<f32>() / n;
+            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + eps).sqrt();
+            for val in row.iter_mut() {
+                *val = (*val - mean) * inv;
+            }
+        }
     }
 
     /// Gathers rows by index into a new `[indices.len(), cols]` matrix.
@@ -423,6 +503,48 @@ mod tests {
         let a = m(2, 3, &[0.; 6]);
         let b = m(2, 3, &[0.; 6]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffers_and_matches_blocked_boundaries() {
+        // Inner dimension > the kernel's k-block, to cross a boundary.
+        let k = 100;
+        let a = Matrix::from_vec(3, k, (0..3 * k).map(|i| (i as f32 * 0.37).sin()).collect());
+        let b = Matrix::from_vec(k, 5, (0..k * 5).map(|i| (i as f32 * 0.11).cos()).collect());
+        let expect = a.matmul(&b);
+        // A recycled buffer of the wrong shape must be reshaped and
+        // fully overwritten, old contents notwithstanding.
+        let mut out = Matrix::full(7, 2, 123.0);
+        out.reset_shape(3, 5);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn reset_shape_and_copy_from_recycle_allocations() {
+        let mut buf = Matrix::full(4, 4, 9.0);
+        buf.reset_shape(2, 3);
+        assert_eq!(buf.shape(), (2, 3));
+        let src = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        buf.copy_from(&src);
+        assert_eq!(buf, src);
+        // Growing past the old capacity still works.
+        buf.reset_shape(8, 8);
+        assert_eq!(buf.len(), 64);
+    }
+
+    #[test]
+    fn inplace_rowwise_kernels_match_allocating_versions() {
+        let x = m(2, 3, &[1., 2., 3., -1., 0., 1.]);
+        let mut s = x.clone();
+        s.softmax_rows_inplace();
+        assert_eq!(s, x.softmax_rows());
+        let mut l = x.clone();
+        l.layer_norm_rows_inplace(1e-5);
+        for r in 0..2 {
+            let sum: f32 = l.row_slice(r).iter().sum();
+            assert!(sum.abs() < 1e-4);
+        }
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //! (cross-)attention, feed-forward, and post-LN transformer encoder layers.
 //!
 //! A module owns [`ParamId`]s registered in a [`ParamStore`] at build time
-//! and replays its computation onto a [`Tape`] at call time. Two modules
-//! constructed over the *same* parameter ids share weights — exactly how
-//! the ADTD metadata and content towers share their transformer blocks.
+//! and replays its computation onto any [`Forward`] backend at call time —
+//! the recording [`crate::tape::Tape`] when training, the tape-free
+//! [`crate::exec::InferExec`] when serving. Two modules constructed over
+//! the *same* parameter ids share weights — exactly how the ADTD metadata
+//! and content towers share their transformer blocks.
 
+use crate::exec::Forward;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
-use crate::tape::{NodeId, Tape};
+use crate::tape::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -31,11 +34,11 @@ impl Linear {
     }
 
     /// Applies the layer to a `[m, in]` node, producing `[m, out]`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
-        let w = tape.param(store, self.w);
-        let b = tape.param(store, self.b);
-        let xw = tape.matmul(x, w);
-        tape.add_row(xw, b)
+    pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = ex.param(store, self.w);
+        let b = ex.param(store, self.b);
+        let xw = ex.matmul(x, w);
+        ex.add_row(xw, b)
     }
 }
 
@@ -61,12 +64,12 @@ impl LayerNorm {
     }
 
     /// Applies normalization + affine to a `[m, dim]` node.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
-        let normed = tape.layer_norm_rows(x, self.eps);
-        let g = tape.param(store, self.gain);
-        let b = tape.param(store, self.bias);
-        let scaled = tape.mul_row(normed, g);
-        tape.add_row(scaled, b)
+    pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
+        let normed = ex.layer_norm_rows(x, self.eps);
+        let g = ex.param(store, self.gain);
+        let b = ex.param(store, self.bias);
+        let scaled = ex.mul_row(normed, g);
+        ex.add_row(scaled, b)
     }
 }
 
@@ -95,17 +98,17 @@ impl Embedding {
     ///
     /// # Panics
     /// Panics when the sequence exceeds `max_len`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, tokens: &[usize]) -> NodeId {
+    pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, tokens: &[usize]) -> NodeId {
         assert!(
             tokens.len() <= self.max_len,
             "sequence length {} exceeds max_len {}",
             tokens.len(),
             self.max_len
         );
-        let tok = tape.gather_param_rows(store, self.table, tokens);
+        let tok = ex.gather_param_rows(store, self.table, tokens);
         let pos_idx: Vec<usize> = (0..tokens.len()).collect();
-        let pos = tape.gather_param_rows(store, self.positions, &pos_idx);
-        tape.add(tok, pos)
+        let pos = ex.gather_param_rows(store, self.positions, &pos_idx);
+        ex.add(tok, pos)
     }
 }
 
@@ -148,33 +151,33 @@ impl MultiHeadAttention {
 
     /// Attention with queries from `q_in` (`[Lq, dim]`) and keys/values
     /// from `kv_in` (`[Lkv, dim]`); output is `[Lq, dim]`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, q_in: NodeId, kv_in: NodeId) -> NodeId {
+    pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, q_in: NodeId, kv_in: NodeId) -> NodeId {
         let dh = self.dim / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let q = self.wq.forward(tape, store, q_in);
-        let k = self.wk.forward(tape, store, kv_in);
-        let v = self.wv.forward(tape, store, kv_in);
+        let q = self.wq.forward(ex, store, q_in);
+        let k = self.wk.forward(ex, store, kv_in);
+        let v = self.wv.forward(ex, store, kv_in);
         let mut merged: Option<NodeId> = None;
         for h in 0..self.heads {
-            let qh = tape.slice_cols(q, h * dh, dh);
-            let kh = tape.slice_cols(k, h * dh, dh);
-            let vh = tape.slice_cols(v, h * dh, dh);
-            let kt = tape.transpose(kh);
-            let scores = tape.matmul(qh, kt);
-            let scaled = tape.scale(scores, scale);
-            let attn = tape.softmax_rows(scaled);
-            let out = tape.matmul(attn, vh);
+            let qh = ex.slice_cols(q, h * dh, dh);
+            let kh = ex.slice_cols(k, h * dh, dh);
+            let vh = ex.slice_cols(v, h * dh, dh);
+            let kt = ex.transpose(kh);
+            let scores = ex.matmul(qh, kt);
+            let scaled = ex.scale(scores, scale);
+            let attn = ex.softmax_rows(scaled);
+            let out = ex.matmul(attn, vh);
             merged = Some(match merged {
-                Some(prev) => tape.hcat(prev, out),
+                Some(prev) => ex.hcat(prev, out),
                 None => out,
             });
         }
-        self.wo.forward(tape, store, merged.expect("at least one head"))
+        self.wo.forward(ex, store, merged.expect("at least one head"))
     }
 
     /// Self-attention convenience: `forward(x, x)`.
-    pub fn self_attention(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
-        self.forward(tape, store, x, x)
+    pub fn self_attention<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
+        self.forward(ex, store, x, x)
     }
 }
 
@@ -197,10 +200,10 @@ impl FeedForward {
     }
 
     /// Applies the FFN to `[m, dim]`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: NodeId) -> NodeId {
-        let h = self.lin1.forward(tape, store, x);
-        let a = tape.gelu(h);
-        self.lin2.forward(tape, store, a)
+    pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
+        let h = self.lin1.forward(ex, store, x);
+        let a = ex.gelu(h);
+        self.lin2.forward(ex, store, a)
     }
 }
 
@@ -232,13 +235,13 @@ impl TransformerLayer {
     /// Generalized block with distinct query and key/value streams; the
     /// residual is taken on the *query* stream, so the output keeps the
     /// query's sequence length. Self-attention is `forward(x, x)`.
-    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, q_in: NodeId, kv_in: NodeId) -> NodeId {
-        let attn_out = self.attn.forward(tape, store, q_in, kv_in);
-        let res1 = tape.add(q_in, attn_out);
-        let x = self.ln1.forward(tape, store, res1);
-        let ffn_out = self.ffn.forward(tape, store, x);
-        let res2 = tape.add(x, ffn_out);
-        self.ln2.forward(tape, store, res2)
+    pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, q_in: NodeId, kv_in: NodeId) -> NodeId {
+        let attn_out = self.attn.forward(ex, store, q_in, kv_in);
+        let res1 = ex.add(q_in, attn_out);
+        let x = self.ln1.forward(ex, store, res1);
+        let ffn_out = self.ffn.forward(ex, store, x);
+        let res2 = ex.add(x, ffn_out);
+        self.ln2.forward(ex, store, res2)
     }
 }
 
@@ -261,6 +264,8 @@ pub fn dropout_mask(rng: &mut impl Rng, rows: usize, cols: usize, p: f32) -> Opt
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::InferExec;
+    use crate::tape::Tape;
     use rand::SeedableRng;
 
     fn store() -> ParamStore {
@@ -413,6 +418,30 @@ mod tests {
         t.accumulate_param_grads(&mut s);
         let gnorm = s.grad_global_norm();
         assert!(gnorm > 0.0 && gnorm.is_finite());
+    }
+
+    #[test]
+    fn transformer_layer_agrees_across_backends() {
+        // The same block, replayed on the tape and on the tape-free
+        // executor, must produce identical outputs (shared kernels).
+        let mut s = store();
+        let layer = TransformerLayer::new(&mut s, "t0", 8, 2, 16);
+        let input = Matrix::from_vec(
+            3,
+            8,
+            (0..24).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+
+        let mut t = Tape::new();
+        let xt = t.leaf(input.clone());
+        let yt = layer.forward(&mut t, &s, xt, xt);
+        let taped = t.value(yt).clone();
+
+        let mut exec = InferExec::new();
+        let mut sess = exec.session(&s);
+        let xs = sess.leaf_copy(&input);
+        let ys = layer.forward(&mut sess, &s, xs, xs);
+        assert_eq!(sess.value(ys), &taped);
     }
 
     #[test]

@@ -28,9 +28,21 @@
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 
-/// Handle to a node in a [`Tape`].
+/// Handle to a node in an execution backend (a [`Tape`] or a
+/// [`crate::exec::InferExec`] session — the two never share handles, so a
+/// `NodeId` is only meaningful with the backend that produced it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeId(usize);
+
+impl NodeId {
+    pub(crate) fn from_index(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Recorded operation, with the inputs needed to compute gradients.
 #[derive(Debug, Clone)]
@@ -219,18 +231,8 @@ impl Tape {
     /// Row-wise layer normalization *without* the affine transform; apply
     /// gain/bias with [`Tape::mul_row`] / [`Tape::add_row`].
     pub fn layer_norm_rows(&mut self, x: NodeId, eps: f32) -> NodeId {
-        let xv = &self.nodes[x.0].value;
-        let mut v = xv.clone();
-        for r in 0..v.rows() {
-            let row = v.row_slice_mut(r);
-            let n = row.len() as f32;
-            let mean: f32 = row.iter().sum::<f32>() / n;
-            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
-            let inv = 1.0 / (var + eps).sqrt();
-            for val in row.iter_mut() {
-                *val = (*val - mean) * inv;
-            }
-        }
+        let mut v = self.nodes[x.0].value.clone();
+        v.layer_norm_rows_inplace(eps);
         self.push(v, Op::LayerNormRows { x, eps })
     }
 
@@ -617,7 +619,7 @@ impl Tape {
 }
 
 #[inline]
-fn sigmoid_f(z: f32) -> f32 {
+pub(crate) fn sigmoid_f(z: f32) -> f32 {
     if z >= 0.0 {
         1.0 / (1.0 + (-z).exp())
     } else {
@@ -629,7 +631,7 @@ fn sigmoid_f(z: f32) -> f32 {
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 
 #[inline]
-fn gelu_f(x: f32) -> f32 {
+pub(crate) fn gelu_f(x: f32) -> f32 {
     0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh())
 }
 

@@ -1,0 +1,203 @@
+//! Backend parity: random op sequences evaluated on the recording `Tape`
+//! and on the tape-free `InferExec` must agree within 1e-5 on every
+//! intermediate and final value.
+//!
+//! Because both backends share the same numeric kernels
+//! (`Matrix::matmul_into`, the in-place softmax/layer-norm routines, the
+//! activation scalars), agreement is bit-exact in practice; the 1e-5
+//! tolerance is deliberate slack so the contract survives future kernel
+//! changes that are merely value-preserving.
+
+use proptest::prelude::*;
+use taste_nn::{Forward, InferExec, Matrix, NodeId, ParamStore, Tape};
+
+/// One step of a random forward program. Operands are drawn by index
+/// from the nodes produced so far, so every program is well-formed by
+/// construction.
+#[derive(Debug, Clone)]
+enum OpStep {
+    MatmulT, // a @ b^T via transpose + matmul (keeps shapes square)
+    Add,
+    Mul,
+    Scale(f32),
+    Relu,
+    Gelu,
+    Sigmoid,
+    Tanh,
+    SoftmaxRows,
+    LayerNormRows,
+    Vcat,
+    Hcat,
+    SliceRows,
+    SliceCols,
+    Transpose,
+    MeanRowsThenBroadcast, // mean_rows + add_row / mul_row coverage
+    GatherRows,
+    Param,
+    GatherParamRows,
+}
+
+fn op_step() -> impl Strategy<Value = OpStep> {
+    prop_oneof![
+        Just(OpStep::MatmulT),
+        Just(OpStep::Add),
+        Just(OpStep::Mul),
+        (-2.0f32..2.0).prop_map(OpStep::Scale),
+        Just(OpStep::Relu),
+        Just(OpStep::Gelu),
+        Just(OpStep::Sigmoid),
+        Just(OpStep::Tanh),
+        Just(OpStep::SoftmaxRows),
+        Just(OpStep::LayerNormRows),
+        Just(OpStep::Vcat),
+        Just(OpStep::Hcat),
+        Just(OpStep::SliceRows),
+        Just(OpStep::SliceCols),
+        Just(OpStep::Transpose),
+        Just(OpStep::MeanRowsThenBroadcast),
+        Just(OpStep::GatherRows),
+        Just(OpStep::Param),
+        Just(OpStep::GatherParamRows),
+    ]
+}
+
+/// Replays `steps` on any backend. All nodes are kept `n x n` so every
+/// binary op is shape-compatible with every operand choice; `pick`
+/// values select operands deterministically across both backends.
+fn run_program<E: Forward + ?Sized>(
+    ex: &mut E,
+    store: &ParamStore,
+    pid: taste_nn::ParamId,
+    n: usize,
+    seed: &Matrix,
+    steps: &[(OpStep, usize, usize)],
+) -> Vec<Matrix> {
+    let mut nodes: Vec<NodeId> = vec![ex.leaf_copy(seed)];
+    for (step, pa, pb) in steps {
+        let (pa, pb) = (*pa, *pb);
+        let a = nodes[pa % nodes.len()];
+        let b = nodes[pb % nodes.len()];
+        let id = match step {
+            OpStep::MatmulT => {
+                let bt = ex.transpose(b);
+                ex.matmul(a, bt)
+            }
+            OpStep::Add => ex.add(a, b),
+            OpStep::Mul => ex.mul(a, b),
+            OpStep::Scale(s) => ex.scale(a, *s),
+            OpStep::Relu => ex.relu(a),
+            OpStep::Gelu => ex.gelu(a),
+            OpStep::Sigmoid => ex.sigmoid(a),
+            OpStep::Tanh => ex.tanh(a),
+            OpStep::SoftmaxRows => ex.softmax_rows(a),
+            OpStep::LayerNormRows => ex.layer_norm_rows(a, 1e-5),
+            OpStep::Vcat => {
+                let tall = ex.vcat(a, b);
+                ex.slice_rows(tall, pa % (n + 1), n)
+            }
+            OpStep::Hcat => {
+                let wide = ex.hcat(a, b);
+                ex.slice_cols(wide, pb % (n + 1), n)
+            }
+            OpStep::SliceRows => {
+                // Slice one row off, then re-stack it to stay n x n.
+                let row = ex.slice_rows(a, pa % n, 1);
+                let mut acc = row;
+                for _ in 1..n {
+                    acc = ex.vcat(acc, row);
+                }
+                acc
+            }
+            OpStep::SliceCols => {
+                let col = ex.slice_cols(a, pb % n, 1);
+                let mut acc = col;
+                for _ in 1..n {
+                    acc = ex.hcat(acc, col);
+                }
+                acc
+            }
+            OpStep::Transpose => ex.transpose(a),
+            OpStep::MeanRowsThenBroadcast => {
+                let mean = ex.mean_rows(a);
+                let shifted = ex.add_row(b, mean);
+                ex.mul_row(shifted, mean)
+            }
+            OpStep::GatherRows => {
+                let idx: Vec<usize> = (0..n).map(|i| (i + pa) % n).collect();
+                ex.gather_rows(a, &idx)
+            }
+            OpStep::Param => {
+                let p = ex.param(store, pid);
+                ex.matmul(a, p)
+            }
+            OpStep::GatherParamRows => {
+                let idx: Vec<usize> = (0..n).map(|i| (i * 3 + pb) % n).collect();
+                let rows = ex.gather_param_rows(store, pid, &idx);
+                ex.add(a, rows)
+            }
+        };
+        nodes.push(id);
+    }
+    nodes.iter().map(|&id| ex.value(id).clone()).collect()
+}
+
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape());
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_op_sequences_agree_across_backends(
+        n in 2usize..5,
+        seed_data in prop::collection::vec(-1.2f32..1.2, 16),
+        steps in prop::collection::vec((op_step(), 0usize..64, 0usize..64), 1..14),
+    ) {
+        let seed = Matrix::from_vec(n, n, seed_data[..n * n].to_vec());
+        let mut store = ParamStore::new(11);
+        let pid = store.normal("w", n, n, 0.4);
+
+        let mut tape = Tape::new();
+        let taped = run_program(&mut tape, &store, pid, n, &seed, &steps);
+
+        let mut exec = InferExec::new();
+        let mut sess = exec.session(&store);
+        let eager = run_program(&mut sess, &store, pid, n, &seed, &steps);
+
+        prop_assert_eq!(taped.len(), eager.len());
+        for (i, (t, e)) in taped.iter().zip(&eager).enumerate() {
+            let d = max_abs_diff(t, e);
+            prop_assert!(d <= 1e-5, "node {i} diverged by {d}");
+        }
+    }
+
+    #[test]
+    fn executor_arena_is_stable_across_repeated_programs(
+        n in 2usize..4,
+        seed_data in prop::collection::vec(-1.0f32..1.0, 9),
+        steps in prop::collection::vec((op_step(), 0usize..64, 0usize..64), 1..10),
+    ) {
+        // Rerunning the same program on one executor must not grow the
+        // buffer arena after the first pass (amortized zero allocation).
+        let seed = Matrix::from_vec(n, n, seed_data[..n * n].to_vec());
+        let mut store = ParamStore::new(7);
+        let pid = store.normal("w", n, n, 0.4);
+        let mut exec = InferExec::new();
+        {
+            let mut sess = exec.session(&store);
+            run_program(&mut sess, &store, pid, n, &seed, &steps);
+        }
+        let warm = exec.buffer_count();
+        for _ in 0..3 {
+            let mut sess = exec.session(&store);
+            run_program(&mut sess, &store, pid, n, &seed, &steps);
+        }
+        prop_assert_eq!(exec.buffer_count(), warm, "arena grew on a repeated program");
+    }
+}
