@@ -1,6 +1,6 @@
 # Convenience targets for the TASTE reproduction workspace.
 
-.PHONY: verify build test clippy crash-resume repro infer-bench
+.PHONY: verify build test clippy crash-resume repro infer-bench overload-sweep
 
 # The one gate every change must pass.
 verify:
@@ -26,3 +26,7 @@ repro:
 # Quick-scale serving-backend benchmark (tape vs tape-free throughput).
 infer-bench:
 	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- infer_bench
+
+# Quick-scale overload sweep (goodput/shedding at 0.5x-4x offered load).
+overload-sweep:
+	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- overload_sweep

@@ -18,7 +18,8 @@ use taste_db::{FaultProfile, LatencyProfile};
 use taste_framework::baseline_run::{run_baseline, BaselineRunConfig};
 use taste_framework::config::ScanKind;
 use taste_framework::{
-    evaluate_report, DetectionReport, HardeningConfig, RetryConfig, TasteConfig, TasteEngine,
+    evaluate_report, DetectionReport, HardeningConfig, OverloadConfig, RetryConfig, TasteConfig,
+    TasteEngine,
 };
 use taste_model::prepare::{training_inputs, ModelInput};
 use taste_model::{Adtd, ExecMode, Inferencer};
@@ -435,6 +436,105 @@ pub fn fault_sweep(scale: &Scale) -> Result<()> {
     Ok(())
 }
 
+/// Overload sweep — serving behavior as offered load crosses capacity
+/// on the SynthGit test database (cloud latency profile).
+///
+/// One "capacity unit" is the controller's in-flight budget; the sweep
+/// offers 0.5×, 1×, 2×, and 4× that many tables per batch and compares
+/// the overload-controlled engine against the control-disabled engine
+/// at each point: goodput (tables finishing inside the latency budget),
+/// p50/p99 per-table latency, the shed and rejected fractions, and any
+/// brownout activity. Below capacity the two engines should match; past
+/// capacity the controlled engine trades P2 coverage (shed tables keep
+/// their P1 verdicts) for bounded queues and on-budget latency.
+pub fn overload_sweep(scale: &Scale) -> Result<()> {
+    let bundle = build_bundle(DatasetKind::Git, scale)?;
+    let models = models::train_all(&bundle, scale)?;
+    let split = &bundle.test_timed;
+    let ids_all = split.db.table_ids();
+    let unit = (ids_all.len() / 4).max(1);
+    let budget = Duration::from_millis(250);
+    let base = || TasteConfig { l: bundle.kind.default_l(), ..TasteConfig::default() };
+    let controlled = || TasteConfig {
+        overload: OverloadConfig {
+            enabled: true,
+            max_in_flight: unit,
+            max_queued: unit * 2,
+            deadline: Some(budget),
+            queue_target: Duration::from_millis(2),
+            queue_window: Duration::from_millis(8),
+            ..OverloadConfig::default()
+        },
+        ..base()
+    };
+    let pctl = |lat: &[Duration], p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat[((lat.len() - 1) as f64 * p).round() as usize].as_secs_f64() * 1000.0
+    };
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for factor in [0.5f64, 1.0, 2.0, 4.0] {
+        let n = ((unit as f64 * factor).round() as usize).clamp(1, ids_all.len());
+        let ids = &ids_all[..n];
+
+        let off = TasteEngine::new(Arc::clone(&models.taste), base())?.detect_batch(&split.db, ids)?;
+        let on = TasteEngine::new(Arc::clone(&models.taste), controlled())?.detect_batch(&split.db, ids)?;
+        let s = &on.overload;
+        assert_eq!(s.submitted, s.admitted + s.rejected, "admission accounting must close");
+
+        let mut lat: Vec<Duration> = on
+            .tables
+            .iter()
+            .filter(|t| t.outcome.is_final() && t.latency > Duration::ZERO)
+            .map(|t| t.latency)
+            .collect();
+        lat.sort();
+        let shed_frac = on.shed_tables() as f64 / n as f64;
+        rows.push(vec![
+            format!("{factor:.1}x"),
+            n.to_string(),
+            format!("{} / {}", on.tables_within(budget), off.tables_within(budget)),
+            format!("{:.0}ms", pctl(&lat, 0.50)),
+            format!("{:.0}ms", pctl(&lat, 0.99)),
+            pct(shed_frac),
+            on.rejected_tables().to_string(),
+            s.brownout_entries.to_string(),
+        ]);
+        out.push(json!({
+            "load_factor": factor,
+            "offered_tables": n,
+            "capacity_unit": unit,
+            "budget_ms": budget.as_secs_f64() * 1000.0,
+            "goodput_on": on.tables_within(budget),
+            "goodput_off": off.tables_within(budget),
+            "p50_ms": pctl(&lat, 0.50),
+            "p99_ms": pctl(&lat, 0.99),
+            "shed_tables": on.shed_tables(),
+            "shed_fraction": shed_frac,
+            "rejected_tables": on.rejected_tables(),
+            "queue_peak": s.queue_peak,
+            "brownout_entries": s.brownout_entries,
+            "transitions": s.transitions,
+            "aimd_increases": s.aimd_increases,
+            "aimd_decreases": s.aimd_decreases,
+            "final_tp1_limit": s.final_tp1_limit,
+            "final_tp2_limit": s.final_tp2_limit,
+            "wall_time_on_s": on.wall_time.as_secs_f64(),
+            "wall_time_off_s": off.wall_time.as_secs_f64(),
+        }));
+    }
+    print_table(
+        "Overload sweep: goodput and shedding vs offered load (SynthGit)",
+        &["load", "offered", "goodput on/off", "p50", "p99", "shed", "rejected", "brownouts"],
+        &rows,
+    );
+    write_json("BENCH_overload", &json!(out));
+    Ok(())
+}
+
 /// Crash/resume — kill-and-resume determinism of the journaled engine
 /// on a flaky SynthGit tenant: an uninterrupted journaled run, a run
 /// halted mid-batch (simulated process kill between journal appends),
@@ -698,6 +798,7 @@ pub fn all(scale: &Scale) -> Result<()> {
     fig7(scale)?;
     fig8(scale)?;
     fault_sweep(scale)?;
+    overload_sweep(scale)?;
     crash_resume(scale)?;
     infer_bench(scale)?;
     Ok(())

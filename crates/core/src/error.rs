@@ -46,6 +46,12 @@ pub enum TasteError {
     /// retryable: re-reading the same bytes yields the same corruption;
     /// the record must be quarantined instead.
     Corrupt(String),
+    /// The engine's admission gate refused the work because the service
+    /// is saturated (in-flight budget and admission queue both full).
+    /// Never retryable *by the engine*: an immediate retry is exactly the
+    /// load the gate is shedding. Callers should back off and resubmit
+    /// once capacity frees up.
+    Overloaded(String),
 }
 
 impl TasteError {
@@ -84,14 +90,26 @@ impl TasteError {
         TasteError::Corrupt(what.into())
     }
 
+    /// Shorthand for [`TasteError::Overloaded`].
+    pub fn overloaded(what: impl Into<String>) -> Self {
+        TasteError::Overloaded(what.into())
+    }
+
     /// Whether retrying the failed operation can plausibly succeed.
+    ///
+    /// This is the *single source of truth* for retryability across the
+    /// workspace: the retry loop, the engine's degradation paths, and the
+    /// journal quarantine logic all consult it rather than matching
+    /// variants themselves.
     ///
     /// Only fault-style failures ([`Transient`](TasteError::Transient) and
     /// [`Timeout`](TasteError::Timeout)) are retryable; logical errors
     /// (missing tables, bad arguments, shape mismatches) never are.
-    /// [`Cancelled`](TasteError::Cancelled) is a decision, not a fault, and
-    /// [`Corrupt`](TasteError::Corrupt) is deterministic — retrying either
-    /// would be wrong, so both are explicitly non-retryable.
+    /// [`Cancelled`](TasteError::Cancelled) is a decision, not a fault,
+    /// [`Corrupt`](TasteError::Corrupt) is deterministic, and
+    /// [`Overloaded`](TasteError::Overloaded) is the admission gate
+    /// *shedding* load — an immediate retry would re-apply the very
+    /// pressure being shed — so all three are explicitly non-retryable.
     pub fn is_retryable(&self) -> bool {
         matches!(self, TasteError::Transient(_) | TasteError::Timeout(_))
     }
@@ -111,6 +129,7 @@ impl fmt::Display for TasteError {
             TasteError::Timeout(s) => write!(f, "timeout: {s}"),
             TasteError::Cancelled(s) => write!(f, "cancelled: {s}"),
             TasteError::Corrupt(s) => write!(f, "corrupt: {s}"),
+            TasteError::Overloaded(s) => write!(f, "overloaded: {s}"),
         }
     }
 }
@@ -137,6 +156,50 @@ mod tests {
         assert_ne!(TasteError::not_found("x"), TasteError::invalid("x"));
     }
 
+    /// One instance of every variant, so exhaustiveness tests stay in
+    /// sync with the enum: adding a variant without updating this list
+    /// fails the non-exhaustive-match compile check below.
+    fn every_variant() -> Vec<TasteError> {
+        vec![
+            TasteError::NotFound("x".into()),
+            TasteError::InvalidArgument("x".into()),
+            TasteError::ShapeMismatch("x".into()),
+            TasteError::Database("x".into()),
+            TasteError::Serde("x".into()),
+            TasteError::Scheduler("x".into()),
+            TasteError::Training("x".into()),
+            TasteError::Transient("x".into()),
+            TasteError::Timeout("x".into()),
+            TasteError::Cancelled("x".into()),
+            TasteError::Corrupt("x".into()),
+            TasteError::Overloaded("x".into()),
+        ]
+    }
+
+    #[test]
+    fn retryability_is_classified_for_every_variant() {
+        // The single source of truth: enumerate EVERY variant and check
+        // is_retryable() against the expected classification. The match
+        // below is deliberately exhaustive (no `_` arm), so a new variant
+        // cannot ship without being classified here.
+        for e in every_variant() {
+            let expected = match &e {
+                TasteError::Transient(_) | TasteError::Timeout(_) => true,
+                TasteError::NotFound(_)
+                | TasteError::InvalidArgument(_)
+                | TasteError::ShapeMismatch(_)
+                | TasteError::Database(_)
+                | TasteError::Serde(_)
+                | TasteError::Scheduler(_)
+                | TasteError::Training(_)
+                | TasteError::Cancelled(_)
+                | TasteError::Corrupt(_)
+                | TasteError::Overloaded(_) => false,
+            };
+            assert_eq!(e.is_retryable(), expected, "misclassified: {e:?}");
+        }
+    }
+
     #[test]
     fn only_fault_variants_are_retryable() {
         assert!(TasteError::transient("conn reset").is_retryable());
@@ -145,6 +208,7 @@ mod tests {
         assert!(!TasteError::invalid("alpha").is_retryable());
         assert!(!TasteError::Database("x".into()).is_retryable());
         assert!(!TasteError::Scheduler("x".into()).is_retryable());
+        assert!(!TasteError::overloaded("admission queue full").is_retryable());
     }
 
     #[test]
@@ -165,5 +229,9 @@ mod tests {
     fn fault_variants_display() {
         assert_eq!(TasteError::transient("conn reset").to_string(), "transient error: conn reset");
         assert_eq!(TasteError::timeout("scan").to_string(), "timeout: scan");
+        assert_eq!(
+            TasteError::overloaded("64 queued").to_string(),
+            "overloaded: 64 queued"
+        );
     }
 }

@@ -18,7 +18,7 @@
 //!   reproduction is replayable.
 //! * [`outcome`] — per-table terminal outcomes of a detection batch
 //!   ([`TableOutcome`]): completed, degraded, failed, panicked,
-//!   timed-out, or cancelled.
+//!   timed-out, shed (with a [`ShedReason`]), rejected, or cancelled.
 //! * [`checksum`] — CRC32C and torn-write-safe record framing for the
 //!   crash-safety layer (verdict journal, latent-cache persistence).
 
@@ -38,6 +38,6 @@ pub use error::{Result, TasteError};
 pub use histogram::{Histogram, HistogramKind};
 pub use labels::LabelSet;
 pub use metrics::{EvalAccumulator, EvalScores};
-pub use outcome::TableOutcome;
+pub use outcome::{ShedReason, TableOutcome};
 pub use table::{Cell, ColumnId, ColumnMeta, RawType, Table, TableId, TableMeta};
 pub use types::{SemanticType, TypeId, TypeRegistry};

@@ -10,22 +10,63 @@
 //! State diagram (stages advance left to right; hazards exit downward):
 //!
 //! ```text
+//!           (admission gate full)---------------------→ Rejected
 //! P1Prep → P1Infer → P2Prep → P2Infer → Completed
 //!   |         |        |         |
 //!   |         |        +--(scan budget exhausted)----→ Degraded
+//!   |         |        +--(overload: P2 shed)--------→ Shed
 //!   +--(P1 budget exhausted)------------------------→ Failed
 //!   +--(stage panic caught)-------------------------→ Panicked
 //!   +--(stage deadline exceeded)--------------------→ TimedOut
 //!   +--(batch deadline / halt)---------------------→ Cancelled
 //! ```
 //!
-//! `Completed`, `Degraded`, `Failed`, `Panicked`, and `TimedOut` are
-//! *final*: the table's verdicts (possibly partial or empty) are settled
-//! and may be journaled. `Cancelled` is *not* final — the table never got
-//! its turn, so a resumed run must process it again.
+//! `Completed`, `Degraded`, `Shed`, `Failed`, `Panicked`, and `TimedOut`
+//! are *final*: the table's verdicts (possibly partial or empty) are
+//! settled and may be journaled. `Cancelled` and `Rejected` are *not*
+//! final — the table never got its turn (cancellation) or never got in
+//! the door (admission rejection under overload), so a resumed run must
+//! process it again.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Why the overload controller shed a table's Phase-2 work.
+///
+/// Shedding is the middle rung of the degradation ladder: cheaper than
+/// rejecting the table outright (the P1 metadata-only verdicts stand),
+/// more drastic than plain retry/degrade (the engine *chose* not to run
+/// P2, no fault occurred). The reason is recorded per table so operators
+/// can tell queue pressure from deadline pressure from brownout policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The stage-queue latency signal was above target (CoDel-style
+    /// sustained standing queue): P2 was dropped to drain the queue.
+    QueuePressure,
+    /// The table's remaining deadline budget could not cover the
+    /// projected P2 cost: finishing on time beat finishing completely.
+    DeadlineRisk,
+    /// The engine was in brownout mode, which forces P2 off for new
+    /// admissions until an exit probe succeeds.
+    Brownout,
+}
+
+impl ShedReason {
+    /// Short label for tables and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueuePressure => "queue-pressure",
+            ShedReason::DeadlineRisk => "deadline-risk",
+            ShedReason::Brownout => "brownout",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// How one table's pipeline ended.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,6 +93,19 @@ pub enum TableOutcome {
         /// The stage that exceeded its deadline.
         stage: String,
     },
+    /// The overload controller shed this table's Phase-2 work; verdicts
+    /// are the P1 metadata-only verdicts for every column. Final: the
+    /// engine decided P1 was good enough under pressure, and re-running
+    /// on resume would re-apply the load that was being shed.
+    Shed {
+        /// Why P2 was shed for this table.
+        reason: ShedReason,
+    },
+    /// The admission gate refused the table (in-flight budget and
+    /// admission queue both full). Not a final verdict: the table never
+    /// entered the pipeline, so resume (or a caller backing off) must
+    /// submit it again.
+    Rejected,
     /// The batch was cancelled (batch deadline or halt) before this table
     /// finished. Not a final verdict: resume re-runs the table.
     Cancelled,
@@ -59,9 +113,10 @@ pub enum TableOutcome {
 
 impl TableOutcome {
     /// Whether this outcome settles the table's verdicts for good: final
-    /// outcomes are journaled and skipped on resume, `Cancelled` is not.
+    /// outcomes are journaled and skipped on resume; `Cancelled` and
+    /// `Rejected` are not.
     pub fn is_final(&self) -> bool {
-        !matches!(self, TableOutcome::Cancelled)
+        !matches!(self, TableOutcome::Cancelled | TableOutcome::Rejected)
     }
 
     /// Whether the table's verdicts carry the full two-phase result (as
@@ -78,6 +133,8 @@ impl TableOutcome {
             TableOutcome::Failed => "failed",
             TableOutcome::Panicked { .. } => "panicked",
             TableOutcome::TimedOut { .. } => "timed-out",
+            TableOutcome::Shed { .. } => "shed",
+            TableOutcome::Rejected => "rejected",
             TableOutcome::Cancelled => "cancelled",
         }
     }
@@ -90,6 +147,7 @@ impl fmt::Display for TableOutcome {
                 write!(f, "panicked at {stage}: {payload}")
             }
             TableOutcome::TimedOut { stage } => write!(f, "timed out at {stage}"),
+            TableOutcome::Shed { reason } => write!(f, "shed ({reason})"),
             other => f.write_str(other.label()),
         }
     }
@@ -106,6 +164,8 @@ mod tests {
         assert!(TableOutcome::Failed.is_final());
         assert!(TableOutcome::Panicked { stage: "P1Infer".into(), payload: "boom".into() }.is_final());
         assert!(TableOutcome::TimedOut { stage: "P2Prep".into() }.is_final());
+        assert!(TableOutcome::Shed { reason: ShedReason::QueuePressure }.is_final());
+        assert!(!TableOutcome::Rejected.is_final());
         assert!(!TableOutcome::Cancelled.is_final());
     }
 
@@ -113,6 +173,8 @@ mod tests {
     fn only_completed_is_clean() {
         assert!(TableOutcome::Completed.is_clean());
         assert!(!TableOutcome::Degraded.is_clean());
+        assert!(!TableOutcome::Shed { reason: ShedReason::Brownout }.is_clean());
+        assert!(!TableOutcome::Rejected.is_clean());
         assert!(!TableOutcome::Cancelled.is_clean());
     }
 
@@ -123,6 +185,12 @@ mod tests {
         assert_eq!(TableOutcome::TimedOut { stage: "P2Prep".into() }.to_string(), "timed out at P2Prep");
         assert_eq!(TableOutcome::Completed.to_string(), "completed");
         assert_eq!(TableOutcome::default(), TableOutcome::Completed);
+        assert_eq!(
+            TableOutcome::Shed { reason: ShedReason::DeadlineRisk }.to_string(),
+            "shed (deadline-risk)"
+        );
+        assert_eq!(TableOutcome::Rejected.to_string(), "rejected");
+        assert_eq!(ShedReason::QueuePressure.to_string(), "queue-pressure");
     }
 
     #[test]
@@ -133,6 +201,10 @@ mod tests {
             TableOutcome::Failed,
             TableOutcome::Panicked { stage: "P2Infer".into(), payload: "nan".into() },
             TableOutcome::TimedOut { stage: "P1Prep".into() },
+            TableOutcome::Shed { reason: ShedReason::QueuePressure },
+            TableOutcome::Shed { reason: ShedReason::DeadlineRisk },
+            TableOutcome::Shed { reason: ShedReason::Brownout },
+            TableOutcome::Rejected,
             TableOutcome::Cancelled,
         ];
         let json = serde_json::to_string(&outcomes).unwrap();

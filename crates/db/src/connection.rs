@@ -27,6 +27,14 @@ pub struct Connection {
     poisoned: AtomicBool,
 }
 
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("poisoned", &self.is_poisoned())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Database {
     /// Opens a connection, paying the connect cost.
     ///

@@ -48,6 +48,7 @@ pub struct Ledger {
     panicked_stages: AtomicU64,
     timed_out_stages: AtomicU64,
     cancelled_stages: AtomicU64,
+    shed_stages: AtomicU64,
 }
 
 /// A point-in-time copy of the ledger counters.
@@ -95,6 +96,10 @@ pub struct LedgerSnapshot {
     /// Engine stages skipped because their batch was cancelled or halted.
     #[serde(default)]
     pub cancelled_stages: u64,
+    /// Engine P2 stages dropped by the overload controller (load shed):
+    /// work the database was spared while the service was saturated.
+    #[serde(default)]
+    pub shed_stages: u64,
 }
 
 impl LedgerSnapshot {
@@ -116,6 +121,7 @@ impl LedgerSnapshot {
             panicked_stages: self.panicked_stages - earlier.panicked_stages,
             timed_out_stages: self.timed_out_stages - earlier.timed_out_stages,
             cancelled_stages: self.cancelled_stages - earlier.cancelled_stages,
+            shed_stages: self.shed_stages - earlier.shed_stages,
         }
     }
 
@@ -184,6 +190,11 @@ impl Ledger {
         self.cancelled_stages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an engine P2 stage dropped by the overload controller.
+    pub fn record_shed_stage(&self) {
+        self.shed_stages.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_wasted_bytes(&self, bytes: u64) {
         self.wasted_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -223,6 +234,7 @@ impl Ledger {
             panicked_stages: self.panicked_stages.load(Ordering::Relaxed),
             timed_out_stages: self.timed_out_stages.load(Ordering::Relaxed),
             cancelled_stages: self.cancelled_stages.load(Ordering::Relaxed),
+            shed_stages: self.shed_stages.load(Ordering::Relaxed),
         }
     }
 
@@ -262,6 +274,7 @@ impl Ledger {
         self.panicked_stages.store(0, Ordering::Relaxed);
         self.timed_out_stages.store(0, Ordering::Relaxed);
         self.cancelled_stages.store(0, Ordering::Relaxed);
+        self.shed_stages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -346,10 +359,14 @@ mod tests {
         l.record_timed_out_stage();
         l.record_timed_out_stage();
         l.record_cancelled_stage();
+        l.record_shed_stage();
+        l.record_shed_stage();
+        l.record_shed_stage();
         let s = l.snapshot();
         assert_eq!(s.panicked_stages, 1);
         assert_eq!(s.timed_out_stages, 2);
         assert_eq!(s.cancelled_stages, 1);
+        assert_eq!(s.shed_stages, 3);
         l.reset();
         assert_eq!(l.snapshot(), LedgerSnapshot::default());
     }

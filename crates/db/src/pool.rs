@@ -1,4 +1,4 @@
-//! A bounded connection pool.
+//! A bounded connection pool with FIFO-fair acquisition.
 //!
 //! Real user databases cap concurrent connections, and the paper counts
 //! "increased I/O and connections on user data sources" among the
@@ -7,10 +7,29 @@
 //! reused after checkin (connection establishment is the most expensive
 //! database operation in the latency model), and further checkouts block
 //! until one is returned or the acquire timeout expires.
+//!
+//! ## Fairness
+//!
+//! Waiters acquire in strict FIFO order via a ticket queue. A bare
+//! condvar wakes an *arbitrary* waiter, so under contention a hot batch
+//! hammering [`ConnectionPool::get`] could starve another tenant's
+//! tables indefinitely; with tickets, a checkin always serves the
+//! longest-waiting caller first and starvation is impossible while
+//! checkins keep happening.
+//!
+//! ## Dynamic limit
+//!
+//! [`ConnectionPool::set_limit`] lowers (or restores) the *effective*
+//! ceiling at runtime without rebuilding the pool, clamped to
+//! `[1, max_connections]`. The overload controller uses this to narrow
+//! the per-database connection budget when the breaker or latency
+//! telemetry says the database is struggling. Shrinking never revokes a
+//! checked-out connection: excess connections are retired at checkin.
 
 use crate::connection::Connection;
 use crate::engine::Database;
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taste_core::{Result, TasteError};
@@ -20,6 +39,11 @@ struct PoolState {
     created: usize,
     in_use: usize,
     discarded: usize,
+    /// Effective ceiling, `1 ..= max_connections`; adjustable at runtime.
+    limit: usize,
+    /// FIFO ticket queue: front is the next waiter allowed to acquire.
+    waiters: VecDeque<u64>,
+    next_ticket: u64,
 }
 
 struct PoolInner {
@@ -30,7 +54,7 @@ struct PoolInner {
     available: Condvar,
 }
 
-/// A bounded, blocking pool of database connections.
+/// A bounded, blocking, FIFO-fair pool of database connections.
 #[derive(Clone)]
 pub struct ConnectionPool {
     inner: Arc<PoolInner>,
@@ -40,6 +64,12 @@ pub struct ConnectionPool {
 pub struct PooledConnection {
     conn: Option<Connection>,
     pool: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for PooledConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledConnection").field("conn", &self.conn).finish_non_exhaustive()
+    }
 }
 
 impl ConnectionPool {
@@ -55,14 +85,23 @@ impl ConnectionPool {
                 db,
                 max_connections,
                 acquire_timeout,
-                state: Mutex::new(PoolState { idle: Vec::new(), created: 0, in_use: 0, discarded: 0 }),
+                state: Mutex::new(PoolState {
+                    idle: Vec::new(),
+                    created: 0,
+                    in_use: 0,
+                    discarded: 0,
+                    limit: max_connections,
+                    waiters: VecDeque::new(),
+                    next_ticket: 0,
+                }),
                 available: Condvar::new(),
             }),
         }
     }
 
-    /// Checks a connection out, creating one lazily if under the cap,
-    /// otherwise blocking until a checkin or the acquire timeout.
+    /// Checks a connection out, creating one lazily if under the
+    /// effective limit, otherwise blocking (FIFO behind earlier waiters)
+    /// until a checkin or the acquire timeout.
     ///
     /// # Errors
     /// Returns the retryable [`TasteError::Timeout`] on acquire timeout
@@ -72,44 +111,64 @@ impl ConnectionPool {
     pub fn get(&self) -> Result<PooledConnection> {
         let deadline = Instant::now() + self.inner.acquire_timeout;
         let mut state = self.inner.state.lock();
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.waiters.push_back(ticket);
         loop {
-            if let Some(conn) = state.idle.pop() {
-                state.in_use += 1;
-                return Ok(PooledConnection { conn: Some(conn), pool: Arc::clone(&self.inner) });
-            }
-            if state.created < self.inner.max_connections {
-                state.created += 1;
-                state.in_use += 1;
-                // Pay the connect cost outside the lock.
-                drop(state);
-                match self.inner.db.try_connect() {
-                    Ok(conn) => {
-                        return Ok(PooledConnection { conn: Some(conn), pool: Arc::clone(&self.inner) })
-                    }
-                    Err(e) => {
-                        // Roll back the reservation so the slot stays usable.
-                        let mut state = self.inner.state.lock();
-                        state.created -= 1;
-                        state.in_use -= 1;
-                        drop(state);
-                        self.inner.available.notify_one();
-                        return Err(e);
+            // Only the head-of-line ticket may acquire: a woken waiter
+            // that is not at the front goes back to sleep, so checkins
+            // always serve the longest-waiting caller first.
+            if state.waiters.front() == Some(&ticket) {
+                if let Some(conn) = state.idle.pop() {
+                    state.waiters.pop_front();
+                    state.in_use += 1;
+                    drop(state);
+                    // More idle connections (or creatable slots) may
+                    // remain for the next head-of-line waiter.
+                    self.inner.available.notify_all();
+                    return Ok(PooledConnection { conn: Some(conn), pool: Arc::clone(&self.inner) });
+                }
+                if state.created < state.limit {
+                    state.waiters.pop_front();
+                    state.created += 1;
+                    state.in_use += 1;
+                    // Pay the connect cost outside the lock.
+                    drop(state);
+                    self.inner.available.notify_all();
+                    match self.inner.db.try_connect() {
+                        Ok(conn) => {
+                            return Ok(PooledConnection {
+                                conn: Some(conn),
+                                pool: Arc::clone(&self.inner),
+                            })
+                        }
+                        Err(e) => {
+                            // Roll back the reservation so the slot stays usable.
+                            let mut state = self.inner.state.lock();
+                            state.created -= 1;
+                            state.in_use -= 1;
+                            drop(state);
+                            self.inner.available.notify_all();
+                            return Err(e);
+                        }
                     }
                 }
             }
-            let now = Instant::now();
-            if now >= deadline {
+            if Instant::now() >= deadline {
+                // Leave the queue so later waiters are not blocked behind
+                // a ticket that gave up.
+                if let Some(pos) = state.waiters.iter().position(|&t| t == ticket) {
+                    state.waiters.remove(pos);
+                }
+                let in_use = state.in_use;
+                drop(state);
+                self.inner.available.notify_all();
                 return Err(TasteError::timeout(format!(
                     "connection pool exhausted ({} in use) after {:?}",
-                    state.in_use, self.inner.acquire_timeout
+                    in_use, self.inner.acquire_timeout
                 )));
             }
-            if self.inner.available.wait_until(&mut state, deadline).timed_out() && state.idle.is_empty() {
-                return Err(TasteError::timeout(format!(
-                    "connection pool exhausted ({} in use) after {:?}",
-                    state.in_use, self.inner.acquire_timeout
-                )));
-            }
+            self.inner.available.wait_until(&mut state, deadline);
         }
     }
 
@@ -118,19 +177,53 @@ impl ConnectionPool {
         self.inner.state.lock().in_use
     }
 
-    /// Connections ever created (≤ `max_connections`).
+    /// Connections ever created and still live (≤ `max_connections`).
     pub fn created(&self) -> usize {
         self.inner.state.lock().created
     }
 
-    /// The configured ceiling.
+    /// The configured hard ceiling.
     pub fn max_connections(&self) -> usize {
         self.inner.max_connections
+    }
+
+    /// The current effective limit (≤ `max_connections`).
+    pub fn limit(&self) -> usize {
+        self.inner.state.lock().limit
+    }
+
+    /// Callers currently blocked in [`ConnectionPool::get`].
+    pub fn waiting(&self) -> usize {
+        self.inner.state.lock().waiters.len()
     }
 
     /// Fault-poisoned connections discarded at checkin instead of reused.
     pub fn discarded(&self) -> usize {
         self.inner.state.lock().discarded
+    }
+
+    /// Adjusts the effective connection limit at runtime, clamped to
+    /// `[1, max_connections]`. Returns the applied limit.
+    ///
+    /// Raising the limit wakes blocked waiters (new slots may now be
+    /// creatable). Lowering it never revokes checked-out connections:
+    /// excess live connections are retired as they are checked back in,
+    /// and idle connections above the new limit are retired immediately.
+    pub fn set_limit(&self, limit: usize) -> usize {
+        let applied = limit.clamp(1, self.inner.max_connections);
+        let mut state = self.inner.state.lock();
+        state.limit = applied;
+        // Retire surplus idle connections right away.
+        while state.created > state.limit {
+            if state.idle.pop().is_some() {
+                state.created -= 1;
+            } else {
+                break;
+            }
+        }
+        drop(state);
+        self.inner.available.notify_all();
+        applied
     }
 }
 
@@ -159,12 +252,16 @@ impl Drop for PooledConnection {
                 // broken connection to another worker.
                 state.created -= 1;
                 state.discarded += 1;
+            } else if state.created > state.limit {
+                // The limit was lowered while this connection was out:
+                // retire it instead of returning it to the idle set.
+                state.created -= 1;
             } else {
                 state.idle.push(conn);
             }
             state.in_use -= 1;
             drop(state);
-            self.pool.available.notify_one();
+            self.pool.available.notify_all();
         }
     }
 }
@@ -293,6 +390,8 @@ mod tests {
         let err = pool.get().unwrap_err();
         assert!(matches!(err, TasteError::Timeout(_)), "got {err:?}");
         assert!(err.is_retryable());
+        // A timed-out waiter leaves the queue: nobody is waiting now.
+        assert_eq!(pool.waiting(), 0);
     }
 
     #[test]
@@ -330,5 +429,104 @@ mod tests {
         // Slot is free again once faults clear.
         db.set_fault_profile(FaultProfile::none());
         assert!(pool.get().is_ok());
+    }
+
+    #[test]
+    fn waiters_acquire_in_fifo_order() {
+        // Regression test for starvation: with a bare condvar an arbitrary
+        // waiter wins each checkin; the ticket queue must hand the
+        // connection to waiters in exactly their arrival order.
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 1, Duration::from_secs(10));
+        let held = pool.get().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..5u32 {
+            let worker_pool = pool.clone();
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let c = worker_pool.get().unwrap();
+                order.lock().push(i);
+                // Hold briefly so the next waiter's acquisition is
+                // strictly after ours.
+                std::thread::sleep(Duration::from_millis(2));
+                drop(c);
+            }));
+            // Wait until waiter i is enqueued before spawning i+1, so the
+            // arrival order is deterministic.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while pool.waiting() < (i + 1) as usize {
+                assert!(Instant::now() < deadline, "waiter {i} never enqueued");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(held);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4], "acquisition order must match arrival order");
+        assert_eq!(pool.waiting(), 0);
+    }
+
+    #[test]
+    fn set_limit_clamps_and_gates_creation() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 4, Duration::from_millis(20));
+        assert_eq!(pool.limit(), 4);
+        assert_eq!(pool.set_limit(0), 1, "limit clamps up to 1");
+        assert_eq!(pool.set_limit(99), 4, "limit clamps down to max_connections");
+        assert_eq!(pool.set_limit(2), 2);
+        let a = pool.get().unwrap();
+        let b = pool.get().unwrap();
+        // Third checkout exceeds the narrowed limit even though
+        // max_connections would allow it.
+        assert!(pool.get().is_err());
+        drop(a);
+        drop(b);
+        // Restoring the limit re-opens the slots.
+        pool.set_limit(4);
+        let _c = pool.get().unwrap();
+        let _d = pool.get().unwrap();
+        let _e = pool.get().unwrap();
+        assert_eq!(pool.in_use(), 3);
+    }
+
+    #[test]
+    fn shrinking_limit_retires_connections_at_checkin() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 3, Duration::from_millis(50));
+        let a = pool.get().unwrap();
+        let b = pool.get().unwrap();
+        let c = pool.get().unwrap();
+        assert_eq!(pool.created(), 3);
+        pool.set_limit(1);
+        // Checked-out connections are not revoked...
+        assert_eq!(pool.in_use(), 3);
+        // ...but checkins retire the surplus instead of idling it.
+        drop(a);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.created(), 1, "surplus connections must be retired");
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn raising_limit_wakes_blocked_waiters() {
+        let db = db(LatencyProfile::zero());
+        let pool = ConnectionPool::new(db, 2, Duration::from_secs(5));
+        pool.set_limit(1);
+        let held = pool.get().unwrap();
+        let pool2 = pool.clone();
+        let waiter = std::thread::spawn(move || pool2.get().map(drop).is_ok());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.waiting() < 1 {
+            assert!(Instant::now() < deadline, "waiter never enqueued");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Raising the limit opens a second slot; the waiter must proceed
+        // without `held` ever being returned.
+        pool.set_limit(2);
+        assert!(waiter.join().unwrap(), "waiter should acquire after limit raise");
+        drop(held);
     }
 }

@@ -59,6 +59,7 @@ pub fn run_baseline(
     let mut results = Vec::with_capacity(tables.len());
     let mut total_columns = 0u64;
     for &tid in tables {
+        let t_table = Instant::now();
         let meta = conn.fetch_table_meta(tid)?;
         let columns = conn.fetch_columns_meta(tid)?;
         let ncols = columns.len();
@@ -104,6 +105,7 @@ pub fn run_baseline(
             uncertain_columns: 0,
             outcome: Default::default(),
             resilience: Default::default(),
+            latency: t_table.elapsed(),
         });
     }
     let wall_time = t0.elapsed();
@@ -122,6 +124,7 @@ pub fn run_baseline(
         journal_corrupt_records: 0,
         journal_torn_tail: false,
         cache_corrupt_entries: 0,
+        overload: Default::default(),
     })
 }
 

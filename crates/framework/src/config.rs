@@ -2,6 +2,7 @@
 //! the crash-safety hardening knobs (watchdog deadlines, halt points,
 //! and seeded fault injection for panic/stall testing).
 
+use crate::overload::OverloadConfig;
 use crate::retry::RetryConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -165,6 +166,10 @@ pub struct TasteConfig {
     /// Serving execution backend (tape-free by default).
     #[serde(default)]
     pub execution: ExecutionConfig,
+    /// Overload control: bounded admission, deadline-aware load
+    /// shedding, AIMD concurrency, and brownout. Disabled by default.
+    #[serde(default)]
+    pub overload: OverloadConfig,
 }
 
 impl Default for TasteConfig {
@@ -184,6 +189,7 @@ impl Default for TasteConfig {
             retry: RetryConfig::default(),
             hardening: HardeningConfig::default(),
             execution: ExecutionConfig::default(),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -220,6 +226,7 @@ impl TasteConfig {
         }
         self.retry.validate()?;
         self.hardening.validate()?;
+        self.overload.validate()?;
         Ok(())
     }
 
@@ -339,6 +346,27 @@ mod tests {
         let restored: TasteConfig =
             serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
         assert_eq!(restored.execution.backend, ExecBackend::TapeFree);
+    }
+
+    #[test]
+    fn overload_defaults_off_and_validates_when_enabled() {
+        let c = TasteConfig::default();
+        assert!(!c.overload.enabled);
+        assert!(c.validate().is_ok());
+        let bad = TasteConfig {
+            overload: OverloadConfig { enabled: true, max_in_flight: 0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        // Configs serialized before the overload subsystem deserialize to
+        // the disabled default.
+        let legacy = serde_json::to_value(TasteConfig::default()).unwrap();
+        let mut obj = legacy.as_object().unwrap().clone();
+        obj.remove("overload");
+        let restored: TasteConfig =
+            serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
+        assert!(!restored.overload.enabled);
+        assert_eq!(restored.overload, OverloadConfig::default());
     }
 
     #[test]

@@ -43,20 +43,24 @@
 
 use crate::config::TasteConfig;
 use crate::journal::{self, JournalRecord, JournalWriter};
-use crate::report::{DetectionReport, ResilienceSummary, TableResult};
-use crate::retry::{connect_with_retry, run_with_retry, CircuitBreaker};
-use crate::stages::{infer_phase1, infer_phase2, prep_phase1, prep_phase2, P1Infer, P1Prep, P2Prep};
-use crate::watchdog::{CancelReason, CancelToken, StageClocks, Watchdog};
+use crate::overload::{Admission, LoadController};
+use crate::report::{DetectionReport, OverloadSummary, ResilienceSummary, TableResult};
+use crate::retry::{acquire_with_retry, connect_with_retry, run_with_retry, CircuitBreaker};
+use crate::stages::{
+    infer_phase1, infer_phase2, prep_phase1, prep_phase2, shed_finals, P1Infer, P1Prep, P2Prep,
+};
+use crate::watchdog::{CancelReason, CancelToken, StageClocks, TableDeadlines, Watchdog};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use taste_core::{LabelSet, Result, TableId, TableOutcome, TasteError};
-use taste_db::{Connection, Database};
+use taste_core::{LabelSet, Result, ShedReason, TableId, TableOutcome, TasteError};
+use taste_db::{Connection, ConnectionPool, Database};
 use taste_model::{Adtd, CacheRestoreStats, Inferencer, LatentCache};
 
 /// The TASTE detection engine: a trained model plus a configuration.
@@ -78,6 +82,14 @@ struct TableState {
     error: Option<TasteError>,
     outcome: Option<TableOutcome>,
     resilience: ResilienceSummary,
+    /// The overload controller's verdict at admission (overload mode).
+    admission: Option<Admission>,
+    /// When the table was promoted into the in-flight set.
+    admitted_at: Option<Instant>,
+    /// Absolute completion deadline stamped at admission.
+    deadline: Option<Instant>,
+    /// End-to-end latency, stamped at finalization.
+    latency: Duration,
 }
 
 type Shared = Arc<(Mutex<TableState>, AtomicUsize)>;
@@ -94,6 +106,17 @@ struct BatchCtx {
     clocks: Arc<StageClocks>,
     journal: Option<Mutex<JournalWriter>>,
     finished_final: AtomicUsize,
+    /// Present only in pipelined runs with overload control enabled.
+    controller: Option<Arc<LoadController>>,
+    /// Per-table admission deadlines enforced by the watchdog.
+    deadlines: Option<Arc<TableDeadlines>>,
+    /// When the batch entered the engine; latency baseline for tables
+    /// that never pass through the admission gate.
+    batch_start: Instant,
+    /// Raised when any table records a batch-failing error, so the
+    /// overload scheduler stops waiting on admission slots that will
+    /// never free.
+    batch_error: AtomicBool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +249,11 @@ impl TasteEngine {
         );
         let ledger_before = db.ledger().snapshot();
         let clocks = Arc::new(StageClocks::new(tables.len()));
+        let overload_on = self.config.overload.enabled && self.config.pipelining;
+        let controller =
+            overload_on.then(|| Arc::new(LoadController::new(self.config.overload, self.config.pool_size)));
+        let deadlines = (overload_on && self.config.overload.deadline.is_some())
+            .then(|| Arc::new(TableDeadlines::new(tables.len())));
         let ctx = Arc::new(BatchCtx {
             model: Arc::clone(&self.model),
             cache: Arc::clone(&self.cache),
@@ -236,15 +264,20 @@ impl TasteEngine {
             clocks: Arc::clone(&clocks),
             journal: journal.map(Mutex::new),
             finished_final: AtomicUsize::new(0),
+            controller,
+            deadlines: deadlines.clone(),
+            batch_start: Instant::now(),
+            batch_error: AtomicBool::new(false),
         });
         let hardening = self.config.hardening;
-        let watchdog = hardening.needs_watchdog().then(|| {
+        let watchdog = (hardening.needs_watchdog() || deadlines.is_some()).then(|| {
             Watchdog::spawn(
                 hardening.stage_deadline,
                 hardening.batch_deadline,
                 hardening.watchdog_poll,
                 clocks,
                 ctx.tokens.clone(),
+                deadlines,
             )
         });
         let t0 = Instant::now();
@@ -282,8 +315,10 @@ impl TasteEngine {
                 uncertain_columns,
                 outcome: st.outcome.unwrap_or_default(),
                 resilience: st.resilience,
+                latency: st.latency,
             });
         }
+        let overload = ctx.controller.as_ref().map_or_else(OverloadSummary::default, |c| c.summary());
         Ok(DetectionReport {
             approach: "TASTE".into(),
             tables: results,
@@ -298,6 +333,7 @@ impl TasteEngine {
             journal_corrupt_records: 0,
             journal_torn_tail: false,
             cache_corrupt_entries: self.cache_corrupt.load(Ordering::SeqCst),
+            overload,
         })
     }
 
@@ -315,6 +351,10 @@ impl TasteEngine {
                         error: None,
                         outcome: None,
                         resilience: ResilienceSummary::default(),
+                        admission: None,
+                        admitted_at: None,
+                        deadline: None,
+                        latency: Duration::ZERO,
                     }),
                     AtomicUsize::new(0),
                 ))
@@ -351,26 +391,48 @@ impl TasteEngine {
         let states = self.new_states(tables);
         let pool = self.config.pool_size;
 
-        // TP1: preparation workers, each owning a reused connection. A
-        // worker whose connect attempts all fail still drains jobs (with
-        // no connection), so prep stages degrade instead of deadlocking.
+        // TP1: preparation workers. In legacy mode each worker owns one
+        // reused connection; with overload control every worker draws
+        // from one shared FIFO connection pool whose limit the AIMD
+        // governor tunes at runtime. Either way a worker that cannot get
+        // a connection still drains jobs (with none), so prep stages
+        // degrade instead of deadlocking.
         let (prep_tx, prep_rx) = unbounded::<Job>();
         let tp1_active = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(pool * 2);
         let retry_cfg = self.config.retry;
         let exec_cfg = self.config.execution;
+        let conn_pool = ctx.controller.as_ref().map(|_| {
+            // Short acquire slices keep a saturated pool from stalling
+            // the shedding loop; acquire_with_retry supplies the backoff.
+            let slice = retry_cfg.stage_deadline.min(Duration::from_millis(50));
+            Arc::new(ConnectionPool::new(Arc::clone(db), pool.max(1), slice))
+        });
         for _ in 0..pool {
             let rx = prep_rx.clone();
             let active = Arc::clone(&tp1_active);
-            let db = Arc::clone(db);
-            handles.push(std::thread::spawn(move || {
-                let conn = connect_with_retry(&db, &retry_cfg).ok();
-                let mut inf = exec_cfg.inferencer();
-                while let Ok(job) = rx.recv() {
-                    job(conn.as_ref(), &mut inf);
-                    active.fetch_sub(1, Ordering::SeqCst);
-                }
-            }));
+            if let Some(cpool) = &conn_pool {
+                let cpool = Arc::clone(cpool);
+                handles.push(std::thread::spawn(move || {
+                    let mut inf = exec_cfg.inferencer();
+                    while let Ok(job) = rx.recv() {
+                        let conn = acquire_with_retry(&cpool, &retry_cfg).ok();
+                        job(conn.as_deref(), &mut inf);
+                        drop(conn);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }));
+            } else {
+                let db = Arc::clone(db);
+                handles.push(std::thread::spawn(move || {
+                    let conn = connect_with_retry(&db, &retry_cfg).ok();
+                    let mut inf = exec_cfg.inferencer();
+                    while let Ok(job) = rx.recv() {
+                        job(conn.as_ref(), &mut inf);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }));
+            }
         }
         // TP2: inference workers, each owning a long-lived inferencer
         // whose scratch buffers persist across every table it serves.
@@ -388,31 +450,41 @@ impl TasteEngine {
             }));
         }
 
-        // Stage queue: four stages per table, generated in order.
-        let mut queue: Vec<(usize, StageKind)> = (0..tables.len())
-            .flat_map(|t| StageKind::ORDER.into_iter().map(move |s| (t, s)))
-            .collect();
+        if let Some(ctrl) = ctx.controller.clone() {
+            let pools = Pools {
+                prep_tx: &prep_tx,
+                infer_tx: &infer_tx,
+                tp1_active: &tp1_active,
+                tp2_active: &tp2_active,
+            };
+            schedule_overload(&states, ctx, &ctrl, conn_pool.as_deref(), pools);
+        } else {
+            // Stage queue: four stages per table, generated in order.
+            let mut queue: Vec<(usize, StageKind)> = (0..tables.len())
+                .flat_map(|t| StageKind::ORDER.into_iter().map(move |s| (t, s)))
+                .collect();
 
-        while !queue.is_empty() {
-            let mut dispatched = false;
-            if tp1_active.load(Ordering::SeqCst) < pool {
-                if let Some(pos) = first_eligible(&queue, &states, true) {
-                    let (t, stage) = queue.remove(pos);
-                    tp1_active.fetch_add(1, Ordering::SeqCst);
-                    dispatch(&prep_tx, t, stage, &states, ctx);
-                    dispatched = true;
+            while !queue.is_empty() {
+                let mut dispatched = false;
+                if tp1_active.load(Ordering::SeqCst) < pool {
+                    if let Some(pos) = first_eligible(&queue, &states, true) {
+                        let (t, stage) = queue.remove(pos);
+                        tp1_active.fetch_add(1, Ordering::SeqCst);
+                        dispatch(&prep_tx, t, stage, &states, ctx);
+                        dispatched = true;
+                    }
                 }
-            }
-            if tp2_active.load(Ordering::SeqCst) < pool {
-                if let Some(pos) = first_eligible(&queue, &states, false) {
-                    let (t, stage) = queue.remove(pos);
-                    tp2_active.fetch_add(1, Ordering::SeqCst);
-                    dispatch(&infer_tx, t, stage, &states, ctx);
-                    dispatched = true;
+                if tp2_active.load(Ordering::SeqCst) < pool {
+                    if let Some(pos) = first_eligible(&queue, &states, false) {
+                        let (t, stage) = queue.remove(pos);
+                        tp2_active.fetch_add(1, Ordering::SeqCst);
+                        dispatch(&infer_tx, t, stage, &states, ctx);
+                        dispatched = true;
+                    }
                 }
-            }
-            if !dispatched {
-                std::thread::sleep(Duration::from_micros(50));
+                if !dispatched {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
             }
         }
         drop(prep_tx);
@@ -425,6 +497,187 @@ impl TasteEngine {
 }
 
 type Job = Box<dyn FnOnce(Option<&Connection>, &mut Inferencer) + Send>;
+
+/// The two worker pools' dispatch handles, bundled for the scheduler.
+struct Pools<'a> {
+    prep_tx: &'a Sender<Job>,
+    infer_tx: &'a Sender<Job>,
+    tp1_active: &'a AtomicUsize,
+    tp2_active: &'a AtomicUsize,
+}
+
+/// One stage waiting in the overload scheduler's queue. `since` is
+/// stamped the first time the stage is seen *runnable* (all earlier
+/// stages of its table done); dispatch delay from that moment is the
+/// standing-queue signal fed to the controller.
+struct PendingStage {
+    t: usize,
+    stage: StageKind,
+    since: Option<Instant>,
+}
+
+/// The overload-controlled variant of the Algorithm 1 scheduler loop:
+/// admission-gated, backpressured, deadline-aware, and AIMD-throttled.
+///
+/// Differences from the legacy loop: tables pass through the
+/// [`LoadController`]'s admission gate before their stages enter the
+/// queue (rejected tables never run and report
+/// [`TableOutcome::Rejected`]); dispatch is gated on the controller's
+/// adaptive TP1/TP2 limits instead of the fixed pool size; the shared
+/// connection pool's limit follows the AIMD connection budget; and P2
+/// work is shed — table by table, cheapest first — whenever the
+/// controller reports pressure.
+fn schedule_overload(
+    states: &[Shared],
+    ctx: &Arc<BatchCtx>,
+    ctrl: &Arc<LoadController>,
+    conn_pool: Option<&ConnectionPool>,
+    pools: Pools<'_>,
+) {
+    // Offer every table up front; tables beyond the occupancy bound are
+    // rejected immediately and never enter the pipeline.
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    for (t, state) in states.iter().enumerate() {
+        if ctrl.offer() {
+            waiting.push_back(t);
+        } else {
+            let mut st = state.0.lock();
+            st.outcome = Some(TableOutcome::Rejected);
+            st.finals = Some(Vec::new());
+        }
+    }
+    let mut queue: Vec<PendingStage> = Vec::new();
+    let mut applied_conn_limit = 0usize;
+    loop {
+        // Promote queued tables into the pipeline as in-flight slots
+        // free up, stamping admission time and completion deadline.
+        while !waiting.is_empty() {
+            let Some(adm) = ctrl.promote() else { break };
+            let t = waiting.pop_front().expect("waiting mirrors the admission queue");
+            let now = Instant::now();
+            {
+                let mut st = states[t].0.lock();
+                st.admission = Some(adm);
+                st.admitted_at = Some(now);
+                st.deadline = ctx.cfg.overload.deadline.map(|d| now + d);
+                if let (Some(dls), Some(dl)) = (&ctx.deadlines, st.deadline) {
+                    dls.set(t, dl);
+                }
+            }
+            queue.extend(
+                StageKind::ORDER.into_iter().map(|stage| PendingStage { t, stage, since: None }),
+            );
+        }
+        if queue.is_empty() && waiting.is_empty() {
+            break;
+        }
+        // Follow the AIMD connection budget.
+        if let Some(cpool) = conn_pool {
+            let limit = ctrl.conn_limit();
+            if limit != applied_conn_limit {
+                applied_conn_limit = cpool.set_limit(limit);
+            }
+        }
+        ctrl.note_queue_depth(queue.len());
+        let now = Instant::now();
+        for e in queue.iter_mut() {
+            if e.since.is_none() && states[e.t].1.load(Ordering::SeqCst) == e.stage.index() {
+                e.since = Some(now);
+            }
+        }
+        shed_pressured_p2(&mut queue, states, ctx, ctrl, now);
+        let mut dispatched = false;
+        if pools.tp1_active.load(Ordering::SeqCst) < ctrl.tp1_limit() {
+            if let Some(pos) = queue.iter().position(|e| e.stage.is_prep() && e.since.is_some()) {
+                let e = queue.remove(pos);
+                // The standing-queue signal is measured on the prep
+                // (TP1) queue only: that is where cloud-RDS contention
+                // manifests, and inference dispatches draining quickly
+                // must not mask a congested database.
+                ctrl.observe_queue_wait(e.since.map_or(Duration::ZERO, |s| now.duration_since(s)), now);
+                pools.tp1_active.fetch_add(1, Ordering::SeqCst);
+                dispatch(pools.prep_tx, e.t, e.stage, states, ctx);
+                dispatched = true;
+            }
+        }
+        if pools.tp2_active.load(Ordering::SeqCst) < ctrl.tp2_limit() {
+            if let Some(pos) = queue.iter().position(|e| !e.stage.is_prep() && e.since.is_some()) {
+                let e = queue.remove(pos);
+                pools.tp2_active.fetch_add(1, Ordering::SeqCst);
+                dispatch(pools.infer_tx, e.t, e.stage, states, ctx);
+                dispatched = true;
+            }
+        }
+        if !dispatched {
+            if ctx.batch_error.load(Ordering::SeqCst) {
+                // The batch is failing: stop admitting, let dispatched
+                // stages drain, and surface the error from run().
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+/// Sheds the P2 stages of every table the controller wants lightened:
+/// brownout admissions (P2 disallowed up front), standing-queue
+/// pressure, and deadline-risk projections. The shed table settles on
+/// its P1 metadata-only verdicts via [`finalize_table`]'s fallback.
+fn shed_pressured_p2(
+    queue: &mut Vec<PendingStage>,
+    states: &[Shared],
+    ctx: &Arc<BatchCtx>,
+    ctrl: &Arc<LoadController>,
+    now: Instant,
+) {
+    let mut idx = 0;
+    while idx < queue.len() {
+        let runnable_p2prep = queue[idx].stage == StageKind::P2Prep && queue[idx].since.is_some();
+        if !runnable_p2prep {
+            idx += 1;
+            continue;
+        }
+        let t = queue[idx].t;
+        let mut shed = false;
+        {
+            let mut st = states[t].0.lock();
+            // Only healthy tables with P1 verdicts in hand can shed P2;
+            // failed or hazard tables follow their own paths.
+            let reason = if st.error.is_some()
+                || st.outcome.is_some()
+                || st.resilience.failed
+                || st.infer1.is_none()
+            {
+                None
+            } else {
+                match st.admission {
+                    Some(a) if !a.p2_allowed => Some(ShedReason::Brownout),
+                    // A brownout exit probe deliberately runs P2 at full
+                    // fidelity; only its real deadline (enforced by the
+                    // watchdog) can still cut it short.
+                    Some(a) if a.probe => None,
+                    _ => ctrl.shed_reason(st.deadline, now),
+                }
+            };
+            if let Some(reason) = reason {
+                record_hazard(&mut st, TableOutcome::Shed { reason }, ctx);
+                shed = true;
+            }
+        }
+        if shed {
+            queue.retain(|e| {
+                !(e.t == t && matches!(e.stage, StageKind::P2Prep | StageKind::P2Infer))
+            });
+            // Both P2 stage slots are accounted as done without running.
+            let done = states[t].1.fetch_add(2, Ordering::SeqCst) + 2;
+            if done == StageKind::ORDER.len() {
+                finalize_table(t, &states[t], ctx);
+            }
+        } else {
+            idx += 1;
+        }
+    }
+}
 
 fn dispatch(tx: &Sender<Job>, t: usize, stage: StageKind, states: &[Shared], ctx: &Arc<BatchCtx>) {
     let state = Arc::clone(&states[t]);
@@ -445,23 +698,33 @@ fn first_eligible(queue: &[(usize, StageKind)], states: &[Shared], prep: bool) -
 
 /// Maps a cancellation reason observed at `stage` to the table outcome
 /// it implies: a stage timeout means the table was abandoned by the
-/// watchdog (final), while a batch timeout or halt leaves the table
-/// merely cancelled (non-final; a resumed run re-processes it).
+/// watchdog (final), a blown per-table admission deadline sheds the
+/// table onto its P1 verdicts (final), while a batch timeout or halt
+/// leaves the table merely cancelled (non-final; a resumed run
+/// re-processes it).
 fn hazard_from_cancel(reason: CancelReason, stage: StageKind) -> TableOutcome {
     match reason {
         CancelReason::StageTimeout => TableOutcome::TimedOut { stage: format!("{stage:?}") },
+        CancelReason::DeadlineExceeded => TableOutcome::Shed { reason: ShedReason::DeadlineRisk },
         CancelReason::BatchTimeout | CancelReason::Halted => TableOutcome::Cancelled,
     }
 }
 
 /// Stamps a hazard outcome onto the table (first hazard wins) and
-/// mirrors it into the database ledger's stage-outcome counters.
+/// mirrors it into the database ledger's stage-outcome counters (and,
+/// for shed tables, the overload controller's shed count).
 fn record_hazard(st: &mut TableState, outcome: TableOutcome, ctx: &BatchCtx) {
     debug_assert!(st.outcome.is_none(), "hazards are recorded at most once");
     match &outcome {
         TableOutcome::Panicked { .. } => ctx.db.ledger().record_panicked_stage(),
         TableOutcome::TimedOut { .. } => ctx.db.ledger().record_timed_out_stage(),
         TableOutcome::Cancelled => ctx.db.ledger().record_cancelled_stage(),
+        TableOutcome::Shed { .. } => {
+            ctx.db.ledger().record_shed_stage();
+            if let Some(ctrl) = &ctx.controller {
+                ctrl.record_shed();
+            }
+        }
         _ => {}
     }
     st.outcome = Some(outcome);
@@ -498,10 +761,13 @@ fn run_stage(
             if let Some(reason) = token.reason() {
                 record_hazard(&mut st, hazard_from_cancel(reason, stage), ctx);
             } else {
+                let was_clean = !(st.resilience.failed || st.resilience.degraded);
                 ctx.clocks.start(t);
+                let started = Instant::now();
                 let caught = catch_unwind(AssertUnwindSafe(|| {
                     execute(stage, &mut st, conn, token, ctx, inf)
                 }));
+                let service = started.elapsed();
                 ctx.clocks.finish(t);
                 match caught {
                     Ok(Ok(())) => {}
@@ -511,7 +777,10 @@ fn run_stage(
                         let reason = token.reason().unwrap_or(CancelReason::StageTimeout);
                         record_hazard(&mut st, hazard_from_cancel(reason, stage), ctx);
                     }
-                    Ok(Err(e)) => st.error = Some(e),
+                    Ok(Err(e)) => {
+                        st.error = Some(e);
+                        ctx.batch_error.store(true, Ordering::SeqCst);
+                    }
                     Err(payload) => record_hazard(
                         &mut st,
                         TableOutcome::Panicked {
@@ -521,19 +790,37 @@ fn run_stage(
                         ctx,
                     ),
                 }
+                // Feed the AIMD governor: a stage that newly burned its
+                // fault budget (or panicked / timed out) cuts the
+                // limits, a clean one grows them.
+                if let Some(ctrl) = &ctx.controller {
+                    let failed = st.error.is_some()
+                        || (was_clean && (st.resilience.failed || st.resilience.degraded))
+                        || matches!(
+                            st.outcome,
+                            Some(TableOutcome::Panicked { .. } | TableOutcome::TimedOut { .. })
+                        );
+                    let is_p2 = matches!(stage, StageKind::P2Prep | StageKind::P2Infer);
+                    ctrl.observe_stage(service, failed, is_p2, Instant::now());
+                }
             }
         }
     }
     let done = state.1.fetch_add(1, Ordering::SeqCst) + 1;
     if done == StageKind::ORDER.len() {
-        finalize_table(state, ctx);
+        finalize_table(t, state, ctx);
     }
 }
 
 /// Runs once per table, after its last stage slot: settles the final
-/// outcome, fills in fallback verdicts for hazard tables, journals final
-/// outcomes, and triggers the simulated halt when configured.
-fn finalize_table(state: &Shared, ctx: &BatchCtx) {
+/// outcome, fills in fallback verdicts for hazard and shed tables,
+/// stamps the end-to-end latency, returns the table's in-flight slot to
+/// the overload controller, journals final outcomes, and triggers the
+/// simulated halt when configured.
+fn finalize_table(t: usize, state: &Shared, ctx: &BatchCtx) {
+    if let Some(dls) = &ctx.deadlines {
+        dls.clear(t);
+    }
     let mut st = state.0.lock();
     if st.error.is_some() {
         return; // the batch is failing; nothing to journal
@@ -553,13 +840,20 @@ fn finalize_table(state: &Shared, ctx: &BatchCtx) {
         }
     };
     if st.finals.is_none() {
-        // Hazard path: a panicked or timed-out table keeps its P1
-        // verdicts when Phase 1 completed, otherwise empty sets; a
+        // Hazard path: a panicked, timed-out, or shed table keeps its
+        // P1 verdicts when Phase 1 completed, otherwise empty sets; a
         // cancelled table reports empty sets (resume re-runs it).
         st.finals = Some(match (&outcome, st.infer1.as_ref()) {
             (TableOutcome::Cancelled, _) | (_, None) => Vec::new(),
-            (_, Some(i1)) => i1.admitted.clone(),
+            (_, Some(i1)) => shed_finals(i1),
         });
+    }
+    st.latency = st.admitted_at.unwrap_or(ctx.batch_start).elapsed();
+    if let (Some(ctrl), Some(adm)) = (&ctx.controller, st.admission) {
+        // Only a cleanly completed table counts as a successful
+        // brownout probe: P2 ran end-to-end without shedding.
+        let ok = matches!(outcome, TableOutcome::Completed);
+        ctrl.complete(adm.probe, ok, Instant::now());
     }
     if !outcome.is_final() {
         return;
@@ -571,9 +865,11 @@ fn finalize_table(state: &Shared, ctx: &BatchCtx) {
             admitted: st.finals.clone().unwrap_or_default(),
             uncertain_columns: st.infer1.as_ref().map_or(0, |i| i.uncertain.len()),
             resilience: st.resilience,
+            latency: st.latency,
         };
         if let Err(e) = journal.lock().append(&record) {
             st.error = Some(e);
+            ctx.batch_error.store(true, Ordering::SeqCst);
             return;
         }
     }

@@ -35,6 +35,10 @@ pub struct JournalRecord {
     pub uncertain_columns: usize,
     /// Fault-handling telemetry for the table.
     pub resilience: ResilienceSummary,
+    /// End-to-end latency of the table when it first ran. Records
+    /// written before latency tracking existed deserialize to zero.
+    #[serde(default)]
+    pub latency: std::time::Duration,
 }
 
 impl JournalRecord {
@@ -46,6 +50,7 @@ impl JournalRecord {
             uncertain_columns: self.uncertain_columns,
             outcome: self.outcome,
             resilience: self.resilience,
+            latency: self.latency,
         }
     }
 }
@@ -176,6 +181,7 @@ mod tests {
             admitted: vec![LabelSet::from_iter([TypeId(1), TypeId(3)]), LabelSet::empty()],
             uncertain_columns: 1,
             resilience: ResilienceSummary { attempts: 2, ..Default::default() },
+            latency: std::time::Duration::from_millis(3),
         }
     }
 
@@ -268,5 +274,14 @@ mod tests {
         assert_eq!(tr.uncertain_columns, 1);
         assert_eq!(tr.outcome, TableOutcome::Degraded);
         assert_eq!(tr.resilience, r.resilience);
+        assert_eq!(tr.latency, std::time::Duration::from_millis(3));
+    }
+
+    #[test]
+    fn pre_latency_records_deserialize_with_zero_latency() {
+        let mut v = serde_json::to_value(record(0, TableOutcome::Completed)).unwrap();
+        v.as_object_mut().unwrap().remove("latency");
+        let r: JournalRecord = serde_json::from_value(v).unwrap();
+        assert_eq!(r.latency, std::time::Duration::ZERO);
     }
 }

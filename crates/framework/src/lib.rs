@@ -33,6 +33,10 @@
 //!   append-only records of each table's final verdicts, replayed by
 //!   [`engine::TasteEngine::resume`] to skip finished tables after a
 //!   crash.
+//! * [`overload`] — overload control: bounded admission with a
+//!   [`overload::LoadController`], CoDel-style queue-latency detection,
+//!   deadline-aware P2 load shedding, AIMD-tuned concurrency and
+//!   connection budgets, and a probing brownout mode.
 
 #![warn(missing_docs)]
 
@@ -41,6 +45,7 @@ pub mod custom_types;
 pub mod config;
 pub mod engine;
 pub mod journal;
+pub mod overload;
 pub mod report;
 pub mod retry;
 pub mod rules;
@@ -50,6 +55,7 @@ pub mod watchdog;
 pub use config::{ExecBackend, ExecutionConfig, HardeningConfig, TasteConfig};
 pub use engine::TasteEngine;
 pub use journal::{JournalRecord, JournalReplay, JournalWriter};
-pub use report::{evaluate_report, DetectionReport, ResilienceSummary, TableResult};
+pub use overload::{Admission, LoadController, OverloadConfig};
+pub use report::{evaluate_report, DetectionReport, OverloadSummary, ResilienceSummary, TableResult};
 pub use retry::{BreakerState, CircuitBreaker, RetryConfig};
 pub use watchdog::{CancelReason, CancelToken};

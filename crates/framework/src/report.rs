@@ -3,6 +3,7 @@
 use crate::retry::RetryStats;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+use taste_core::histogram::Histogram;
 use taste_core::{EvalAccumulator, EvalScores, LabelSet, TableId, TableOutcome};
 use taste_db::LedgerSnapshot;
 
@@ -54,6 +55,49 @@ pub struct TableResult {
     /// Fault-handling telemetry (all zeros on a clean run).
     #[serde(default)]
     pub resilience: ResilienceSummary,
+    /// End-to-end latency of this table from batch start (or admission,
+    /// under overload control) to its final outcome. Zero for tables
+    /// that never ran (rejected / replayed from a journal without a
+    /// recorded latency).
+    #[serde(default)]
+    pub latency: Duration,
+}
+
+/// What the overload controller did during one batch: admission
+/// accounting, shedding, brownout transitions, and the final AIMD
+/// limits. All zeros / empty when overload control is disabled.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverloadSummary {
+    /// Whether overload control was enabled for the batch.
+    pub enabled: bool,
+    /// Tables offered to the admission gate.
+    pub submitted: u64,
+    /// Tables admitted into the pipeline.
+    pub admitted: u64,
+    /// Tables rejected at the gate (occupancy bound reached).
+    pub rejected: u64,
+    /// Tables whose P2 work was shed (P1 verdicts stand).
+    pub shed_tables: u64,
+    /// High-water mark of the stage-queue depth.
+    pub queue_peak: u64,
+    /// Distribution of stage time-in-queue (milliseconds), when any
+    /// stages were dispatched.
+    pub queue_wait_hist: Option<Histogram>,
+    /// Times the engine entered brownout mode.
+    pub brownout_entries: u64,
+    /// Chronological brownout transition log
+    /// (`normal->brownout` / `brownout->normal`, with offsets).
+    pub transitions: Vec<String>,
+    /// Additive concurrency increases applied by the AIMD governor.
+    pub aimd_increases: u64,
+    /// Multiplicative concurrency decreases applied by the AIMD governor.
+    pub aimd_decreases: u64,
+    /// Effective TP1 (prep pool) parallelism at batch end.
+    pub final_tp1_limit: u64,
+    /// Effective TP2 (inference pool) parallelism at batch end.
+    pub final_tp2_limit: u64,
+    /// Effective per-database connection budget at batch end.
+    pub final_conn_limit: u64,
 }
 
 /// The outcome of one end-to-end detection batch.
@@ -94,6 +138,9 @@ pub struct DetectionReport {
     /// Latent-cache entries quarantined on restore (checksum failure).
     #[serde(default)]
     pub cache_corrupt_entries: u64,
+    /// Overload-control telemetry (admission, shedding, brownout, AIMD).
+    #[serde(default)]
+    pub overload: OverloadSummary,
 }
 
 impl DetectionReport {
@@ -149,13 +196,42 @@ impl DetectionReport {
     pub fn cancelled_tables(&self) -> usize {
         self.tables.iter().filter(|t| t.outcome == TableOutcome::Cancelled).count()
     }
+
+    /// Tables whose P2 work the overload controller shed: their verdicts
+    /// are the P1 metadata-only verdicts.
+    pub fn shed_tables(&self) -> usize {
+        self.tables.iter().filter(|t| matches!(t.outcome, TableOutcome::Shed { .. })).count()
+    }
+
+    /// Tables refused by the admission gate; they never ran and carry
+    /// empty verdicts (a resumed run re-submits them).
+    pub fn rejected_tables(&self) -> usize {
+        self.tables.iter().filter(|t| t.outcome == TableOutcome::Rejected).count()
+    }
+
+    /// Tables that reached a final outcome within `budget` of their
+    /// admission — the numerator of a goodput-under-deadline metric.
+    pub fn tables_within(&self, budget: Duration) -> usize {
+        self.tables
+            .iter()
+            .filter(|t| t.outcome.is_final() && !t.latency.is_zero() && t.latency <= budget)
+            .count()
+    }
 }
 
 /// Scores a report against ground truth (`truth[table.0][ordinal]`),
 /// producing the micro precision/recall/F1 of Tables 3 and 4.
+///
+/// Tables that never produced verdicts — refused by the admission gate,
+/// cancelled mid-batch, or failed after exhausting their retry budget —
+/// carry empty verdict sets and are skipped here; they are accounted by
+/// the report's outcome counters, not its fidelity scores.
 pub fn evaluate_report(report: &DetectionReport, truth: &[Vec<LabelSet>], ntypes: usize) -> EvalScores {
     let mut acc = EvalAccumulator::new(ntypes);
     for tr in &report.tables {
+        if tr.admitted.is_empty() {
+            continue;
+        }
         let table_truth = &truth[tr.table.0 as usize];
         assert_eq!(
             table_truth.len(),
@@ -189,6 +265,7 @@ mod tests {
                     uncertain_columns: 1,
                     outcome: TableOutcome::Completed,
                     resilience: ResilienceSummary::default(),
+                    latency: Duration::from_millis(2),
                 },
                 TableResult {
                     table: TableId(1),
@@ -196,6 +273,7 @@ mod tests {
                     uncertain_columns: 0,
                     outcome: TableOutcome::Completed,
                     resilience: ResilienceSummary::default(),
+                    latency: Duration::from_millis(4),
                 },
             ],
             wall_time: Duration::from_millis(5),
@@ -209,6 +287,7 @@ mod tests {
             journal_corrupt_records: 0,
             journal_torn_tail: false,
             cache_corrupt_entries: 0,
+            overload: OverloadSummary::default(),
         }
     }
 
@@ -242,6 +321,29 @@ mod tests {
     }
 
     #[test]
+    fn evaluation_skips_verdictless_tables() {
+        let mut r = report();
+        r.tables.push(TableResult {
+            table: TableId(2),
+            admitted: Vec::new(),
+            uncertain_columns: 0,
+            outcome: TableOutcome::Rejected,
+            resilience: ResilienceSummary::default(),
+            latency: Duration::ZERO,
+        });
+        // Table 2's truth has columns, but the rejected table carries no
+        // verdicts: it must not panic the evaluation or move the scores.
+        let truth = vec![
+            vec![ls(&[1]), ls(&[])],
+            vec![ls(&[3])],
+            vec![ls(&[1]), ls(&[2]), ls(&[3])],
+        ];
+        let scores = evaluate_report(&r, &truth, 5);
+        assert!((scores.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((scores.recall - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn resilience_rollups() {
         let mut r = report();
         r.tables[0].resilience = ResilienceSummary {
@@ -270,10 +372,58 @@ mod tests {
             uncertain_columns: 0,
             outcome: TableOutcome::Cancelled,
             resilience: ResilienceSummary::default(),
+            latency: Duration::ZERO,
         });
         assert_eq!(r.panicked_tables(), 1);
         assert_eq!(r.timed_out_tables(), 1);
         assert_eq!(r.cancelled_tables(), 1);
+    }
+
+    #[test]
+    fn overload_rollups_and_latency_goodput() {
+        use taste_core::ShedReason;
+        let mut r = report();
+        r.tables[0].outcome = TableOutcome::Shed { reason: ShedReason::QueuePressure };
+        r.tables.push(TableResult {
+            table: TableId(2),
+            admitted: Vec::new(),
+            uncertain_columns: 0,
+            outcome: TableOutcome::Rejected,
+            resilience: ResilienceSummary::default(),
+            latency: Duration::ZERO,
+        });
+        assert_eq!(r.shed_tables(), 1);
+        assert_eq!(r.rejected_tables(), 1);
+        // Goodput under a 3ms budget: table 0 (2ms, shed but final)
+        // counts; table 1 (4ms) misses; table 2 never ran.
+        assert_eq!(r.tables_within(Duration::from_millis(3)), 1);
+        assert_eq!(r.tables_within(Duration::from_millis(10)), 2);
+    }
+
+    #[test]
+    fn overload_summary_serde_defaults() {
+        // Reports serialized before the overload subsystem deserialize to
+        // the disabled default, and the summary roundtrips.
+        let r = report();
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut().unwrap().remove("overload");
+        let restored: DetectionReport = serde_json::from_value(v).unwrap();
+        assert_eq!(restored.overload, OverloadSummary::default());
+        assert!(!restored.overload.enabled);
+        let s = OverloadSummary {
+            enabled: true,
+            submitted: 10,
+            admitted: 7,
+            rejected: 3,
+            shed_tables: 2,
+            queue_peak: 5,
+            transitions: vec!["normal->brownout @1.0ms".into()],
+            brownout_entries: 1,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: OverloadSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taste_core::rng::{derive_seed, splitmix64};
 use taste_core::{Result, TasteError};
-use taste_db::{Connection, Database};
+use taste_db::{Connection, ConnectionPool, Database, PooledConnection};
 
 /// Retry and circuit-breaker settings for one engine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -329,6 +329,32 @@ pub fn connect_with_retry(db: &Arc<Database>, cfg: &RetryConfig) -> Result<Conne
     }
 }
 
+/// Checks a pooled connection out with the retry policy applied to
+/// acquire timeouts and injected connect faults (both retryable per
+/// [`TasteError::is_retryable`]). Like [`connect_with_retry`], the
+/// breaker is not involved: pool saturation is local backpressure, not a
+/// database fault.
+pub fn acquire_with_retry(pool: &ConnectionPool, cfg: &RetryConfig) -> Result<PooledConnection> {
+    let mut jitter = derive_seed(cfg.jitter_seed, "acquire");
+    let mut prev_backoff = cfg.base_backoff;
+    let mut attempt = 0u32;
+    loop {
+        match pool.get() {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                attempt += 1;
+                if !e.is_retryable() || attempt >= cfg.max_attempts {
+                    return Err(e);
+                }
+                jitter = splitmix64(jitter);
+                let sleep = decorrelated_sleep(cfg, prev_backoff, jitter);
+                prev_backoff = sleep;
+                std::thread::sleep(sleep);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,7 +473,7 @@ mod tests {
         let (res, stats) = run_with_retry(&cfg, &b, &conn, "scan", |c| {
             c.scan_columns(taste_core::TableId(0), &[0], ScanMethod::FirstM { m: 1 })
         });
-        let failure = res.err().expect("must exhaust");
+        let failure = res.expect_err("must exhaust");
         assert!(failure.retryable);
         assert_eq!(stats.attempts, cfg.max_attempts);
         assert_eq!(stats.retries, cfg.max_attempts - 1);
@@ -545,5 +571,27 @@ mod tests {
         // A 100% connect-fault database always exhausts.
         let db = db_with(FaultProfile { connect_fail: 1.0, ..FaultProfile::none() });
         assert!(connect_with_retry(&db, &cfg).is_err());
+    }
+
+    #[test]
+    fn acquire_with_retry_waits_out_a_briefly_saturated_pool() {
+        let db = db_with(FaultProfile::none());
+        let pool = ConnectionPool::new(Arc::clone(&db), 1, Duration::from_millis(5));
+        let cfg = RetryConfig { max_attempts: 50, ..quick_retry() };
+        let held = pool.get().unwrap();
+        let pool2 = pool.clone();
+        let cfg2 = cfg;
+        let waiter = std::thread::spawn(move || acquire_with_retry(&pool2, &cfg2).is_ok());
+        // Release the connection while the waiter is still inside its
+        // retry budget (50 × ≥5ms timeouts ≫ 30ms).
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held);
+        assert!(waiter.join().unwrap(), "retry must absorb the transient saturation");
+        // A pool that never frees up exhausts the budget with a Timeout.
+        let _held = pool.get().unwrap();
+        let err = acquire_with_retry(&pool, &RetryConfig { max_attempts: 2, ..quick_retry() })
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, TasteError::Timeout(_)), "{err:?}");
     }
 }

@@ -124,6 +124,7 @@ impl RuleBaseline {
         let mut results = Vec::with_capacity(tables.len());
         let mut total_columns = 0u64;
         for &tid in tables {
+            let t_table = std::time::Instant::now();
             let columns = conn.fetch_columns_meta(tid)?;
             let ncols = columns.len();
             total_columns += ncols as u64;
@@ -147,6 +148,7 @@ impl RuleBaseline {
                 uncertain_columns: 0,
                 outcome: Default::default(),
                 resilience: Default::default(),
+                latency: t_table.elapsed(),
             });
         }
         Ok(DetectionReport {
@@ -163,6 +165,7 @@ impl RuleBaseline {
             journal_corrupt_records: 0,
             journal_torn_tail: false,
             cache_corrupt_entries: 0,
+            overload: Default::default(),
         })
     }
 }

@@ -31,6 +31,14 @@ pub struct P1Infer {
     pub uncertain: Vec<u16>,
 }
 
+/// The verdicts a table settles on when its P2 work is skipped — by
+/// graceful degradation (scan budget exhausted) or by overload shedding:
+/// the P1 metadata-only admitted sets, for every column. Shared by both
+/// paths so a shed table is byte-identical to a degraded one.
+pub fn shed_finals(infer1: &P1Infer) -> Vec<LabelSet> {
+    infer1.admitted.clone()
+}
+
 /// Output of the Phase 2 data-preparation stage: per chunk, per column,
 /// the scanned content (`Some` exactly for uncertain columns).
 pub struct P2Prep {
@@ -335,7 +343,8 @@ mod tests {
         let prep = prep_phase1(&conn, tid, &cfg).unwrap();
         let token = CancelToken::new();
         token.cancel(CancelReason::StageTimeout);
-        let err = prep_phase2(&conn, tid, &prep, &[0, 1], &cfg, &token).unwrap_err();
+        let err =
+            prep_phase2(&conn, tid, &prep, &[0, 1], &cfg, &token).map(|_| ()).unwrap_err();
         assert!(matches!(err, taste_core::TasteError::Cancelled(_)), "{err:?}");
         // An empty uncertain set short-circuits before the scan and
         // never observes the token.

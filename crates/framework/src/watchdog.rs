@@ -30,6 +30,10 @@ pub enum CancelReason {
     BatchTimeout,
     /// The batch was halted deliberately (crash simulation / shutdown).
     Halted,
+    /// The table blew through its per-table admission deadline (overload
+    /// control): finishing it late is worth less than the capacity it
+    /// would consume.
+    DeadlineExceeded,
 }
 
 const LIVE: u8 = 0;
@@ -40,6 +44,7 @@ impl CancelReason {
             CancelReason::StageTimeout => 1,
             CancelReason::BatchTimeout => 2,
             CancelReason::Halted => 3,
+            CancelReason::DeadlineExceeded => 4,
         }
     }
 
@@ -48,6 +53,7 @@ impl CancelReason {
             1 => Some(CancelReason::StageTimeout),
             2 => Some(CancelReason::BatchTimeout),
             3 => Some(CancelReason::Halted),
+            4 => Some(CancelReason::DeadlineExceeded),
             _ => None,
         }
     }
@@ -126,6 +132,38 @@ impl StageClocks {
     }
 }
 
+/// Per-table absolute completion deadlines stamped at admission by the
+/// overload controller and enforced by the watchdog thread.
+///
+/// A slot stays `None` until its table is admitted (unadmitted tables
+/// have no deadline to miss) and is cleared when the table finishes.
+#[derive(Debug)]
+pub struct TableDeadlines {
+    slots: Vec<Mutex<Option<Instant>>>,
+}
+
+impl TableDeadlines {
+    /// Deadline slots for `n` tables, all unset.
+    pub fn new(n: usize) -> TableDeadlines {
+        TableDeadlines { slots: (0..n).map(|_| Mutex::new(None)).collect() }
+    }
+
+    /// Stamps table `t`'s absolute completion deadline (at admission).
+    pub fn set(&self, t: usize, deadline: Instant) {
+        *self.slots[t].lock() = Some(deadline);
+    }
+
+    /// Clears table `t`'s deadline (the table finished).
+    pub fn clear(&self, t: usize) {
+        *self.slots[t].lock() = None;
+    }
+
+    /// Table `t`'s deadline, if stamped.
+    pub fn get(&self, t: usize) -> Option<Instant> {
+        *self.slots[t].lock()
+    }
+}
+
 /// The monitor thread enforcing stage and batch deadlines.
 ///
 /// Dropping (or [`stop`](Watchdog::stop)-ping) the watchdog joins the
@@ -137,14 +175,17 @@ pub struct Watchdog {
 
 impl Watchdog {
     /// Spawns a watchdog polling `clocks` every `poll`, cancelling a
-    /// table's token after `stage_deadline` of one in-flight stage and
-    /// every token after `batch_deadline` of total batch runtime.
+    /// table's token after `stage_deadline` of one in-flight stage,
+    /// every token after `batch_deadline` of total batch runtime, and —
+    /// when `deadlines` is given — any table past its stamped per-table
+    /// admission deadline ([`CancelReason::DeadlineExceeded`]).
     pub fn spawn(
         stage_deadline: Option<Duration>,
         batch_deadline: Option<Duration>,
         poll: Duration,
         clocks: Arc<StageClocks>,
         tokens: Vec<CancelToken>,
+        deadlines: Option<Arc<TableDeadlines>>,
     ) -> Watchdog {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
@@ -165,6 +206,14 @@ impl Watchdog {
                             if elapsed >= stage_dl {
                                 token.cancel(CancelReason::StageTimeout);
                             }
+                        }
+                    }
+                }
+                if let Some(deadlines) = &deadlines {
+                    let now = Instant::now();
+                    for (t, token) in tokens.iter().enumerate() {
+                        if matches!(deadlines.get(t), Some(d) if now >= d) {
+                            token.cancel(CancelReason::DeadlineExceeded);
                         }
                     }
                 }
@@ -229,6 +278,7 @@ mod tests {
             Duration::from_millis(1),
             Arc::clone(&clocks),
             tokens.clone(),
+            None,
         );
         clocks.start(0); // table 0 wedges; table 1 never starts a stage
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -250,6 +300,7 @@ mod tests {
             Duration::from_millis(1),
             Arc::clone(&clocks),
             tokens.clone(),
+            None,
         );
         let deadline = Instant::now() + Duration::from_secs(5);
         while tokens.iter().any(|t| !t.is_cancelled()) && Instant::now() < deadline {
@@ -273,9 +324,46 @@ mod tests {
             Duration::from_millis(1),
             Arc::clone(&clocks),
             tokens.clone(),
+            None,
         );
         std::thread::sleep(Duration::from_millis(20));
         dog.stop();
         assert!(!tokens[0].is_cancelled());
+    }
+
+    #[test]
+    fn per_table_deadline_cancels_only_the_late_table() {
+        let clocks = Arc::new(StageClocks::new(2));
+        let tokens = vec![CancelToken::new(), CancelToken::new()];
+        let deadlines = Arc::new(TableDeadlines::new(2));
+        // Table 0's deadline is already in the past; table 1 has none.
+        deadlines.set(0, Instant::now() - Duration::from_millis(1));
+        let dog = Watchdog::spawn(
+            None,
+            None,
+            Duration::from_millis(1),
+            Arc::clone(&clocks),
+            tokens.clone(),
+            Some(Arc::clone(&deadlines)),
+        );
+        let wait = Instant::now() + Duration::from_secs(5);
+        while !tokens[0].is_cancelled() && Instant::now() < wait {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        dog.stop();
+        assert_eq!(tokens[0].reason(), Some(CancelReason::DeadlineExceeded));
+        assert!(!tokens[1].is_cancelled(), "deadline-free table must stay live");
+        // A cleared deadline stops mattering.
+        deadlines.clear(0);
+        assert_eq!(deadlines.get(0), None);
+    }
+
+    #[test]
+    fn deadline_reason_roundtrips_through_code() {
+        let token = CancelToken::new();
+        token.cancel(CancelReason::DeadlineExceeded);
+        assert_eq!(token.reason(), Some(CancelReason::DeadlineExceeded));
+        let err = token.check("P2Prep").unwrap_err();
+        assert!(matches!(err, TasteError::Cancelled(_)));
     }
 }

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use taste_core::{
     Cell, ColumnId, ColumnMeta, LabelSet, RawType, Table, TableId, TableMeta, TableOutcome, TypeId,
@@ -45,12 +45,13 @@ fn sample_records(n: usize, salt: u64) -> Vec<JournalRecord> {
                 ],
                 uncertain_columns: i % 2,
                 resilience: ResilienceSummary::default(),
+                latency: std::time::Duration::from_millis(1 + (i as u64 + salt) % 9),
             }
         })
         .collect()
 }
 
-fn write_journal(path: &PathBuf, records: &[JournalRecord]) {
+fn write_journal(path: &Path, records: &[JournalRecord]) {
     let mut w = JournalWriter::create(path).unwrap();
     for r in records {
         w.append(r).unwrap();

@@ -646,7 +646,6 @@ mod tests {
         // The param node's value is the store's matrix itself.
         assert!(std::ptr::eq(s.value(wn), store.value(w)));
         // And it occupies no arena buffer.
-        drop(s);
         assert_eq!(exec.buffer_count(), 0);
     }
 

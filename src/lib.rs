@@ -31,8 +31,8 @@ pub use taste_tokenizer;
 /// The names almost every example and experiment needs.
 pub mod prelude {
     pub use taste_core::{
-        Cell, ColumnId, ColumnMeta, LabelSet, RawType, Result, Table, TableId, TableMeta,
-        TableOutcome, TasteError, TypeId,
+        Cell, ColumnId, ColumnMeta, LabelSet, RawType, Result, ShedReason, Table, TableId,
+        TableMeta, TableOutcome, TasteError, TypeId,
     };
     pub use taste_data::corpus::{Corpus, CorpusSpec};
     pub use taste_data::splits::Split;
@@ -42,7 +42,8 @@ pub mod prelude {
     };
     pub use taste_framework::{
         evaluate_report, DetectionReport, ExecBackend, ExecutionConfig, HardeningConfig,
-        ResilienceSummary, RetryConfig, TasteConfig, TasteEngine,
+        LoadController, OverloadConfig, OverloadSummary, ResilienceSummary, RetryConfig,
+        TasteConfig, TasteEngine,
     };
     pub use taste_model::{Adtd, Inferencer, ModelConfig, TrainConfig};
     pub use taste_tokenizer::{Tokenizer, Vocab, VocabBuilder};
