@@ -1,6 +1,6 @@
 # Convenience targets for the TASTE reproduction workspace.
 
-.PHONY: verify build test clippy crash-resume repro infer-bench overload-sweep
+.PHONY: verify build test clippy crash-resume repro infer-bench overload-sweep kernel-bench
 
 # The one gate every change must pass.
 verify:
@@ -30,3 +30,7 @@ infer-bench:
 # Quick-scale overload sweep (goodput/shedding at 0.5x-4x offered load).
 overload-sweep:
 	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- overload_sweep
+
+# Quick-scale compute-kernel benchmark (GFLOP/s per variant + serving deltas).
+kernel-bench:
+	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- kernel_bench

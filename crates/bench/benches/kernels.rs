@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use taste_nn::kernels::{self, Act, PackedB};
 use taste_nn::Matrix;
 use taste_tokenizer::{Tokenizer, VocabBuilder};
 
@@ -19,6 +20,47 @@ fn bench_matmul(c: &mut Criterion) {
     let q = Matrix::full(128, 16, 0.5);
     let kk = Matrix::full(128, 16, 0.25);
     group.bench_function("scores_matmul_bt_128x128x16", |b| b.iter(|| black_box(q.matmul_bt(&kk))));
+    group.finish();
+}
+
+fn bench_kernel_variants(c: &mut Criterion) {
+    // Encoder-shaped matmul through each serving-path kernel variant:
+    // lane (single-thread), packed panels, packed + fused bias/GELU,
+    // and row-parallel at 4 threads. All are bit-identical; only the
+    // time differs.
+    let (m, k, n) = (64usize, 312usize, 312usize);
+    let a = Matrix::full(m, k, 0.5);
+    let b = Matrix::full(k, n, 0.25);
+    let bias = Matrix::full(1, n, 0.1);
+    let packed = PackedB::pack(&b);
+    let mut out = Matrix::zeros(m, n);
+
+    let mut group = c.benchmark_group("kernel_variants_64x312x312");
+    group.bench_function("lane", |bench| {
+        bench.iter(|| kernels::matmul_into_mt(black_box(&a), black_box(&b), 1, &mut out))
+    });
+    group.bench_function("packed", |bench| {
+        bench.iter(|| kernels::matmul_packed_into(black_box(&a), black_box(&packed), None, Act::Ident, 1, &mut out))
+    });
+    group.bench_function("packed_fused_bias_gelu", |bench| {
+        bench.iter(|| {
+            kernels::matmul_packed_into(black_box(&a), black_box(&packed), Some(&bias), Act::Gelu, 1, &mut out)
+        })
+    });
+    group.bench_function("lane_threads4", |bench| {
+        bench.iter(|| kernels::matmul_into_mt(black_box(&a), black_box(&b), 4, &mut out))
+    });
+
+    // The allocation-free transpose-free forms the tape backward uses.
+    let grad = Matrix::full(m, n, 0.125);
+    let mut da = Matrix::zeros(m, k);
+    let mut db = Matrix::zeros(k, n);
+    group.bench_function("backward_matmul_bt_into", |bench| {
+        bench.iter(|| grad.matmul_bt_into(black_box(&b), &mut da))
+    });
+    group.bench_function("backward_matmul_at_into", |bench| {
+        bench.iter(|| a.matmul_at_into(black_box(&grad), &mut db))
+    });
     group.finish();
 }
 
@@ -45,6 +87,6 @@ fn bench_tokenizer(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_rowwise, bench_tokenizer
+    targets = bench_matmul, bench_kernel_variants, bench_rowwise, bench_tokenizer
 }
 criterion_main!(benches);

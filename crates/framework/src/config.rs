@@ -23,19 +23,48 @@ pub enum ExecBackend {
 }
 
 /// Execution-backend configuration for the serving path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutionConfig {
     /// Backend used by `infer_phase1` / `infer_phase2`.
     pub backend: ExecBackend,
+    /// Row-parallel kernel width inside each worker's tape-free
+    /// executor. `1` (the default) keeps kernels single-threaded; higher
+    /// values split large matmuls across a shared persistent pool.
+    /// Threaded kernels are bit-identical to single-threaded ones, so
+    /// this knob never changes detection results. Ignored by the tape
+    /// backend.
+    #[serde(default = "default_kernel_threads")]
+    pub kernel_threads: usize,
+}
+
+fn default_kernel_threads() -> usize {
+    1
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig { backend: ExecBackend::default(), kernel_threads: default_kernel_threads() }
+    }
 }
 
 impl ExecutionConfig {
     /// Builds a worker-local [`Inferencer`] for the configured backend.
     pub fn inferencer(&self) -> Inferencer {
-        Inferencer::new(match self.backend {
-            ExecBackend::TapeFree => ExecMode::TapeFree,
-            ExecBackend::Tape => ExecMode::Taped,
-        })
+        Inferencer::with_kernel_threads(
+            match self.backend {
+                ExecBackend::TapeFree => ExecMode::TapeFree,
+                ExecBackend::Tape => ExecMode::Taped,
+            },
+            self.kernel_threads,
+        )
+    }
+
+    /// Validates the execution invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.kernel_threads == 0 {
+            return Err(TasteError::invalid("kernel_threads must be positive (1 = single-threaded)"));
+        }
+        Ok(())
     }
 }
 
@@ -226,6 +255,7 @@ impl TasteConfig {
         }
         self.retry.validate()?;
         self.hardening.validate()?;
+        self.execution.validate()?;
         self.overload.validate()?;
         Ok(())
     }
@@ -336,7 +366,7 @@ mod tests {
         let c = TasteConfig::default();
         assert_eq!(c.execution.backend, ExecBackend::TapeFree);
         assert_eq!(c.execution.inferencer().mode(), ExecMode::TapeFree);
-        let ab = ExecutionConfig { backend: ExecBackend::Tape };
+        let ab = ExecutionConfig { backend: ExecBackend::Tape, ..Default::default() };
         assert_eq!(ab.inferencer().mode(), ExecMode::Taped);
         // Configs serialized before the backend split deserialize to the
         // tape-free default.
@@ -346,6 +376,32 @@ mod tests {
         let restored: TasteConfig =
             serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
         assert_eq!(restored.execution.backend, ExecBackend::TapeFree);
+    }
+
+    #[test]
+    fn kernel_threads_default_plumb_and_validate() {
+        let c = TasteConfig::default();
+        assert_eq!(c.execution.kernel_threads, 1);
+        assert_eq!(c.execution.inferencer().kernel_threads(), 1);
+        let wide = ExecutionConfig { kernel_threads: 4, ..Default::default() };
+        assert_eq!(wide.inferencer().kernel_threads(), 4);
+        assert!(wide.validate().is_ok());
+        // Zero is rejected both directly and through TasteConfig.
+        let zero = ExecutionConfig { kernel_threads: 0, ..Default::default() };
+        assert!(zero.validate().is_err());
+        let cfg = TasteConfig { execution: zero, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        // Configs serialized before the kernel layer existed (no
+        // `kernel_threads` key) deserialize to the single-threaded
+        // default.
+        let legacy = serde_json::to_value(TasteConfig::default()).unwrap();
+        let mut obj = legacy.as_object().unwrap().clone();
+        let mut exec = obj["execution"].as_object().unwrap().clone();
+        exec.remove("kernel_threads");
+        obj.insert("execution".into(), serde_json::Value::Object(exec));
+        let restored: TasteConfig =
+            serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
+        assert_eq!(restored.execution.kernel_threads, 1);
     }
 
     #[test]

@@ -1101,7 +1101,7 @@ mod tests {
                 ..Default::default()
             };
             let taped_cfg = TasteConfig {
-                execution: ExecutionConfig { backend: ExecBackend::Tape },
+                execution: ExecutionConfig { backend: ExecBackend::Tape, ..Default::default() },
                 ..base
             };
             let free = engine(base).detect_batch(&db, &ids).unwrap();

@@ -26,7 +26,7 @@ use crate::prepare::{ModelInput, TableChunk};
 use rand::rngs::StdRng;
 use taste_nn::losses::AutomaticWeightedLoss;
 use taste_nn::modules::{dropout_mask, Linear};
-use taste_nn::{Forward, InferExec, Matrix, NodeId, ParamStore, Tape};
+use taste_nn::{Act, Forward, InferExec, Matrix, NodeId, ParamStore, Tape};
 use taste_tokenizer::{ColumnContent, PackedContent, PackedMeta, Packer, Tokenizer};
 
 /// Alias: the output of a metadata-tower pass is exactly what the latent
@@ -50,9 +50,8 @@ impl Head {
     }
 
     pub(crate) fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
-        let h = self.l1.forward(ex, store, x);
-        let a = ex.relu(h);
-        self.l2.forward(ex, store, a)
+        let h = self.l1.forward_act(ex, store, x, Act::Relu);
+        self.l2.forward(ex, store, h)
     }
 
     /// The two affine layers `(hidden, output)` of the head.

@@ -37,6 +37,27 @@ impl Inferencer {
         Inferencer { mode, exec: InferExec::new() }
     }
 
+    /// [`Inferencer::new`] with a row-parallel kernel width for the
+    /// tape-free backend (clamped to at least 1). Threaded kernels are
+    /// bit-identical to single-threaded ones, so this only changes speed.
+    pub fn with_kernel_threads(mode: ExecMode, threads: usize) -> Inferencer {
+        let mut inf = Inferencer::new(mode);
+        inf.set_kernel_threads(threads);
+        inf
+    }
+
+    /// Re-targets the tape-free backend's row-parallel kernel width.
+    /// [`ExecMode::Taped`] ignores this — the tape always runs the
+    /// single-threaded reference kernels (which produce identical bytes).
+    pub fn set_kernel_threads(&mut self, threads: usize) {
+        self.exec.set_kernel_threads(threads);
+    }
+
+    /// The kernel width the tape-free backend would use (always ≥ 1).
+    pub fn kernel_threads(&self) -> usize {
+        self.exec.kernel_threads()
+    }
+
     /// The backend this inferencer dispatches to.
     pub fn mode(&self) -> ExecMode {
         self.mode
@@ -132,6 +153,32 @@ mod tests {
         assert_eq!(
             free.predict_content(&m, &enc_f, &contents, &c.nonmeta),
             taped.predict_content(&m, &enc_t, &contents, &c.nonmeta)
+        );
+    }
+
+    #[test]
+    fn kernel_threads_do_not_change_predictions() {
+        // The row-parallel partition assigns whole rows to fixed threads,
+        // so any thread count yields byte-identical probabilities.
+        let m = model();
+        let c = chunk(3);
+        let contents = vec![Some(ColumnContent { cells: vec!["phone".into()] }), None, None];
+
+        let mut one = Inferencer::with_kernel_threads(ExecMode::TapeFree, 1);
+        let mut four = Inferencer::with_kernel_threads(ExecMode::TapeFree, 4);
+        assert_eq!(one.kernel_threads(), 1);
+        assert_eq!(four.kernel_threads(), 4);
+
+        let enc1 = one.encode_meta(&m, &c);
+        let enc4 = four.encode_meta(&m, &c);
+        assert_eq!(enc1.layer_latents, enc4.layer_latents);
+        assert_eq!(
+            one.predict_meta(&m, &enc1, &c.nonmeta),
+            four.predict_meta(&m, &enc4, &c.nonmeta)
+        );
+        assert_eq!(
+            one.predict_content(&m, &enc1, &contents, &c.nonmeta),
+            four.predict_content(&m, &enc4, &contents, &c.nonmeta)
         );
     }
 

@@ -21,14 +21,30 @@
 //!   sessions, so a warmed executor performs no allocation at all on
 //!   steady-state prediction calls.
 //!
-//! Both backends run the *same* numeric kernels ([`Matrix::matmul_into`],
-//! the in-place softmax/layer-norm routines, shared activation scalars),
-//! so their forward values are bit-identical — the parity tests assert a
-//! 1e-5 tolerance but in practice observe exact equality.
+//! Both backends run the *same* numeric kernels (the lane-vectorized
+//! matmuls and shared row kernels in [`crate::kernels`], shared
+//! activation scalars), so their forward values are bit-identical — the
+//! parity tests assert a 1e-5 tolerance but in practice observe exact
+//! equality.
+//!
+//! On top of the shared op set, [`Forward`] exposes *fused* composites
+//! (`linear`, `linear_act`, `softmax_rows_scaled`, `layer_norm_affine`,
+//! `matmul_bt`) with default implementations built from the primitives:
+//! the tape keeps recording the exact op sequence it always did, while
+//! [`ExecSession`] overrides them with single-pass kernels constructed to
+//! be bit-identical to the composed form. The serving executor also packs
+//! static weight matrices into SIMD-friendly column panels once and
+//! caches them per [`ParamId`] (validated against the store's
+//! `(uid, version)`, so online weight updates repack automatically), and
+//! can run its matmuls row-parallel on [`crate::pool::KernelPool`] when
+//! `kernel_threads > 1` — with results provably independent of the thread
+//! count.
 
+use crate::kernels::{self, Act, PackedB};
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{gelu_f, sigmoid_f, NodeId, Tape};
+use std::collections::HashMap;
 
 /// The forward op set shared by the training ([`Tape`]) and serving
 /// ([`InferExec`]) backends.
@@ -142,6 +158,75 @@ pub trait Forward {
         }
         acc.expect("non-empty indices")
     }
+
+    // ---- fused composites --------------------------------------------
+    //
+    // Defaults compose the primitives above, so the tape records the
+    // exact op sequence it always did (and stays differentiable). The
+    // serving backend overrides them with single-pass kernels that are
+    // bit-identical to the composed form.
+
+    /// Applies an [`Act`] activation elementwise ([`Act::Ident`] is the
+    /// identity and returns `x` itself).
+    fn activation(&mut self, x: NodeId, act: Act) -> NodeId {
+        match act {
+            Act::Ident => x,
+            Act::Relu => self.relu(x),
+            Act::Gelu => self.gelu(x),
+            Act::Sigmoid => self.sigmoid(x),
+            Act::Tanh => self.tanh(x),
+        }
+    }
+
+    /// Affine map `x @ W + b` with `W`, `b` trainable parameters.
+    fn linear(&mut self, store: &ParamStore, x: NodeId, w: ParamId, b: ParamId) -> NodeId {
+        let wn = self.param(store, w);
+        let bn = self.param(store, b);
+        let y = self.matmul(x, wn);
+        self.add_row(y, bn)
+    }
+
+    /// `act(x @ W + b)` — the full dense-layer forward in one call.
+    fn linear_act(
+        &mut self,
+        store: &ParamStore,
+        x: NodeId,
+        w: ParamId,
+        b: ParamId,
+        act: Act,
+    ) -> NodeId {
+        let y = self.linear(store, x, w, b);
+        self.activation(y, act)
+    }
+
+    /// `a @ b^T` — the attention-score product. The default materializes
+    /// the transpose; the serving backend runs a transpose-free kernel.
+    fn matmul_bt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let bt = self.transpose(b);
+        self.matmul(a, bt)
+    }
+
+    /// `softmax_rows(alpha * x)` — scaled attention scores.
+    fn softmax_rows_scaled(&mut self, x: NodeId, alpha: f32) -> NodeId {
+        let s = self.scale(x, alpha);
+        self.softmax_rows(s)
+    }
+
+    /// `layer_norm(x) * gain + bias` — the full LayerNorm module forward.
+    fn layer_norm_affine(
+        &mut self,
+        store: &ParamStore,
+        x: NodeId,
+        gain: ParamId,
+        bias: ParamId,
+        eps: f32,
+    ) -> NodeId {
+        let normed = self.layer_norm_rows(x, eps);
+        let g = self.param(store, gain);
+        let b = self.param(store, bias);
+        let scaled = self.mul_row(normed, g);
+        self.add_row(scaled, b)
+    }
 }
 
 /// Stacks row slices into a dense matrix.
@@ -254,18 +339,33 @@ enum Slot {
     Param(ParamId),
 }
 
+/// A packed weight with the store identity/version it was packed from.
+struct PackedEntry {
+    store_uid: u64,
+    version: u64,
+    panels: PackedB,
+}
+
 /// The tape-free serving executor: an arena of scratch [`Matrix`] buffers
 /// recycled across calls.
 ///
 /// An `InferExec` is cheap to create but meant to be long-lived — one per
 /// worker thread — because its buffers persist across
 /// [`InferExec::session`] calls: the first prediction sizes the arena and
-/// every subsequent same-shaped prediction runs allocation-free.
+/// every subsequent same-shaped prediction runs allocation-free. Weight
+/// matrices used as matmul right-hand sides are additionally packed into
+/// SIMD column panels once per worker and cached across sessions (serving
+/// weights are static); the cache is validated against the parameter
+/// store's `(uid, version)`, so swapping stores or updating weights
+/// online repacks lazily instead of serving stale panels.
 #[derive(Default)]
 pub struct InferExec {
     bufs: Vec<Matrix>,
     slots: Vec<Slot>,
     live: usize,
+    /// Kernel thread count (0 is treated as 1 so `Default` stays derived).
+    threads: usize,
+    packed: HashMap<ParamId, PackedEntry>,
 }
 
 impl InferExec {
@@ -274,8 +374,32 @@ impl InferExec {
         InferExec::default()
     }
 
+    /// An empty executor whose matmuls may use up to `threads` threads.
+    pub fn with_kernel_threads(threads: usize) -> InferExec {
+        let mut exec = InferExec::default();
+        exec.set_kernel_threads(threads);
+        exec
+    }
+
+    /// Sets the matmul thread budget (clamped to at least 1). Results are
+    /// bit-identical for every setting; this only trades latency.
+    pub fn set_kernel_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The effective matmul thread budget.
+    pub fn kernel_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Number of weight matrices currently held in packed form.
+    pub fn packed_weight_count(&self) -> usize {
+        self.packed.len()
+    }
+
     /// Starts a forward session over `store`. All buffers from previous
-    /// sessions become recyclable; their contents are dead.
+    /// sessions become recyclable; their contents are dead. Packed
+    /// weights persist (and are revalidated lazily against `store`).
     pub fn session<'s>(&'s mut self, store: &'s ParamStore) -> ExecSession<'s> {
         self.live = 0;
         self.slots.clear();
@@ -297,6 +421,24 @@ impl InferExec {
         }
         self.live += 1;
         idx
+    }
+
+    /// Guarantees a current packed copy of `pid`'s value. The version
+    /// check is store-wide (any parameter mutation bumps it), which is
+    /// conservative: after an online update every weight repacks on next
+    /// use — correct, and negligible next to the update itself.
+    fn ensure_packed(&mut self, store: &ParamStore, pid: ParamId) {
+        let (uid, version) = (store.uid(), store.version());
+        let fresh = matches!(
+            self.packed.get(&pid),
+            Some(e) if e.store_uid == uid && e.version == version
+        );
+        if !fresh {
+            self.packed.insert(
+                pid,
+                PackedEntry { store_uid: uid, version, panels: PackedB::pack(store.value(pid)) },
+            );
+        }
     }
 }
 
@@ -392,7 +534,19 @@ impl Forward for ExecSession<'_> {
     fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let rows = self.get(a).rows();
         let cols = self.get(b).cols();
-        self.compute(rows, cols, |s, out| s.get(a).matmul_into(s.get(b), out))
+        let threads = self.exec.kernel_threads();
+        // A parameter right-hand side is a static serving weight: run the
+        // packed-panel kernel against the cached pack.
+        if let Slot::Param(pid) = self.exec.slots[b.index()] {
+            self.exec.ensure_packed(self.store, pid);
+            return self.compute(rows, cols, |s, out| {
+                let pb = &s.exec.packed[&pid].panels;
+                kernels::matmul_packed_into(s.get(a), pb, None, Act::Ident, threads, out)
+            });
+        }
+        self.compute(rows, cols, |s, out| {
+            kernels::matmul_into_mt(s.get(a), s.get(b), threads, out)
+        })
     }
 
     fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
@@ -578,6 +732,76 @@ impl Forward for ExecSession<'_> {
             }
         })
     }
+
+    // ---- fused overrides: one pass, bit-identical to the defaults ----
+
+    fn linear(&mut self, store: &ParamStore, x: NodeId, w: ParamId, b: ParamId) -> NodeId {
+        self.linear_act(store, x, w, b, Act::Ident)
+    }
+
+    fn linear_act(
+        &mut self,
+        store: &ParamStore,
+        x: NodeId,
+        w: ParamId,
+        b: ParamId,
+        act: Act,
+    ) -> NodeId {
+        debug_assert!(
+            std::ptr::eq(store, self.store),
+            "linear_act() must use the session's store"
+        );
+        let _ = store;
+        let rows = self.get(x).rows();
+        let cols = self.store.value(w).cols();
+        let threads = self.exec.kernel_threads();
+        self.exec.ensure_packed(self.store, w);
+        self.compute(rows, cols, |s, out| {
+            let pb = &s.exec.packed[&w].panels;
+            kernels::matmul_packed_into(s.get(x), pb, Some(s.store.value(b)), act, threads, out)
+        })
+    }
+
+    fn matmul_bt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let rows = self.get(a).rows();
+        let cols = self.get(b).rows();
+        let threads = self.exec.kernel_threads();
+        self.compute(rows, cols, |s, out| {
+            kernels::matmul_bt_into_mt(s.get(a), s.get(b), threads, out)
+        })
+    }
+
+    fn softmax_rows_scaled(&mut self, x: NodeId, alpha: f32) -> NodeId {
+        let (rows, cols) = self.get(x).shape();
+        self.compute(rows, cols, |s, out| {
+            kernels::softmax_rows_scaled_into(s.get(x), alpha, out)
+        })
+    }
+
+    fn layer_norm_affine(
+        &mut self,
+        store: &ParamStore,
+        x: NodeId,
+        gain: ParamId,
+        bias: ParamId,
+        eps: f32,
+    ) -> NodeId {
+        debug_assert!(
+            std::ptr::eq(store, self.store),
+            "layer_norm_affine() must use the session's store"
+        );
+        let _ = store;
+        let (rows, cols) = self.get(x).shape();
+        self.compute(rows, cols, |s, out| {
+            kernels::layer_norm_affine_into(
+                s.get(x),
+                s.store.value(gain),
+                s.store.value(bias),
+                eps,
+                out,
+            )
+        })
+    }
 }
 
 #[cfg(test)]
@@ -647,6 +871,71 @@ mod tests {
         assert!(std::ptr::eq(s.value(wn), store.value(w)));
         // And it occupies no arena buffer.
         assert_eq!(exec.buffer_count(), 0);
+    }
+
+    #[test]
+    fn fused_composites_match_tape_defaults_exactly() {
+        let mut store = store_with(21);
+        let w = store.normal("w", 6, 5, 0.4);
+        let b = store.normal("b", 1, 5, 0.2);
+        let g = store.constant("g", 1, 6, 1.1);
+        let bb = store.constant("gb", 1, 6, -0.3);
+        let x = Matrix::from_vec(3, 6, (0..18).map(|i| (i as f32 * 0.31).sin()).collect());
+        let y = Matrix::from_vec(4, 6, (0..24).map(|i| (i as f32 * 0.17).cos()).collect());
+
+        // Tape runs the *default* composed implementations.
+        let mut tape = Tape::new();
+        let xt = Forward::leaf_copy(&mut tape, &x);
+        let yt = Forward::leaf_copy(&mut tape, &y);
+        let lin = Forward::linear_act(&mut tape, &store, xt, w, b, Act::Gelu);
+        let bt = Forward::matmul_bt(&mut tape, xt, yt);
+        let sm = Forward::softmax_rows_scaled(&mut tape, bt, 0.125);
+        let ln = Forward::layer_norm_affine(&mut tape, &store, xt, g, bb, 1e-5);
+        let want_lin = Forward::value(&tape, lin).clone();
+        let want_sm = Forward::value(&tape, sm).clone();
+        let want_ln = Forward::value(&tape, ln).clone();
+
+        // The session runs the fused kernels, at several thread counts.
+        for threads in [1, 2, 4] {
+            let mut exec = InferExec::with_kernel_threads(threads);
+            let mut s = exec.session(&store);
+            let xs = s.leaf_copy(&x);
+            let ys = s.leaf_copy(&y);
+            let lin_s = s.linear_act(&store, xs, w, b, Act::Gelu);
+            let bt_s = s.matmul_bt(xs, ys);
+            let sm_s = s.softmax_rows_scaled(bt_s, 0.125);
+            let ln_s = s.layer_norm_affine(&store, xs, g, bb, 1e-5);
+            assert_eq!(s.value(lin_s), &want_lin, "linear_act threads={threads}");
+            assert_eq!(s.value(sm_s), &want_sm, "softmax_scaled threads={threads}");
+            assert_eq!(s.value(ln_s), &want_ln, "layer_norm_affine threads={threads}");
+        }
+    }
+
+    #[test]
+    fn packed_weights_are_cached_and_invalidate_on_mutation() {
+        let mut store = store_with(5);
+        let w = store.normal("w", 8, 8, 0.3);
+        let x = Matrix::full(2, 8, 0.5);
+        let mut exec = InferExec::new();
+
+        let run = |exec: &mut InferExec, store: &ParamStore| {
+            let mut s = exec.session(store);
+            let xs = s.leaf_copy(&x);
+            let ws = s.param(store, w);
+            let ys = s.matmul(xs, ws);
+            s.value(ys).clone()
+        };
+
+        let before = run(&mut exec, &store);
+        assert_eq!(exec.packed_weight_count(), 1, "weight packed on first use");
+        assert_eq!(run(&mut exec, &store), before, "cached pack reused");
+        assert_eq!(exec.packed_weight_count(), 1);
+
+        // Mutating the weight must invalidate the pack.
+        store.value_mut(w).as_mut_slice()[0] += 1.0;
+        let after = run(&mut exec, &store);
+        assert_ne!(after, before, "stale pack served after weight update");
+        assert_eq!(after, x.matmul(store.value(w)), "repacked to current value");
     }
 
     #[test]

@@ -1,0 +1,701 @@
+//! Lane-vectorized, optionally row-parallel compute kernels, plus
+//! packed-weight layouts and the fused row kernels used by the serving
+//! executor.
+//!
+//! # The bit-identity contract
+//!
+//! Every kernel in this module preserves one invariant: **each output
+//! element accumulates its inner products with a single accumulator in
+//! ascending-`k` order**. Vectorization happens only *across independent
+//! output lanes* (8 output columns at a time, each with its own
+//! accumulator), never across the reduction dimension — so no partial
+//! sums are ever reassociated and the result is bit-identical to the
+//! naive scalar loop, to the pre-existing k-blocked kernel, and to every
+//! other variant here (packed or unpacked, fused or composed, 1 thread
+//! or N). That is what lets training (tape) and serving (tape-free,
+//! packed, multicore) share numerics exactly; the kernel-parity
+//! proptests assert equality down to the byte.
+//!
+//! Row-parallel drivers split the output rows into contiguous per-thread
+//! ranges on the persistent [`KernelPool`]; a row is always computed
+//! entirely by one thread, so thread count cannot affect values.
+//!
+//! # Why lanes beat the old kernel
+//!
+//! The previous k-blocked loop carried a per-element `a == 0.0` branch
+//! (a leftover sparse-input optimization) that defeated autovectorization
+//! on the dense panels every encoder matmul feeds it. The lane kernels
+//! are branch-free with fixed-width `[f32; 8]` accumulators, which LLVM
+//! lowers to SIMD adds/multiplies on any x86-64 / aarch64 baseline, and
+//! the transpose-free [`matmul_bt_into`] runs 8 independent dot-product
+//! chains per output row where the old code ran one latency-bound chain.
+
+use crate::matrix::Matrix;
+use crate::pool::KernelPool;
+use crate::tape::{gelu_f, sigmoid_f};
+
+/// Output-lane width of the vectorized kernels. Accumulators are
+/// `[f32; LANES]` blocks that LLVM keeps in vector registers.
+pub const LANES: usize = 8;
+
+/// Below this many multiply-adds (`2·m·k·n`), a matmul is dispatched
+/// single-threaded regardless of the configured thread count — the
+/// dispatch latency would exceed the kernel time.
+pub const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Elementwise activation applied by the fused linear kernels. The
+/// scalar functions are the exact ones the composed ops use, so fusing
+/// changes no values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Act {
+    /// No activation.
+    #[default]
+    Ident,
+    /// Rectified linear unit.
+    Relu,
+    /// GELU (tanh approximation, as BERT uses).
+    Gelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Act {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Act::Ident => v,
+            Act::Relu => v.max(0.0),
+            Act::Gelu => gelu_f(v),
+            Act::Sigmoid => sigmoid_f(v),
+            Act::Tanh => v.tanh(),
+        }
+    }
+}
+
+/// A raw pointer to an output matrix that worker threads write disjoint
+/// rows of. Safe to share because every parallel driver hands each
+/// thread a disjoint row range and waits for all threads before the
+/// borrow ends.
+#[derive(Clone, Copy)]
+struct RowsOut {
+    ptr: *mut f32,
+    cols: usize,
+}
+
+unsafe impl Send for RowsOut {}
+unsafe impl Sync for RowsOut {}
+
+impl RowsOut {
+    fn new(m: &mut Matrix) -> RowsOut {
+        RowsOut { ptr: m.as_mut_slice().as_mut_ptr(), cols: m.cols() }
+    }
+
+    /// # Safety
+    /// `r` must be in range and no other thread may hold this row.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row(&self, r: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.ptr.add(r * self.cols), self.cols)
+    }
+}
+
+fn effective_threads(threads: usize, rows: usize, flops: usize) -> usize {
+    if threads <= 1 || rows < 2 || flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        threads.min(rows)
+    }
+}
+
+fn run_row_ranges(threads: usize, rows: usize, flops: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    let t = effective_threads(threads, rows, flops);
+    if t <= 1 {
+        f(0, rows);
+    } else {
+        KernelPool::global().run_rows(t, rows, f);
+    }
+}
+
+// ---- plain matmul (out = A @ B) --------------------------------------------
+
+/// Lane kernel over a row range: `out[r0..r1] = A[r0..r1] @ B`.
+/// Panel-outer, row-inner: the `[k, 8]` column panel of `B` stays hot in
+/// cache across all rows of the range.
+fn matmul_rows(a: &Matrix, b: &Matrix, out: RowsOut, r0: usize, r1: usize) {
+    let n = b.cols();
+    if n == 0 {
+        return;
+    }
+    let bd = b.as_slice();
+    let mut j0 = 0;
+    // Lane pairs first: 16 output columns per pass with two independent
+    // accumulator arrays, doubling instruction-level parallelism over a
+    // single 8-wide chain. Each column still owns one accumulator
+    // summing in ascending-`k` order, so pairing changes nothing
+    // bitwise.
+    while j0 + 2 * LANES <= n {
+        for i in r0..r1 {
+            let a_row = a.row_slice(i);
+            let mut acc0 = [0.0f32; LANES];
+            let mut acc1 = [0.0f32; LANES];
+            for (&av, brow) in a_row.iter().zip(bd.chunks_exact(n)) {
+                let b0: &[f32; LANES] = brow[j0..j0 + LANES].try_into().expect("lane width");
+                let b1: &[f32; LANES] = brow[j0 + LANES..j0 + 2 * LANES].try_into().expect("lane width");
+                for (o, &bv) in acc0.iter_mut().zip(b0) {
+                    *o += av * bv;
+                }
+                for (o, &bv) in acc1.iter_mut().zip(b1) {
+                    *o += av * bv;
+                }
+            }
+            // SAFETY: rows in [r0, r1) belong exclusively to this call.
+            let dst = unsafe { out.row(i) };
+            dst[j0..j0 + LANES].copy_from_slice(&acc0);
+            dst[j0 + LANES..j0 + 2 * LANES].copy_from_slice(&acc1);
+        }
+        j0 += 2 * LANES;
+    }
+    while j0 < n {
+        let w = LANES.min(n - j0);
+        if w == LANES {
+            for i in r0..r1 {
+                let a_row = a.row_slice(i);
+                let mut acc = [0.0f32; LANES];
+                for (&av, brow) in a_row.iter().zip(bd.chunks_exact(n)) {
+                    let b8: &[f32; LANES] = brow[j0..j0 + LANES].try_into().expect("lane width");
+                    for (o, &bv) in acc.iter_mut().zip(b8) {
+                        *o += av * bv;
+                    }
+                }
+                // SAFETY: rows in [r0, r1) belong exclusively to this call.
+                let dst = unsafe { out.row(i) };
+                dst[j0..j0 + LANES].copy_from_slice(&acc);
+            }
+        } else {
+            for i in r0..r1 {
+                let a_row = a.row_slice(i);
+                let mut acc = [0.0f32; LANES];
+                for (&av, brow) in a_row.iter().zip(bd.chunks_exact(n)) {
+                    for (o, &bv) in acc.iter_mut().zip(&brow[j0..j0 + w]) {
+                        *o += av * bv;
+                    }
+                }
+                // SAFETY: rows in [r0, r1) belong exclusively to this call.
+                let dst = unsafe { out.row(i) };
+                dst[j0..j0 + w].copy_from_slice(&acc[..w]);
+            }
+        }
+        j0 += w;
+    }
+}
+
+/// `out = a @ b`, fully overwriting `out`, with row-parallel execution on
+/// up to `threads` threads when the shape clears the size gate. Results
+/// are bit-identical for every thread count.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch or when `out` is not
+/// `[a.rows, b.cols]`.
+pub fn matmul_into_mt(a: &Matrix, b: &Matrix, threads: usize, out: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul {}x{} @ {}x{}", a.rows(), a.cols(), b.rows(), b.cols());
+    assert_eq!(out.shape(), (a.rows(), b.cols()), "matmul_into output shape");
+    let flops = 2 * a.rows() * a.cols() * b.cols();
+    let mo = RowsOut::new(out);
+    run_row_ranges(threads, a.rows(), flops, &|r0, r1| matmul_rows(a, b, mo, r0, r1));
+}
+
+// ---- transpose-free matmuls ------------------------------------------------
+
+/// Lane kernel over a row range: `out[r0..r1] = A[r0..r1] @ B^T` without
+/// materializing the transpose. Eight independent dot-product chains run
+/// per output row (one accumulator per B row), each still summing in
+/// ascending-`k` order.
+fn matmul_bt_rows(a: &Matrix, b: &Matrix, out: RowsOut, r0: usize, r1: usize) {
+    let nout = b.rows();
+    for i in r0..r1 {
+        let a_row = a.row_slice(i);
+        // SAFETY: rows in [r0, r1) belong exclusively to this call.
+        let dst = unsafe { out.row(i) };
+        let mut j = 0;
+        while j < nout {
+            let w = LANES.min(nout - j);
+            let mut acc = [0.0f32; LANES];
+            if w == LANES {
+                let br: [&[f32]; LANES] = std::array::from_fn(|l| b.row_slice(j + l));
+                for (kk, &av) in a_row.iter().enumerate() {
+                    for (o, brow) in acc.iter_mut().zip(&br) {
+                        // SAFETY: kk < a.cols() == b.cols() == brow.len().
+                        *o += av * unsafe { *brow.get_unchecked(kk) };
+                    }
+                }
+            } else {
+                for (l, o) in acc.iter_mut().enumerate().take(w) {
+                    let mut s = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b.row_slice(j + l)) {
+                        s += x * y;
+                    }
+                    *o = s;
+                }
+            }
+            dst[j..j + w].copy_from_slice(&acc[..w]);
+            j += w;
+        }
+    }
+}
+
+/// `out = a @ b^T`, fully overwriting `out`, optionally row-parallel.
+///
+/// # Panics
+/// Panics when the shared dimensions mismatch or `out` is not
+/// `[a.rows, b.rows]`.
+pub fn matmul_bt_into_mt(a: &Matrix, b: &Matrix, threads: usize, out: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_bt {}x{} @ ({}x{})^T",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(out.shape(), (a.rows(), b.rows()), "matmul_bt_into output shape");
+    let flops = 2 * a.rows() * a.cols() * b.rows();
+    let mo = RowsOut::new(out);
+    run_row_ranges(threads, a.rows(), flops, &|r0, r1| matmul_bt_rows(a, b, mo, r0, r1));
+}
+
+/// `out = a^T @ b`, fully overwriting `out`, without materializing the
+/// transpose. Single-threaded: the `k`-outer loop this kernel needs for
+/// its ascending-`k` order makes output rows non-local per thread, and
+/// its only hot caller is the tape backward pass, which is
+/// single-threaded by design.
+///
+/// # Panics
+/// Panics when the shared dimensions mismatch or `out` is not
+/// `[a.cols, b.cols]`.
+pub fn matmul_at_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at ({}x{})^T @ {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    assert_eq!(out.shape(), (a.cols(), b.cols()), "matmul_at_into output shape");
+    out.fill_zero();
+    for kk in 0..a.rows() {
+        let a_row = a.row_slice(kk);
+        let b_row = b.row_slice(kk);
+        for (i, &av) in a_row.iter().enumerate() {
+            axpy_lanes(out.row_slice_mut(i), av, b_row);
+        }
+    }
+}
+
+/// `dst += a * src`, in 8-wide lanes (branch-free saxpy).
+#[inline]
+fn axpy_lanes(dst: &mut [f32], a: f32, src: &[f32]) {
+    let mut dc = dst.chunks_exact_mut(LANES);
+    let mut sc = src.chunks_exact(LANES);
+    for (d8, s8) in (&mut dc).zip(&mut sc) {
+        for (o, &sv) in d8.iter_mut().zip(s8) {
+            *o += a * sv;
+        }
+    }
+    for (o, &sv) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *o += a * sv;
+    }
+}
+
+// ---- packed right-hand sides -----------------------------------------------
+
+/// A right-hand-side matrix repacked into column panels of [`LANES`]
+/// columns: panel `p` holds `k × LANES` values laid out so the inner
+/// matmul loop reads one contiguous 8-float block per `k` step instead of
+/// striding across the row-major matrix. The last panel is zero-padded;
+/// padded lanes accumulate garbage-free zeros that are never stored.
+///
+/// Serving weights are static, so the executor packs each weight matrix
+/// once per worker and reuses the panels for every table (see the packed
+/// cache on `InferExec`).
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    /// Packs `b` into column panels.
+    pub fn pack(b: &Matrix) -> PackedB {
+        let (k, n) = b.shape();
+        let panels = n.div_ceil(LANES);
+        let mut data = vec![0.0f32; panels * k * LANES];
+        let bd = b.as_slice();
+        for p in 0..panels {
+            let j0 = p * LANES;
+            let w = LANES.min(n - j0);
+            let panel = &mut data[p * k * LANES..(p + 1) * k * LANES];
+            for (kk, brow) in bd.chunks_exact(n.max(1)).enumerate().take(k) {
+                panel[kk * LANES..kk * LANES + w].copy_from_slice(&brow[j0..j0 + w]);
+            }
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Logical `(rows, cols)` of the packed matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Packed size in `f32` elements (incl. padding) — cache accounting.
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn panel(&self, p: usize) -> &[f32] {
+        &self.data[p * self.k * LANES..(p + 1) * self.k * LANES]
+    }
+}
+
+/// One output row against packed panels, with optional fused bias and
+/// activation: `out_row = act(a_row @ B + bias)`. The accumulation is the
+/// exact lane kernel of [`matmul_into_mt`]; bias is added to each
+/// finished accumulator and the activation applied afterwards — the same
+/// value sequence as the composed `matmul → add_row → act` ops.
+fn packed_row(a_row: &[f32], pb: &PackedB, bias: Option<&[f32]>, act: Act, dst: &mut [f32]) {
+    let n = pb.n;
+    let mut p = 0;
+    let mut j0 = 0;
+    // Panel quads, then pairs: up to four independent accumulator
+    // arrays fed in one pass over `a_row`, multiplying the
+    // instruction-level parallelism of a single 8-wide FMA dependency
+    // chain. Each output column still owns one accumulator summing in
+    // ascending-`k` order, so grouping changes nothing bitwise.
+    while j0 + 4 * LANES <= n {
+        let (p0, p1) = (pb.panel(p), pb.panel(p + 1));
+        let (p2, p3) = (pb.panel(p + 2), pb.panel(p + 3));
+        let mut acc0 = [0.0f32; LANES];
+        let mut acc1 = [0.0f32; LANES];
+        let mut acc2 = [0.0f32; LANES];
+        let mut acc3 = [0.0f32; LANES];
+        for ((((&av, b0), b1), b2), b3) in a_row
+            .iter()
+            .zip(p0.chunks_exact(LANES))
+            .zip(p1.chunks_exact(LANES))
+            .zip(p2.chunks_exact(LANES))
+            .zip(p3.chunks_exact(LANES))
+        {
+            for (o, &bv) in acc0.iter_mut().zip(b0) {
+                *o += av * bv;
+            }
+            for (o, &bv) in acc1.iter_mut().zip(b1) {
+                *o += av * bv;
+            }
+            for (o, &bv) in acc2.iter_mut().zip(b2) {
+                *o += av * bv;
+            }
+            for (o, &bv) in acc3.iter_mut().zip(b3) {
+                *o += av * bv;
+            }
+        }
+        for (t, acc) in [acc0, acc1, acc2, acc3].iter().enumerate() {
+            let c0 = j0 + t * LANES;
+            finish_lane(acc, bias, act, c0, &mut dst[c0..c0 + LANES]);
+        }
+        j0 += 4 * LANES;
+        p += 4;
+    }
+    while j0 + 2 * LANES <= n {
+        let (p0, p1) = (pb.panel(p), pb.panel(p + 1));
+        let mut acc0 = [0.0f32; LANES];
+        let mut acc1 = [0.0f32; LANES];
+        for ((&av, b0), b1) in a_row
+            .iter()
+            .zip(p0.chunks_exact(LANES))
+            .zip(p1.chunks_exact(LANES))
+        {
+            for (o, &bv) in acc0.iter_mut().zip(b0) {
+                *o += av * bv;
+            }
+            for (o, &bv) in acc1.iter_mut().zip(b1) {
+                *o += av * bv;
+            }
+        }
+        finish_lane(&acc0, bias, act, j0, &mut dst[j0..j0 + LANES]);
+        finish_lane(&acc1, bias, act, j0 + LANES, &mut dst[j0 + LANES..j0 + 2 * LANES]);
+        j0 += 2 * LANES;
+        p += 2;
+    }
+    while j0 < n {
+        let w = LANES.min(n - j0);
+        let panel = pb.panel(p);
+        let mut acc = [0.0f32; LANES];
+        for (&av, b8) in a_row.iter().zip(panel.chunks_exact(LANES)) {
+            for (o, &bv) in acc.iter_mut().zip(b8) {
+                *o += av * bv;
+            }
+        }
+        finish_lane(&acc[..w], bias, act, j0, &mut dst[j0..j0 + w]);
+        j0 += w;
+        p += 1;
+    }
+}
+
+/// Epilogue for one finished accumulator lane: adds the bias slice at
+/// column offset `j0` (when present) and applies the activation while
+/// storing into `dst`.
+#[inline]
+fn finish_lane(acc: &[f32], bias: Option<&[f32]>, act: Act, j0: usize, dst: &mut [f32]) {
+    let w = dst.len();
+    match bias {
+        Some(bs) => {
+            for ((o, &a), &bv) in dst.iter_mut().zip(acc).zip(&bs[j0..j0 + w]) {
+                *o = act.apply(a + bv);
+            }
+        }
+        None => {
+            for (o, &a) in dst.iter_mut().zip(acc) {
+                *o = act.apply(a);
+            }
+        }
+    }
+}
+
+/// `out = act(a @ packed + bias)`, fully overwriting `out`, optionally
+/// row-parallel. `bias` must be a `[1, n]` row when present.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn matmul_packed_into(
+    a: &Matrix,
+    pb: &PackedB,
+    bias: Option<&Matrix>,
+    act: Act,
+    threads: usize,
+    out: &mut Matrix,
+) {
+    let (k, n) = pb.shape();
+    assert_eq!(a.cols(), k, "packed matmul {}x{} @ {}x{}", a.rows(), a.cols(), k, n);
+    assert_eq!(out.shape(), (a.rows(), n), "packed matmul output shape");
+    let bias = bias.map(|b| {
+        assert_eq!(b.shape(), (1, n), "fused bias must be [1, {n}]");
+        b.as_slice()
+    });
+    let flops = 2 * a.rows() * k * n;
+    let mo = RowsOut::new(out);
+    run_row_ranges(threads, a.rows(), flops, &|r0, r1| {
+        for i in r0..r1 {
+            // SAFETY: rows in [r0, r1) belong exclusively to this range.
+            packed_row(a.row_slice(i), pb, bias, act, unsafe { mo.row(i) });
+        }
+    });
+}
+
+// ---- fused row kernels -----------------------------------------------------
+
+/// Numerically-stabilized softmax of one row, in place. Shared by
+/// [`Matrix::softmax_rows_inplace`] and the fused scaled variant so all
+/// softmax paths produce identical values.
+#[inline]
+pub(crate) fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Layer normalization of one row (no affine), in place. Shared by
+/// [`Matrix::layer_norm_rows_inplace`] and the fused affine variant.
+#[inline]
+pub(crate) fn layer_norm_row(row: &mut [f32], eps: f32) {
+    let n = row.len() as f32;
+    let mean: f32 = row.iter().sum::<f32>() / n;
+    let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    for val in row.iter_mut() {
+        *val = (*val - mean) * inv;
+    }
+}
+
+/// `out = softmax_rows(alpha * x)` in one pass — the attention-score
+/// kernel (`scale` + `softmax_rows`) without the intermediate buffer.
+/// The scaled values are materialized per element before the softmax,
+/// exactly as the composed ops would.
+///
+/// # Panics
+/// Panics when `out` is not shaped like `x`.
+pub fn softmax_rows_scaled_into(x: &Matrix, alpha: f32, out: &mut Matrix) {
+    assert_eq!(out.shape(), x.shape(), "softmax_rows_scaled output shape");
+    for r in 0..x.rows() {
+        let dst = out.row_slice_mut(r);
+        for (o, &v) in dst.iter_mut().zip(x.row_slice(r)) {
+            *o = v * alpha;
+        }
+        softmax_row(dst);
+    }
+}
+
+/// `out = layer_norm(x) * gain + bias` in one pass — the full LayerNorm
+/// module (`layer_norm_rows` + `mul_row` + `add_row`) without two
+/// intermediate buffers. `gain` and `bias` are `[1, n]` rows.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn layer_norm_affine_into(x: &Matrix, gain: &Matrix, bias: &Matrix, eps: f32, out: &mut Matrix) {
+    assert_eq!(out.shape(), x.shape(), "layer_norm_affine output shape");
+    assert_eq!(gain.shape(), (1, x.cols()), "layer_norm gain shape");
+    assert_eq!(bias.shape(), (1, x.cols()), "layer_norm bias shape");
+    let gs = gain.as_slice();
+    let bs = bias.as_slice();
+    for r in 0..x.rows() {
+        let dst = out.row_slice_mut(r);
+        dst.copy_from_slice(x.row_slice(r));
+        layer_norm_row(dst, eps);
+        for ((v, &g), &b) in dst.iter_mut().zip(gs).zip(bs) {
+            let scaled = *v * g;
+            *v = scaled + b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize) -> f32) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(f).collect())
+    }
+
+    fn wavy(rows: usize, cols: usize, phase: f32) -> Matrix {
+        mat(rows, cols, |i| (i as f32 * 0.37 + phase).sin())
+    }
+
+    #[test]
+    fn lane_matmul_matches_reference_on_awkward_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 16, 9), (13, 100, 21), (2, 64, 8)] {
+            let a = wavy(m, k, 0.0);
+            let b = wavy(k, n, 1.0);
+            let mut out = Matrix::zeros(m, n);
+            matmul_into_mt(&a, &b, 1, &mut out);
+            // Reference: naive i-j-k with a single ascending-k accumulator.
+            let mut reference = Matrix::zeros(m, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut s = 0.0f32;
+                    for kk in 0..k {
+                        s += a.get(i, kk) * b.get(kk, j);
+                    }
+                    reference.set(i, j, s);
+                }
+            }
+            assert_eq!(out.as_slice(), reference.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn threaded_matmul_is_bit_identical_to_single_thread() {
+        // Big enough to clear the parallel gate.
+        let a = wavy(64, 48, 0.2);
+        let b = wavy(48, 40, 0.7);
+        let mut single = Matrix::zeros(64, 40);
+        matmul_into_mt(&a, &b, 1, &mut single);
+        for threads in [2, 3, 4, 8] {
+            let mut multi = Matrix::zeros(64, 40);
+            matmul_into_mt(&a, &b, threads, &mut multi);
+            assert_eq!(multi.as_slice(), single.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_matches_unpacked_bitwise() {
+        for &(m, k, n) in &[(5, 12, 16), (7, 33, 19), (1, 8, 3), (16, 64, 64)] {
+            let a = wavy(m, k, 0.1);
+            let b = wavy(k, n, 0.9);
+            let pb = PackedB::pack(&b);
+            assert_eq!(pb.shape(), (k, n));
+            let mut plain = Matrix::zeros(m, n);
+            matmul_into_mt(&a, &b, 1, &mut plain);
+            let mut packed = Matrix::zeros(m, n);
+            matmul_packed_into(&a, &pb, None, Act::Ident, 1, &mut packed);
+            assert_eq!(packed.as_slice(), plain.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_act_matches_composed_ops_bitwise() {
+        let a = wavy(6, 20, 0.0);
+        let b = wavy(20, 11, 2.0);
+        let bias = wavy(1, 11, 3.0);
+        let pb = PackedB::pack(&b);
+        for act in [Act::Ident, Act::Relu, Act::Gelu, Act::Sigmoid, Act::Tanh] {
+            let mut fused = Matrix::zeros(6, 11);
+            matmul_packed_into(&a, &pb, Some(&bias), act, 1, &mut fused);
+            // Composed: matmul, then add_row, then the activation map.
+            let mut composed = a.matmul(&b);
+            for r in 0..composed.rows() {
+                for (o, &bv) in composed.row_slice_mut(r).iter_mut().zip(bias.as_slice()) {
+                    *o += bv;
+                }
+            }
+            let composed = composed.map(|v| act.apply(v));
+            assert_eq!(fused.as_slice(), composed.as_slice(), "{act:?}");
+        }
+    }
+
+    #[test]
+    fn fused_row_kernels_match_composed_ops_bitwise() {
+        let x = wavy(5, 13, 0.4);
+        let alpha = 0.35f32;
+        let mut fused = Matrix::zeros(5, 13);
+        softmax_rows_scaled_into(&x, alpha, &mut fused);
+        let mut composed = x.map(|v| v * alpha);
+        composed.softmax_rows_inplace();
+        assert_eq!(fused.as_slice(), composed.as_slice());
+
+        let gain = wavy(1, 13, 1.1);
+        let bias = wavy(1, 13, 2.2);
+        let mut ln = Matrix::zeros(5, 13);
+        layer_norm_affine_into(&x, &gain, &bias, 1e-5, &mut ln);
+        let mut want = x.clone();
+        want.layer_norm_rows_inplace(1e-5);
+        for r in 0..want.rows() {
+            for ((v, &g), &b) in want.row_slice_mut(r).iter_mut().zip(gain.as_slice()).zip(bias.as_slice()) {
+                let scaled = *v * g;
+                *v = scaled + b;
+            }
+        }
+        assert_eq!(ln.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn effective_threads_gates_small_work() {
+        assert_eq!(effective_threads(4, 1, usize::MAX), 1);
+        assert_eq!(effective_threads(4, 100, 10), 1);
+        assert_eq!(effective_threads(1, 100, usize::MAX), 1);
+        assert_eq!(effective_threads(4, 100, PAR_MIN_FLOPS), 4);
+        assert_eq!(effective_threads(8, 3, PAR_MIN_FLOPS), 3);
+    }
+
+    #[test]
+    fn packing_zero_width_and_empty_edges() {
+        let b = Matrix::zeros(0, 5);
+        let pb = PackedB::pack(&b);
+        assert_eq!(pb.shape(), (0, 5));
+        let a = Matrix::zeros(2, 0);
+        let mut out = Matrix::zeros(2, 5);
+        matmul_packed_into(&a, &pb, None, Act::Ident, 1, &mut out);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -6,6 +6,13 @@
 //!
 //! * [`matrix`] — dense row-major `f32` matrices with the raw kernels
 //!   (matmul, transpose, elementwise maps).
+//! * [`kernels`] — the lane-vectorized compute kernels under the matrix
+//!   ops: 8-wide output-column lanes, packed weight panels ([`PackedB`]),
+//!   fused matmul+bias+activation / scaled-softmax / affine-layer-norm
+//!   row kernels, and row-parallel drivers — all bit-identical to the
+//!   scalar reference order.
+//! * [`pool`] — the persistent scoped worker pool behind row-parallel
+//!   kernels ([`KernelPool`]), deterministic by construction.
 //! * [`tape`] — reverse-mode automatic differentiation over matrices.
 //!   A [`tape::Tape`] records the forward computation; [`tape::Tape::backward`]
 //!   replays it in reverse, producing gradients for every leaf.
@@ -28,16 +35,20 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod kernels;
 pub mod losses;
 pub mod matrix;
 pub mod modules;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod summary;
 pub mod tape;
 
 pub use exec::{ExecSession, Forward, InferExec};
+pub use kernels::{Act, PackedB};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamConfig, LrSchedule};
 pub use params::{ParamId, ParamStore};
+pub use pool::KernelPool;
 pub use tape::{NodeId, Tape};

@@ -10,10 +10,12 @@
 //!
 //! The matmul kernels here are shared by both backends so that training
 //! and serving produce bit-identical forward values: [`Matrix::matmul`]
-//! delegates to the k-blocked [`Matrix::matmul_into`], which keeps a
-//! panel of the right-hand side hot in cache while preserving the
-//! per-element summation order, and the `_into` variants write into
-//! caller-provided buffers so the inference arena can reuse allocations.
+//! and friends delegate to the lane-vectorized kernels in
+//! [`crate::kernels`], which compute 8 output columns at a time with
+//! independent accumulators while keeping each element's ascending-`k`
+//! summation order, and the `_into` variants write into caller-provided
+//! buffers so the inference arena and the tape backward pass can reuse
+//! allocations.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -165,88 +167,52 @@ impl Matrix {
 
     /// `self @ rhs` written into `out`, which is fully overwritten.
     ///
-    /// The kernel is a k-blocked i-k-j loop: for each block of `KB` inner
-    /// indices the `[KB, n]` panel of `rhs` stays hot in cache across all
-    /// rows of `self`, while each output element still accumulates its
-    /// inner products in ascending-`k` order — so the result is
-    /// bit-identical to an unblocked i-k-j loop.
+    /// Runs the branch-free lane kernel
+    /// ([`crate::kernels::matmul_into_mt`]) single-threaded: 8 output
+    /// columns are computed at a time, each with its own accumulator
+    /// summing in ascending-`k` order — bit-identical to a naive i-j-k
+    /// loop and to the threaded/packed variants the serving executor
+    /// uses.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch or when `out` is not
     /// `[self.rows, rhs.cols]`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul {}x{} @ {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape");
-        const KB: usize = 64;
-        let n = rhs.cols;
-        out.fill_zero();
-        let mut kb = 0;
-        while kb < self.cols {
-            let kend = (kb + KB).min(self.cols);
-            for i in 0..self.rows {
-                let a_row = &self.data[i * self.cols + kb..i * self.cols + kend];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let k = kb + kk;
-                    let b_row = &rhs.data[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-            kb = kend;
-        }
+        crate::kernels::matmul_into_mt(self, rhs, 1, out);
     }
 
     /// `self @ rhs^T` without materializing the transpose.
     pub fn matmul_bt(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_bt {}x{} @ ({}x{})^T",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row_slice(i);
-            for j in 0..rhs.rows {
-                let b_row = rhs.row_slice(j);
-                let dot: f32 = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
-                out.data[i * rhs.rows + j] = dot;
-            }
-        }
+        self.matmul_bt_into(rhs, &mut out);
         out
+    }
+
+    /// `self @ rhs^T` written into `out` (fully overwritten) — the
+    /// allocation-free form used by the tape backward pass.
+    ///
+    /// # Panics
+    /// Panics on shared-dimension mismatch or when `out` is not
+    /// `[self.rows, rhs.rows]`.
+    pub fn matmul_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::kernels::matmul_bt_into_mt(self, rhs, 1, out);
     }
 
     /// `self^T @ rhs` without materializing the transpose.
     pub fn matmul_at(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "matmul_at ({}x{})^T @ {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let a_row = self.row_slice(k);
-            let b_row = rhs.row_slice(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_at_into(rhs, &mut out);
         out
+    }
+
+    /// `self^T @ rhs` written into `out` (fully overwritten) — the
+    /// allocation-free form used by the tape backward pass.
+    ///
+    /// # Panics
+    /// Panics on shared-dimension mismatch or when `out` is not
+    /// `[self.cols, rhs.cols]`.
+    pub fn matmul_at_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::kernels::matmul_at_into(self, rhs, out);
     }
 
     /// Transposed copy.
@@ -376,33 +342,22 @@ impl Matrix {
     }
 
     /// Row-wise softmax in place (numerically stabilized by the row max).
+    ///
+    /// Shares its per-row kernel with the fused scaled-softmax in
+    /// [`crate::kernels`], so composed and fused paths are bit-identical.
     pub fn softmax_rows_inplace(&mut self) {
         for r in 0..self.rows {
-            let row = self.row_slice_mut(r);
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            crate::kernels::softmax_row(self.row_slice_mut(r));
         }
     }
 
     /// Row-wise layer normalization in place (no affine transform).
+    ///
+    /// Shares its per-row kernel with the fused affine layer-norm in
+    /// [`crate::kernels`], so composed and fused paths are bit-identical.
     pub fn layer_norm_rows_inplace(&mut self, eps: f32) {
         for r in 0..self.rows {
-            let row = self.row_slice_mut(r);
-            let n = row.len() as f32;
-            let mean: f32 = row.iter().sum::<f32>() / n;
-            let var: f32 = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n;
-            let inv = 1.0 / (var + eps).sqrt();
-            for val in row.iter_mut() {
-                *val = (*val - mean) * inv;
-            }
+            crate::kernels::layer_norm_row(self.row_slice_mut(r), eps);
         }
     }
 
@@ -507,17 +462,36 @@ mod tests {
 
     #[test]
     fn matmul_into_reuses_buffers_and_matches_blocked_boundaries() {
-        // Inner dimension > the kernel's k-block, to cross a boundary.
+        // Awkward inner dimension plus a column count that is neither a
+        // multiple of the 8-wide lane nor smaller than it, so the kernel
+        // exercises both full and remainder lanes.
         let k = 100;
+        let n = 13;
         let a = Matrix::from_vec(3, k, (0..3 * k).map(|i| (i as f32 * 0.37).sin()).collect());
-        let b = Matrix::from_vec(k, 5, (0..k * 5).map(|i| (i as f32 * 0.11).cos()).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect());
         let expect = a.matmul(&b);
         // A recycled buffer of the wrong shape must be reshaped and
         // fully overwritten, old contents notwithstanding.
         let mut out = Matrix::full(7, 2, 123.0);
-        out.reset_shape(3, 5);
+        out.reset_shape(3, n);
         a.matmul_into(&b, &mut out);
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn transpose_free_into_variants_fully_overwrite_dirty_buffers() {
+        let a = m(3, 4, &[1., -2., 3., 0.5, 5., -6., 0., 2., 1., 1., -1., 4.]);
+        let b = m(3, 4, &[2., 0., 1., -1., 3., 1., 0., 0., 1., 2., 2., 2.]);
+        let mut bt = Matrix::full(9, 9, 77.0);
+        bt.reset_shape(3, 3);
+        a.matmul_bt_into(&b, &mut bt);
+        assert_eq!(bt, a.matmul(&b.transpose()));
+
+        let c = m(3, 5, &[0.; 15]).map(|_| 1.25);
+        let mut at = Matrix::full(1, 1, -3.0);
+        at.reset_shape(4, 5);
+        a.matmul_at_into(&c, &mut at);
+        assert_eq!(at, a.transpose().matmul(&c));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! and content towers share their transformer blocks.
 
 use crate::exec::Forward;
+use crate::kernels::Act;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use crate::tape::NodeId;
@@ -34,11 +35,23 @@ impl Linear {
     }
 
     /// Applies the layer to a `[m, in]` node, producing `[m, out]`.
+    ///
+    /// Goes through [`Forward::linear`], so the serving backend runs its
+    /// fused packed matmul+bias kernel while the tape records the usual
+    /// `param/matmul/add_row` sequence.
     pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
-        let w = ex.param(store, self.w);
-        let b = ex.param(store, self.b);
-        let xw = ex.matmul(x, w);
-        ex.add_row(xw, b)
+        ex.linear(store, x, self.w, self.b)
+    }
+
+    /// `act(x @ W + b)` — fused on backends that support it.
+    pub fn forward_act<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        x: NodeId,
+        act: Act,
+    ) -> NodeId {
+        ex.linear_act(store, x, self.w, self.b, act)
     }
 }
 
@@ -63,13 +76,10 @@ impl LayerNorm {
         }
     }
 
-    /// Applies normalization + affine to a `[m, dim]` node.
+    /// Applies normalization + affine to a `[m, dim]` node via
+    /// [`Forward::layer_norm_affine`] (single fused pass when serving).
     pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
-        let normed = ex.layer_norm_rows(x, self.eps);
-        let g = ex.param(store, self.gain);
-        let b = ex.param(store, self.bias);
-        let scaled = ex.mul_row(normed, g);
-        ex.add_row(scaled, b)
+        ex.layer_norm_affine(store, x, self.gain, self.bias, self.eps)
     }
 }
 
@@ -162,10 +172,11 @@ impl MultiHeadAttention {
             let qh = ex.slice_cols(q, h * dh, dh);
             let kh = ex.slice_cols(k, h * dh, dh);
             let vh = ex.slice_cols(v, h * dh, dh);
-            let kt = ex.transpose(kh);
-            let scores = ex.matmul(qh, kt);
-            let scaled = ex.scale(scores, scale);
-            let attn = ex.softmax_rows(scaled);
+            // Transpose-free scores + fused scale/softmax: the serving
+            // backend runs both as single kernels; the tape records the
+            // composed transpose/matmul/scale/softmax ops.
+            let scores = ex.matmul_bt(qh, kh);
+            let attn = ex.softmax_rows_scaled(scores, scale);
             let out = ex.matmul(attn, vh);
             merged = Some(match merged {
                 Some(prev) => ex.hcat(prev, out),
@@ -199,10 +210,10 @@ impl FeedForward {
         }
     }
 
-    /// Applies the FFN to `[m, dim]`.
+    /// Applies the FFN to `[m, dim]`. The expansion layer and its GELU go
+    /// through the fused [`Forward::linear_act`].
     pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
-        let h = self.lin1.forward(ex, store, x);
-        let a = ex.gelu(h);
+        let a = self.lin1.forward_act(ex, store, x, Act::Gelu);
         self.lin2.forward(ex, store, a)
     }
 }

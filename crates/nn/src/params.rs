@@ -33,10 +33,27 @@ pub struct ParamStore {
     seed: u64,
     #[serde(skip, default = "default_rng")]
     rng: rand::rngs::StdRng,
+    /// Process-unique store identity; regenerated on deserialization so a
+    /// checkpoint restored into a new store never aliases a cache entry
+    /// built against a different store.
+    #[serde(skip, default = "fresh_uid")]
+    uid: u64,
+    /// Bumped on every mutable access to parameter values. The serving
+    /// executor's packed-weight cache validates `(uid, version)` before
+    /// reusing packed panels, so online weight updates (feedback loop,
+    /// optimizer steps) invalidate stale packs automatically.
+    #[serde(skip)]
+    version: u64,
 }
 
 fn default_rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(0)
+}
+
+fn fresh_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl ParamStore {
@@ -46,7 +63,21 @@ impl ParamStore {
             params: Vec::new(),
             seed,
             rng: rand::rngs::StdRng::seed_from_u64(seed),
+            uid: fresh_uid(),
+            version: 0,
         }
+    }
+
+    /// Process-unique identity of this store instance (cache keying).
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Mutation counter over parameter values (cache invalidation). Any
+    /// path that can change a value — [`ParamStore::value_mut`], the
+    /// optimizer, [`ParamStore::load_matching`] — bumps it.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Registers a parameter initialized from `N(0, std²)`.
@@ -111,7 +142,9 @@ impl ParamStore {
     }
 
     /// Mutable access to the value (used by the optimizer and tests).
+    /// Bumps the store version so packed-weight caches refresh.
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.version += 1;
         &mut self.params[id.0].value
     }
 
@@ -176,6 +209,7 @@ impl ParamStore {
     }
 
     pub(crate) fn adam_state(&mut self, id: ParamId) -> (&mut Matrix, &mut Matrix, &mut Matrix, &Matrix) {
+        self.version += 1;
         let p = &mut self.params[id.0];
         let (rows, cols) = p.value.shape();
         let m = p.adam_m.get_or_insert_with(|| Matrix::zeros(rows, cols));
@@ -210,6 +244,7 @@ impl ParamStore {
     /// pre-trained checkpoint, as the paper initializes from the TURL
     /// pre-trained encoder.
     pub fn load_matching(&mut self, source: &ParamStore) -> usize {
+        self.version += 1;
         let mut copied = 0;
         for sp in &source.params {
             if let Some(id) = self.id_by_name(&sp.name) {
@@ -317,6 +352,30 @@ mod tests {
         assert_eq!(fine.load_matching(&pre2), 1);
         let sm = fine.id_by_name("shape_mismatch").unwrap();
         assert!(fine.value(sm).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn uid_and_version_track_identity_and_mutation() {
+        let mut a = ParamStore::new(0);
+        let b = ParamStore::new(0);
+        assert_ne!(a.uid(), b.uid(), "every store instance gets a fresh uid");
+
+        let w = a.constant("w", 2, 2, 1.0);
+        let v0 = a.version();
+        let _ = a.value(w); // read-only access must not bump
+        assert_eq!(a.version(), v0);
+        a.value_mut(w).fill_zero();
+        assert!(a.version() > v0, "value_mut bumps the version");
+
+        let v1 = a.version();
+        let mut src = ParamStore::new(9);
+        src.constant("w", 2, 2, 5.0);
+        a.load_matching(&src);
+        assert!(a.version() > v1, "load_matching bumps the version");
+
+        // A deserialized checkpoint is a *different* store identity.
+        let restored = ParamStore::from_json(&a.to_json()).unwrap();
+        assert_ne!(restored.uid(), a.uid());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! A persistent scoped worker pool for row-parallel compute kernels.
+//!
+//! The pool is process-global and lazy: the first parallel kernel call
+//! spawns its workers, which then park on their channels between calls,
+//! so steady-state serving pays no thread-spawn cost. Dispatch is
+//! *scoped*: [`KernelPool::run_rows`] blocks until every worker has
+//! finished its row range before returning, which is what makes it sound
+//! to hand workers a borrowed closure (the borrow provably outlives all
+//! worker access, even when the closure panics — a drop guard waits out
+//! the stragglers before unwinding continues).
+//!
+//! Determinism: work is split into contiguous row ranges by a fixed
+//! arithmetic rule (`t * rows / threads`), every output row is computed
+//! entirely by one thread with the same per-element instruction sequence
+//! as the single-threaded kernel, and no thread ever reduces into another
+//! thread's rows. Results are therefore bit-identical for every thread
+//! count — the kernel-parity proptests assert exactly that.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Locks a mutex, recovering from poisoning: the pool's shared state
+/// (sender list, outstanding-task counter) stays structurally valid even
+/// when a kernel closure panics mid-region.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Hard cap on pool workers; `run_rows` never uses more than
+/// `MAX_WORKERS + 1` threads (workers plus the calling thread).
+pub const MAX_WORKERS: usize = 15;
+
+type Task = (&'static (dyn Fn(usize, usize) + Sync), usize, usize);
+
+struct Completion {
+    pending: Mutex<(usize, bool)>, // (tasks outstanding, a worker panicked)
+    cv: Condvar,
+}
+
+impl Completion {
+    fn finish(&self, panicked: bool) {
+        let mut st = lock_recover(&self.pending);
+        st.0 -= 1;
+        st.1 |= panicked;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every dispatched task finished; returns whether any
+    /// worker panicked.
+    fn wait(&self) -> bool {
+        let mut st = lock_recover(&self.pending);
+        while st.0 > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.1
+    }
+}
+
+/// Waits out all dispatched workers even if the calling thread's own
+/// chunk panics — without this, unwinding would free the borrowed
+/// closure while workers still hold a reference to it.
+struct WaitGuard<'p>(&'p Completion);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// The persistent worker pool. Obtain the process-wide instance with
+/// [`KernelPool::global`].
+pub struct KernelPool {
+    state: Mutex<Vec<Sender<Task>>>,
+    completion: &'static Completion,
+}
+
+impl KernelPool {
+    /// The lazily-initialized process-global pool.
+    pub fn global() -> &'static KernelPool {
+        static POOL: OnceLock<KernelPool> = OnceLock::new();
+        POOL.get_or_init(|| KernelPool {
+            state: Mutex::new(Vec::new()),
+            completion: Box::leak(Box::new(Completion {
+                pending: Mutex::new((0, false)),
+                cv: Condvar::new(),
+            })),
+        })
+    }
+
+    /// Number of worker threads spawned so far (grows on demand).
+    pub fn spawned_workers(&self) -> usize {
+        lock_recover(&self.state).len()
+    }
+
+    /// Runs `f(start, end)` over `threads` contiguous, disjoint row
+    /// ranges covering `0..rows`, blocking until all ranges complete.
+    /// The calling thread executes the first range itself; `threads - 1`
+    /// pool workers execute the rest. With `threads <= 1` (or a single
+    /// range) the call degenerates to `f(0, rows)` inline.
+    ///
+    /// One parallel region runs at a time (the dispatch lock is held for
+    /// the whole region); concurrent callers queue. That is deliberate:
+    /// the kernels are CPU-bound, so overlapping two parallel matmuls
+    /// only adds contention.
+    ///
+    /// # Panics
+    /// Propagates a panic from any range after all ranges have finished.
+    pub fn run_rows(&self, threads: usize, rows: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        let t = threads.clamp(1, MAX_WORKERS + 1).min(rows.max(1));
+        if t <= 1 {
+            f(0, rows);
+            return;
+        }
+        let mut workers = lock_recover(&self.state);
+        while workers.len() < t - 1 {
+            let (tx, rx) = channel::<Task>();
+            let completion: &'static Completion = self.completion;
+            let idx = workers.len();
+            thread::Builder::new()
+                .name(format!("taste-kernel-{idx}"))
+                .spawn(move || {
+                    for (task, start, end) in rx {
+                        let panicked = catch_unwind(AssertUnwindSafe(|| task(start, end))).is_err();
+                        completion.finish(panicked);
+                    }
+                })
+                .expect("spawn kernel worker");
+            workers.push(tx);
+        }
+        // SAFETY: the transmuted 'static borrow is only used by workers
+        // between dispatch below and `Completion::wait`, which this
+        // function always reaches before returning or unwinding (the
+        // WaitGuard waits on the panic path).
+        let f_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
+        {
+            let mut st = lock_recover(&self.completion.pending);
+            *st = (t - 1, false);
+        }
+        let bound = |i: usize| i * rows / t;
+        for w in 1..t {
+            workers[w - 1]
+                .send((f_static, bound(w), bound(w + 1)))
+                .expect("kernel worker alive");
+        }
+        let worker_panic = {
+            let _guard = WaitGuard(self.completion);
+            f(0, bound(1));
+            self.completion.wait()
+        };
+        drop(workers);
+        assert!(!worker_panic, "kernel pool worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_row_exactly_once() {
+        let rows = 103;
+        for threads in [1, 2, 3, 4, 8] {
+            let hits: Vec<AtomicUsize> = (0..rows).map(|_| AtomicUsize::new(0)).collect();
+            KernelPool::global().run_rows(threads, rows, &|start, end| {
+                for h in &hits[start..end] {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::SeqCst) == 1),
+                "threads={threads}: some row not covered exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_persist_across_calls() {
+        let pool = KernelPool::global();
+        pool.run_rows(3, 16, &|_, _| {});
+        let spawned = pool.spawned_workers();
+        assert!(spawned >= 2);
+        for _ in 0..10 {
+            pool.run_rows(3, 16, &|_, _| {});
+        }
+        assert_eq!(pool.spawned_workers(), spawned, "pool re-spawned workers");
+    }
+
+    #[test]
+    fn zero_rows_and_single_thread_are_inline() {
+        let ran = AtomicUsize::new(0);
+        KernelPool::global().run_rows(4, 0, &|start, end| {
+            assert_eq!((start, end), (0, 0));
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_drain() {
+        let result = std::panic::catch_unwind(|| {
+            KernelPool::global().run_rows(2, 64, &|start, _| {
+                if start > 0 {
+                    panic!("injected kernel panic");
+                }
+            });
+        });
+        assert!(result.is_err(), "worker panic must propagate to the caller");
+        // The pool must remain usable afterwards.
+        KernelPool::global().run_rows(2, 8, &|_, _| {});
+    }
+}

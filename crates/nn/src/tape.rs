@@ -90,12 +90,17 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Scratch buffers for the matmul backward rules, recycled across
+    /// every `Op::Matmul` visited by [`Tape::backward`] so the hot
+    /// gradient path performs no per-step allocation once warmed.
+    scratch_bt: Matrix,
+    scratch_at: Matrix,
 }
 
 impl Tape {
     /// Empty tape.
     pub fn new() -> Tape {
-        Tape { nodes: Vec::new() }
+        Tape::default()
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
@@ -395,10 +400,20 @@ impl Tape {
             match op {
                 Op::Leaf { .. } => {}
                 Op::Matmul(a, b) => {
-                    let da = grad.matmul_bt(&self.nodes[b.0].value);
-                    let db = self.nodes[a.0].value.matmul_at(&grad);
+                    // dA = grad @ B^T and dB = A^T @ grad, via the
+                    // allocation-free `_into` kernels writing recycled
+                    // scratch buffers.
+                    let mut da = std::mem::take(&mut self.scratch_bt);
+                    da.reset_shape(grad.rows(), self.nodes[b.0].value.rows());
+                    grad.matmul_bt_into(&self.nodes[b.0].value, &mut da);
                     self.add_grad(a, &da);
+                    self.scratch_bt = da;
+
+                    let mut db = std::mem::take(&mut self.scratch_at);
+                    db.reset_shape(self.nodes[a.0].value.cols(), grad.cols());
+                    self.nodes[a.0].value.matmul_at_into(&grad, &mut db);
                     self.add_grad(b, &db);
+                    self.scratch_at = db;
                 }
                 Op::Add(a, b) => {
                     self.add_grad(a, &grad);

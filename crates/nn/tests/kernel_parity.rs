@@ -1,0 +1,180 @@
+//! Property-based parity checks for the vectorized kernel layer: every
+//! kernel variant (lane-vectorized, packed, fused, threaded) must be
+//! **bitwise** identical to the composed single-threaded reference —
+//! `assert_eq!` on `f32`s, no tolerance.
+
+use proptest::prelude::*;
+use taste_nn::kernels::{self, Act, PackedB};
+use taste_nn::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Shape strategy spanning sub-lane, exact-lane, and lane+remainder
+/// widths so every code path (full panels, tail panel, tiny matrices)
+/// is exercised.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..6, 1usize..12, 1usize..20)
+}
+
+/// The composed reference for a fused `act(x @ w + bias)`: plain matmul,
+/// then a row-broadcast bias add, then the scalar activation — the exact
+/// op sequence `modules.rs` used before fusion.
+fn composed_linear_act(x: &Matrix, w: &Matrix, bias: &Matrix, act: Act) -> Matrix {
+    let mut out = x.matmul(w);
+    let b = bias.as_slice();
+    for r in 0..out.rows() {
+        for (v, &bv) in out.row_slice_mut(r).iter_mut().zip(b) {
+            let a = *v + bv;
+            *v = act.apply(a);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn threaded_kernels_are_bit_identical_across_thread_counts(
+        (m, k, n) in dims(),
+        seed in any::<u64>(),
+    ) {
+        let gen = |salt: u64, len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let h = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(salt)
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    ((h >> 40) as f32 / (1u64 << 24) as f32) * 4.0 - 2.0
+                })
+                .collect()
+        };
+        let a = Matrix::from_vec(m, k, gen(1, m * k));
+        let b = Matrix::from_vec(k, n, gen(2, k * n));
+
+        let mut reference = Matrix::zeros(m, n);
+        kernels::matmul_into_mt(&a, &b, 1, &mut reference);
+        for threads in [2usize, 4] {
+            let mut out = Matrix::zeros(m, n);
+            kernels::matmul_into_mt(&a, &b, threads, &mut out);
+            prop_assert_eq!(&out, &reference, "matmul threads={}", threads);
+        }
+
+        let bt = Matrix::from_vec(n, k, gen(3, n * k));
+        let mut bt_ref = Matrix::zeros(m, n);
+        kernels::matmul_bt_into_mt(&a, &bt, 1, &mut bt_ref);
+        for threads in [2usize, 4] {
+            let mut out = Matrix::zeros(m, n);
+            kernels::matmul_bt_into_mt(&a, &bt, threads, &mut out);
+            prop_assert_eq!(&out, &bt_ref, "matmul_bt threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn packed_matmul_is_bit_identical_to_unpacked(
+        (m, k, n) in dims(),
+        a in prop::collection::vec(-2.0f32..2.0, 128),
+        b in prop::collection::vec(-2.0f32..2.0, 256),
+    ) {
+        prop_assume!(a.len() >= m * k && b.len() >= k * n);
+        let a = Matrix::from_vec(m, k, a[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, b[..k * n].to_vec());
+        let reference = a.matmul(&b);
+        let packed = PackedB::pack(&b);
+        for threads in [1usize, 2, 4] {
+            let mut out = Matrix::zeros(m, n);
+            kernels::matmul_packed_into(&a, &packed, None, Act::Ident, threads, &mut out);
+            prop_assert_eq!(&out, &reference, "packed threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn fused_bias_activation_is_bit_identical_to_composed(
+        (m, k, n) in dims(),
+        x in prop::collection::vec(-2.0f32..2.0, 128),
+        w in prop::collection::vec(-2.0f32..2.0, 256),
+        bias_salt in -2.0f32..2.0,
+        act_pick in 0usize..5,
+    ) {
+        prop_assume!(x.len() >= m * k && w.len() >= k * n);
+        let x = Matrix::from_vec(m, k, x[..m * k].to_vec());
+        let w = Matrix::from_vec(k, n, w[..k * n].to_vec());
+        let bias = Matrix::from_vec(1, n, (0..n).map(|j| bias_salt + j as f32 * 0.125).collect());
+        let act = [Act::Ident, Act::Relu, Act::Gelu, Act::Sigmoid, Act::Tanh][act_pick];
+
+        let reference = composed_linear_act(&x, &w, &bias, act);
+        let packed = PackedB::pack(&w);
+        for threads in [1usize, 2, 4] {
+            let mut out = Matrix::zeros(m, n);
+            kernels::matmul_packed_into(&x, &packed, Some(&bias), act, threads, &mut out);
+            prop_assert_eq!(&out, &reference, "fused act={:?} threads={}", act, threads);
+        }
+    }
+
+    #[test]
+    fn fused_row_kernels_are_bit_identical_to_composed(
+        x in matrix(4, 11),
+        alpha in 0.05f32..2.0,
+        eps in prop::sample::select(vec![1e-5f32, 1e-6]),
+    ) {
+        // Fused scaled-softmax vs scale-then-softmax.
+        let mut composed = x.clone();
+        for v in composed.as_mut_slice() {
+            *v *= alpha;
+        }
+        composed.softmax_rows_inplace();
+        let mut fused = Matrix::zeros(x.rows(), x.cols());
+        kernels::softmax_rows_scaled_into(&x, alpha, &mut fused);
+        prop_assert_eq!(&fused, &composed);
+
+        // Fused affine layer-norm vs normalize-then-scale-then-shift.
+        let n = x.cols();
+        let gain = Matrix::from_vec(1, n, (0..n).map(|j| 0.5 + j as f32 * 0.1).collect());
+        let bias = Matrix::from_vec(1, n, (0..n).map(|j| -0.3 + j as f32 * 0.05).collect());
+        let mut composed = x.clone();
+        composed.layer_norm_rows_inplace(eps);
+        for r in 0..composed.rows() {
+            for ((v, &g), &b) in composed
+                .row_slice_mut(r)
+                .iter_mut()
+                .zip(gain.as_slice())
+                .zip(bias.as_slice())
+            {
+                let scaled = *v * g;
+                *v = scaled + b;
+            }
+        }
+        let mut fused = Matrix::zeros(x.rows(), x.cols());
+        kernels::layer_norm_affine_into(&x, &gain, &bias, eps, &mut fused);
+        prop_assert_eq!(&fused, &composed);
+    }
+
+    #[test]
+    fn transpose_free_variants_match_explicit_transposes(
+        (m, k, n) in dims(),
+        a in prop::collection::vec(-2.0f32..2.0, 128),
+        b in prop::collection::vec(-2.0f32..2.0, 256),
+    ) {
+        prop_assume!(a.len() >= m * k && b.len() >= k * n && b.len() >= m * n);
+        let a = Matrix::from_vec(m, k, a[..m * k].to_vec());
+        let raw = b;
+        let b = Matrix::from_vec(k, n, raw[..k * n].to_vec());
+
+        // a @ b^T via matmul_bt == a @ transpose(b) elementwise (the
+        // accumulation order is ascending-k in both, so bitwise).
+        let bt = Matrix::from_vec(n, k, b.transpose().as_slice().to_vec());
+        prop_assert_eq!(a.matmul_bt(&bt), a.matmul(&b));
+
+        // a^T @ b via matmul_at (both operands share their row count):
+        // same values as transpose(a) @ b — matmul_at accumulates in the
+        // same ascending-k order, so it is bitwise equal here too.
+        let c = Matrix::from_vec(m, n, raw[..m * n].to_vec());
+        let at = a.transpose();
+        prop_assert_eq!(a.matmul_at(&c), at.matmul(&c));
+    }
+}
