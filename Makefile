@@ -1,6 +1,6 @@
 # Convenience targets for the TASTE reproduction workspace.
 
-.PHONY: verify build test clippy crash-resume repro infer-bench overload-sweep kernel-bench
+.PHONY: verify build test clippy crash-resume train-resume repro infer-bench overload-sweep kernel-bench
 
 # The one gate every change must pass.
 verify:
@@ -18,6 +18,12 @@ clippy:
 # The release-mode kill-and-resume scenarios (too slow for `verify`).
 crash-resume:
 	cargo test --release -p taste-framework --test crash_resume -- --ignored
+
+# Release-mode training kill/resume scenario plus the quick-scale
+# checkpoint-overhead benchmark (writes results/BENCH_train.json).
+train-resume:
+	cargo test --release -p taste-model --test train_resume -- --ignored
+	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- train_resume
 
 # Quick-scale reproduction of every table and figure.
 repro:

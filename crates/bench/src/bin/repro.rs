@@ -13,7 +13,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro [table2|fig4|table3|table4|fig5|fig6|fig7|fig8|fault_sweep|overload_sweep|crash_resume|infer_bench|kernel_bench|all]..."
+            "usage: repro [table2|fig4|table3|table4|fig5|fig6|fig7|fig8|fault_sweep|overload_sweep|crash_resume|train_resume|infer_bench|kernel_bench|all]..."
         );
         std::process::exit(2);
     }
@@ -32,6 +32,7 @@ fn main() {
             "fault_sweep" => experiments::fault_sweep(&scale),
             "overload_sweep" => experiments::overload_sweep(&scale),
             "crash_resume" => experiments::crash_resume(&scale),
+            "train_resume" => experiments::train_resume(&scale),
             "infer_bench" => experiments::infer_bench(&scale),
             "kernel_bench" => experiments::kernel_bench(&scale),
             "all" => experiments::all(&scale),

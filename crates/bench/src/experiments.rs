@@ -639,6 +639,149 @@ pub fn crash_resume(scale: &Scale) -> Result<()> {
     Ok(())
 }
 
+/// Training-resilience benchmark — checkpoint overhead and resume
+/// fidelity for the crash-safe fine-tuning loop.
+///
+/// Three passes over the same SynthGit training set with the same
+/// model seed: a bare run without checkpointing, an uninterrupted run
+/// checkpointing every few steps (their throughput gap is the
+/// checkpoint tax), and a run killed halfway then resumed from disk.
+/// The checkpointed run must match the bare run bit for bit (saving
+/// state must not perturb training), and the resumed run must match
+/// both in final parameters and per-step losses.
+pub fn train_resume(scale: &Scale) -> Result<()> {
+    use crate::datasets::training_inputs_from_split;
+    use taste_model::trainer::train_adtd_resumable;
+    use taste_model::{TrainConfig, TrainResilience};
+    use taste_nn::checkpoint::CheckpointPolicy;
+    use taste_nn::ParamStore;
+
+    let bundle = build_bundle(DatasetKind::Git, scale)?;
+    let inputs =
+        training_inputs_from_split(&bundle.corpus, Split::Train, false, bundle.kind.default_l(), 50, 10)?;
+    // Checkpoint overhead is per-step; two epochs give plenty of steps.
+    let cfg = TrainConfig { epochs: scale.epochs.clamp(1, 2), ..models::train_config(scale) };
+    let total_steps = (inputs.len().div_ceil(cfg.batch_size) * cfg.epochs) as u64;
+    let policy = CheckpointPolicy { every_n_steps: 5, keep_last_k: 2 };
+    let fresh_model = || {
+        Adtd::new(models::experiment_config(), bundle.tokenizer.clone(), bundle.corpus.ntypes(), scale.seed)
+    };
+    let param_bits = |store: &ParamStore| -> Vec<(String, Vec<u32>)> {
+        let mut out: Vec<(String, Vec<u32>)> = store
+            .ids()
+            .map(|id| {
+                let bits = store.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+                (store.name(id).to_owned(), bits)
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    let training = |e: TasteError| TasteError::Training(e.to_string());
+
+    // Pass 1: the bare loop.
+    let mut bare = fresh_model();
+    let t0 = Instant::now();
+    let bare_report =
+        train_adtd_resumable(&mut bare, &inputs, &cfg, &TrainResilience::default()).map_err(training)?;
+    let bare_time = t0.elapsed();
+
+    // Pass 2: same run with periodic checkpoints.
+    let ckpt_dir = std::env::temp_dir().join("taste-repro-train-ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let res = TrainResilience { dir: Some(ckpt_dir.clone()), policy, ..TrainResilience::default() };
+    let mut ckpt = fresh_model();
+    let t1 = Instant::now();
+    let ckpt_report = train_adtd_resumable(&mut ckpt, &inputs, &cfg, &res).map_err(training)?;
+    let ckpt_time = t1.elapsed();
+
+    // Pass 3: killed halfway, then resumed from disk into a freshly
+    // constructed model, as after a real process death.
+    let kill_dir = std::env::temp_dir().join("taste-repro-train-kill");
+    let _ = std::fs::remove_dir_all(&kill_dir);
+    let halt_at = (total_steps / 2).max(1);
+    let kill = TrainResilience {
+        dir: Some(kill_dir.clone()),
+        policy,
+        halt_after_steps: Some(halt_at),
+        ..TrainResilience::default()
+    };
+    let mut halted_model = fresh_model();
+    let halted_report = train_adtd_resumable(&mut halted_model, &inputs, &cfg, &kill).map_err(training)?;
+    let resume = TrainResilience { halt_after_steps: None, ..kill };
+    let mut resumed = fresh_model();
+    let resumed_report = train_adtd_resumable(&mut resumed, &inputs, &cfg, &resume).map_err(training)?;
+
+    let transparent = param_bits(&bare.store) == param_bits(&ckpt.store);
+    let loss_bits = |r: &taste_model::ResumableReport| -> Vec<u32> {
+        r.step_losses.iter().map(|v| v.to_bits()).collect()
+    };
+    let identical = param_bits(&ckpt.store) == param_bits(&resumed.store)
+        && loss_bits(&ckpt_report) == loss_bits(&resumed_report);
+    let sps = |steps: u64, t: Duration| steps as f64 / t.as_secs_f64().max(1e-9);
+    let bare_sps = sps(bare_report.health.steps_applied, bare_time);
+    let ckpt_sps = sps(ckpt_report.health.steps_applied, ckpt_time);
+    let overhead_pct = (1.0 - ckpt_sps / bare_sps.max(1e-9)) * 100.0;
+
+    let rows = vec![
+        vec![
+            "bare".to_string(),
+            bare_report.health.steps_applied.to_string(),
+            secs(bare_time),
+            format!("{bare_sps:.1}"),
+            "0".to_string(),
+        ],
+        vec![
+            "checkpointed".to_string(),
+            ckpt_report.health.steps_applied.to_string(),
+            secs(ckpt_time),
+            format!("{ckpt_sps:.1}"),
+            ckpt_report.health.checkpoints_written.to_string(),
+        ],
+        vec![
+            "killed+resumed".to_string(),
+            resumed_report.health.steps_applied.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            (halted_report.health.checkpoints_written + resumed_report.health.checkpoints_written)
+                .to_string(),
+        ],
+    ];
+    print_table(
+        "Training resilience: checkpoint overhead and resume fidelity (SynthGit)",
+        &["run", "steps", "time", "steps/sec", "ckpts"],
+        &rows,
+    );
+    println!(
+        "  checkpoint overhead {overhead_pct:.1}%  transparent={transparent}  resume_identical={identical}"
+    );
+    write_json(
+        "BENCH_train",
+        &json!({
+            "inputs": inputs.len(),
+            "total_steps": total_steps,
+            "checkpoint_every_n_steps": policy.every_n_steps,
+            "steps_per_sec_bare": bare_sps,
+            "steps_per_sec_checkpointed": ckpt_sps,
+            "checkpoint_overhead_pct": overhead_pct,
+            "checkpoints_written": ckpt_report.health.checkpoints_written,
+            "halted_at_step": halt_at,
+            "resumed_from_step": resumed_report.health.resumed_from_step,
+            "checkpoint_transparent": transparent,
+            "resume_identical": identical,
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let _ = std::fs::remove_dir_all(&kill_dir);
+    if !transparent {
+        return Err(TasteError::invalid("checkpointing perturbed the training trajectory"));
+    }
+    if !identical {
+        return Err(TasteError::invalid("resumed training diverged from the uninterrupted run"));
+    }
+    Ok(())
+}
+
 /// Serving-backend benchmark — P1/P2 inference throughput (columns/sec)
 /// of the tape-free executor against the recording tape on identical
 /// inputs, plus an end-to-end parity check between the two backends.
@@ -1032,6 +1175,7 @@ pub fn all(scale: &Scale) -> Result<()> {
     fault_sweep(scale)?;
     overload_sweep(scale)?;
     crash_resume(scale)?;
+    train_resume(scale)?;
     infer_bench(scale)?;
     kernel_bench(scale)?;
     Ok(())

@@ -23,7 +23,6 @@ use crate::config::ModelConfig;
 use crate::encoder::Encoder;
 use crate::features::NONMETA_DIM;
 use crate::prepare::{ModelInput, TableChunk};
-use rand::rngs::StdRng;
 use taste_nn::losses::AutomaticWeightedLoss;
 use taste_nn::modules::{dropout_mask, Linear};
 use taste_nn::{Act, Forward, InferExec, Matrix, NodeId, ParamStore, Tape};
@@ -276,12 +275,14 @@ impl Adtd {
 
     /// Training forward pass: both towers in one tape (so the shared
     /// encoder receives gradients from both tasks), with dropout on the
-    /// classifier inputs when `dropout_rng` is provided.
+    /// classifier inputs when `dropout_rng` is provided. The RNG is
+    /// taken as a trait object so both the default `StdRng` and the
+    /// checkpointable `SplitMix64Rng` of resumable training drive it.
     pub fn forward_train(
         &self,
         tape: &mut Tape,
         input: &ModelInput,
-        dropout_rng: Option<&mut StdRng>,
+        dropout_rng: Option<&mut dyn rand::RngCore>,
     ) -> TrainForward {
         let packed_meta = self.pack_meta(&input.chunk);
         let meta_tokens: Vec<usize> = packed_meta.tokens.iter().map(|&t| t as usize).collect();
@@ -300,11 +301,11 @@ impl Adtd {
         // reading the metadata text unless they are made unreliable
         // during training.
         let meta_rows = match dropout_rng {
-            Some(rng) if self.cfg.dropout > 0.0 => {
-                if let Some(mask) = dropout_mask(rng, ncols, feat_dim, (3.0 * self.cfg.dropout).min(0.6)) {
+            Some(mut rng) if self.cfg.dropout > 0.0 => {
+                if let Some(mask) = dropout_mask(&mut rng, ncols, feat_dim, (3.0 * self.cfg.dropout).min(0.6)) {
                     feats = tape.mul_const_mask(feats, mask);
                 }
-                match dropout_mask(rng, ncols, self.cfg.hidden, self.cfg.dropout) {
+                match dropout_mask(&mut rng, ncols, self.cfg.hidden, self.cfg.dropout) {
                     Some(mask) => tape.mul_const_mask(meta_rows, mask),
                     None => meta_rows,
                 }
@@ -397,7 +398,7 @@ impl Adtd {
         vocab.rebuild_index();
         let tokenizer = Tokenizer::new(vocab);
         let mut model = Adtd::new(cfg, tokenizer, ntypes, 0);
-        let source = ParamStore::from_json(&v["store"].to_string())?;
+        let source = ParamStore::from_json(&v["store"].to_string()).map_err(|e| e.to_string())?;
         let copied = model.store.load_matching(&source);
         if copied != model.store.len() {
             return Err(format!("checkpoint restored only {copied}/{} params", model.store.len()));

@@ -213,7 +213,7 @@ impl SingleTower {
         // stored (already-derived) config by passing it as the base for
         // Turl (identity) or inverting for Doduo via a direct build.
         let mut model = SingleTower::build_with_config(kind, cfg, Tokenizer::new(vocab), ntypes);
-        let source = ParamStore::from_json(&v["store"].to_string())?;
+        let source = ParamStore::from_json(&v["store"].to_string()).map_err(|e| e.to_string())?;
         let copied = model.store.load_matching(&source);
         if copied != model.store.len() {
             return Err(format!("checkpoint restored only {copied}/{} params", model.store.len()));

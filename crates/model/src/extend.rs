@@ -15,6 +15,7 @@ use crate::prepare::ModelInput;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use taste_core::TasteError;
+use taste_nn::guard::{AnomalyDetector, AnomalyPolicy, StepVerdict};
 use taste_nn::{Adam, AdamConfig, LrSchedule, Matrix, ParamId, Tape};
 
 /// Widens the model's type domain from `model.ntypes` to `new_ntypes`.
@@ -69,8 +70,15 @@ fn widen_head(model: &mut Adtd, head: Head, name: &str, gen: &str, old: usize, n
 /// given inputs; every encoder parameter is frozen. Returns per-epoch
 /// losses.
 ///
+/// Anomalous steps (non-finite loss or gradients, loss spikes) are
+/// contained rather than fatal: the step's gradients are dropped and
+/// training continues, same as the resumable loops. Only a *persistent*
+/// anomaly — the detector escalating past its consecutive-step limit,
+/// with no checkpoint to roll back to in this lightweight path — aborts.
+///
 /// # Errors
-/// Returns [`TasteError::Training`] on non-finite loss or empty input.
+/// Returns [`TasteError::Training`] on persistent anomalies, or
+/// [`TasteError::InvalidArgument`] on empty input.
 pub fn train_heads_only(
     model: &mut Adtd,
     inputs: &[ModelInput],
@@ -94,6 +102,8 @@ pub fn train_heads_only(
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..inputs.len()).collect();
     let mut losses = Vec::with_capacity(epochs);
+    let guard_policy = AnomalyPolicy::default();
+    let mut detector = AnomalyDetector::default();
     for _ in 0..epochs {
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -120,9 +130,6 @@ pub fn train_heads_only(
             }
             let total = tape.scale(total, 1.0 / cols.max(1) as f32);
             let v = tape.value(total).item();
-            if !v.is_finite() {
-                return Err(TasteError::Training(format!("non-finite loss {v}")));
-            }
             tape.backward(total);
             tape.accumulate_param_grads(&mut model.store);
             // Freeze everything that is not a head parameter.
@@ -134,9 +141,23 @@ pub fn train_heads_only(
             for id in frozen {
                 model.store.grad_mut(id).fill_zero();
             }
-            opt.step(&mut model.store);
-            epoch_loss += f64::from(v);
-            steps_done += 1;
+            // The detector observes the *effective* (post-freeze)
+            // gradient norm, after backward and before the update.
+            match detector.observe(&guard_policy, v, model.store.grad_global_norm()) {
+                StepVerdict::Apply => {
+                    opt.step(&mut model.store);
+                    epoch_loss += f64::from(v);
+                    steps_done += 1;
+                }
+                StepVerdict::Skip(_) => model.store.zero_grads(),
+                StepVerdict::Rollback(anomaly) => {
+                    // Head-only training keeps no checkpoints; a
+                    // persistent anomaly has nowhere to roll back to.
+                    return Err(TasteError::Training(format!(
+                        "persistent anomaly in head fine-tuning: {anomaly:?} (loss {v})"
+                    )));
+                }
+            }
         }
         losses.push((epoch_loss / steps_done.max(1) as f64) as f32);
     }

@@ -27,6 +27,11 @@
 //! * [`pretrain`] — Masked Language Model pre-training on the unlabeled
 //!   table corpus, standing in for the TURL pre-trained checkpoint.
 //! * [`trainer`] — mini-batch fine-tuning loops for ADTD and baselines.
+//! * [`resilience`] — crash-safe training: the driver behind
+//!   [`trainer::train_adtd_resumable`] and
+//!   [`pretrain::pretrain_encoder_resumable`] (periodic full-state
+//!   checkpoints, bit-identical resume, anomaly skip/rollback, and the
+//!   [`taste_nn::guard::TrainingHealth`] report).
 
 #![warn(missing_docs)]
 
@@ -41,6 +46,7 @@ pub mod features;
 pub mod infer;
 pub mod prepare;
 pub mod pretrain;
+pub mod resilience;
 pub mod trainer;
 
 pub use adtd::{Adtd, MetaEncoding};
@@ -49,4 +55,5 @@ pub use cache::{CacheRestoreStats, LatentCache};
 pub use config::ModelConfig;
 pub use infer::{ExecMode, Inferencer};
 pub use prepare::{ModelInput, TableChunk};
+pub use resilience::{FaultInjection, ResumableReport, TrainResilience};
 pub use trainer::TrainConfig;

@@ -68,12 +68,14 @@ pub fn sequences_from_inputs(
 }
 
 /// Applies BERT-style masking; returns `(masked tokens, positions,
-/// original ids at those positions)`.
+/// original ids at those positions)`. Generic over the RNG so the
+/// classic loop (StdRng) and the resumable loop (the checkpointable
+/// `SplitMix64Rng`) share it.
 fn mask_sequence(
     tokens: &[u32],
     tokenizer: &Tokenizer,
     mask_prob: f32,
-    rng: &mut rand::rngs::StdRng,
+    rng: &mut impl Rng,
 ) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
     let vocab = tokenizer.vocab();
     let mask_id = vocab.special(Special::Mask) as usize;
@@ -158,6 +160,101 @@ pub fn pretrain_encoder(
         }
     }
     Ok(store)
+}
+
+/// Crash-safe variant of [`pretrain_encoder`]: periodic full-state
+/// checkpoints, resume-on-start, and numerical-fault containment. The
+/// same bit-identical-resume guarantee as
+/// [`crate::trainer::train_adtd_resumable`] applies: masking and
+/// shuffling draw from the checkpointable RNG carried in the
+/// checkpoint, so a killed-and-resumed pre-training run reproduces the
+/// uninterrupted run exactly.
+///
+/// # Errors
+/// [`TasteError::InvalidArgument`] on an empty sequence set;
+/// [`TasteError::Training`] when the rollback budget is exhausted;
+/// [`TasteError::Serde`] on checkpoint I/O failure.
+pub fn pretrain_encoder_resumable(
+    cfg: &ModelConfig,
+    tokenizer: &Tokenizer,
+    sequences: &[Vec<u32>],
+    pcfg: &PretrainConfig,
+    res: &crate::resilience::TrainResilience,
+) -> Result<(ParamStore, crate::resilience::ResumableReport), TasteError> {
+    use crate::resilience::{ResilienceDriver, StepOutcome};
+    use taste_nn::checkpoint::TrainProgress;
+
+    if sequences.is_empty() {
+        return Err(TasteError::invalid("no pre-training sequences"));
+    }
+    let mut store = ParamStore::new(pcfg.seed ^ 0x9E37);
+    let encoder = Encoder::new(&mut store, "enc", cfg, tokenizer.vocab().len());
+    let mlm_head = Linear::new(&mut store, "mlm", cfg.hidden, tokenizer.vocab().len());
+
+    let steps = sequences.len().div_ceil(pcfg.batch_size) * pcfg.epochs;
+    let mut opt = Adam::new(
+        AdamConfig { lr: pcfg.lr, clip_norm: 1.0, ..Default::default() },
+        LrSchedule::LinearWarmupDecay { warmup: (steps / 10).max(1), total: steps.max(2) },
+    );
+    let mut driver = ResilienceDriver::new(res)?;
+    let mut st = match driver.resume(&mut store, &mut opt)? {
+        Some(progress) => progress,
+        None => TrainProgress::fresh(sequences.len(), pcfg.seed),
+    };
+    let batches_per_epoch = st.batches_per_epoch(pcfg.batch_size);
+    let mut halted = false;
+
+    while (st.epoch as usize) < pcfg.epochs {
+        if driver.should_halt(&st) {
+            halted = true;
+            break;
+        }
+        if st.batch == 0 {
+            st.order.shuffle(&mut st.rng);
+        }
+        let lo = st.batch as usize * pcfg.batch_size;
+        let hi = (lo + pcfg.batch_size).min(sequences.len());
+        let batch: Vec<usize> = st.order[lo..hi].iter().map(|&i| i as usize).collect();
+
+        let mut tape = Tape::new();
+        let mut losses = Vec::new();
+        for &i in &batch {
+            let (masked, positions, originals) =
+                mask_sequence(&sequences[i], tokenizer, pcfg.mask_prob, &mut st.rng);
+            if positions.is_empty() {
+                continue;
+            }
+            let latent = encoder.forward_self(&mut tape, &store, &masked);
+            let rows = crate::adtd::gather_node_rows(&mut tape, latent, &positions);
+            let logits = mlm_head.forward(&mut tape, &store, rows);
+            losses.push(mlm_cross_entropy(&mut tape, logits, originals));
+        }
+        if losses.is_empty() {
+            // No maskable positions in this batch: the RNG draws above
+            // still happened (so replay stays aligned); just move on.
+            st.advance(batches_per_epoch);
+            continue;
+        }
+        let mut total = losses[0];
+        for &l in &losses[1..] {
+            total = tape.add(total, l);
+        }
+        let total = tape.scale(total, 1.0 / losses.len() as f32);
+        let v = tape.value(total).item();
+        tape.backward(total);
+        tape.accumulate_param_grads(&mut store);
+        match driver.after_backward(&mut store, &mut opt, &mut st, v)? {
+            StepOutcome::Applied => {
+                st.record_loss(v);
+                st.advance(batches_per_epoch);
+                driver.maybe_checkpoint(&store, &opt, &mut st)?;
+            }
+            StepOutcome::Skipped(_) => st.advance(batches_per_epoch),
+            StepOutcome::RolledBack => {}
+        }
+    }
+    let report = ResilienceDriver::finish(st, &opt, halted);
+    Ok((store, report))
 }
 
 /// Measures the mean MLM loss of a store over a sequence sample —

@@ -1,0 +1,308 @@
+//! Crash-safe, anomaly-guarded training: the driver shared by the
+//! resumable fine-tuning and MLM pre-training loops.
+//!
+//! The serving path already survives crashes (journaled detection runs)
+//! and bad inputs (panic isolation); this module gives the *training*
+//! path the same two properties. A [`ResilienceDriver`] wraps a
+//! training loop with:
+//!
+//! * **resume-on-start** — the newest intact checkpoint in the
+//!   configured directory is restored (corrupt files are quarantined
+//!   and skipped), and the loop continues from its cursor through the
+//!   same RNG stream, so a killed-and-resumed run is bit-identical to
+//!   an uninterrupted one;
+//! * **periodic checkpoints** — full state (params, Adam moments and
+//!   step, LR position, cursor, RNG, loss history, detector) saved
+//!   atomically on the [`CheckpointPolicy`] cadence with rotation;
+//! * **numerical-fault containment** — every step's loss and global
+//!   gradient norm pass through the [`taste_nn::guard`] detector;
+//!   anomalous steps are skipped (gradients dropped), and consecutive
+//!   anomalies roll the run back to the previous checkpoint at a
+//!   reduced learning rate.
+//!
+//! Fault injection mirrors the database's seeded `FaultProfile` idiom:
+//! a [`FaultInjection`] names the exact steps to poison, and each named
+//! step fires once — after a rollback replays it, the fault does not
+//! recur, exactly like a transient production fault.
+
+use std::path::PathBuf;
+
+use rustc_hash::FxHashSet;
+use taste_core::TasteError;
+use taste_nn::checkpoint::{CheckpointPolicy, CheckpointStore, TrainCheckpoint, TrainProgress};
+use taste_nn::guard::{Anomaly, AnomalyPolicy, StepVerdict, TrainingHealth};
+use taste_nn::{Adam, ParamStore};
+
+use crate::trainer::TrainReport;
+
+/// Configuration of a resumable training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainResilience {
+    /// Checkpoint directory. `None` trains without checkpoints: anomaly
+    /// containment stays active, but rollback degrades to
+    /// skip-and-reduce-LR.
+    pub dir: Option<PathBuf>,
+    /// Checkpoint cadence and retention.
+    pub policy: CheckpointPolicy,
+    /// Anomaly thresholds and escalation limits.
+    pub anomaly: AnomalyPolicy,
+    /// Stop after this many processed steps — a simulated kill for
+    /// tests and benchmarks. The run returns early with `halted = true`
+    /// and writes **no** extra checkpoint, so resuming replays from the
+    /// last periodic one like a real crash.
+    pub halt_after_steps: Option<u64>,
+    /// Deterministic numerical-fault injection.
+    pub inject: FaultInjection,
+}
+
+impl TrainResilience {
+    /// Checkpoints into `dir` with default cadence and anomaly policy.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> TrainResilience {
+        TrainResilience { dir: Some(dir.into()), ..TrainResilience::default() }
+    }
+}
+
+/// Steps to poison, by kind. A step listed here fires **once** per run
+/// object: after a rollback replays the step, the fault does not recur
+/// (a step-keyed fault that re-fired forever would defeat rollback by
+/// construction). List each step under at most one kind.
+#[derive(Debug, Clone)]
+pub struct FaultInjection {
+    /// Steps whose gradients are poisoned with NaN after backward.
+    pub nan_grad_steps: Vec<u64>,
+    /// Steps whose loss reaches the detector as NaN.
+    pub nan_loss_steps: Vec<u64>,
+    /// Steps whose loss reaches the detector scaled by `spike_scale`.
+    pub spike_loss_steps: Vec<u64>,
+    /// Multiplier applied on `spike_loss_steps`.
+    pub spike_scale: f32,
+}
+
+impl Default for FaultInjection {
+    fn default() -> Self {
+        FaultInjection {
+            nan_grad_steps: Vec::new(),
+            nan_loss_steps: Vec::new(),
+            spike_loss_steps: Vec::new(),
+            spike_scale: 100.0,
+        }
+    }
+}
+
+impl FaultInjection {
+    /// Whether any fault is configured.
+    pub fn is_empty(&self) -> bool {
+        self.nan_grad_steps.is_empty()
+            && self.nan_loss_steps.is_empty()
+            && self.spike_loss_steps.is_empty()
+    }
+}
+
+/// What a resumable training run returns alongside the trained model.
+#[derive(Debug, Clone)]
+pub struct ResumableReport {
+    /// Mean loss per completed epoch (the classic [`TrainReport`]).
+    pub report: TrainReport,
+    /// Loss of every applied optimizer step, across kills and resumes.
+    pub step_losses: Vec<f32>,
+    /// Anomaly and checkpoint telemetry.
+    pub health: TrainingHealth,
+    /// Whether the run stopped at `halt_after_steps` rather than
+    /// completing its epochs.
+    pub halted: bool,
+}
+
+/// The per-step outcome [`ResilienceDriver::after_backward`] reports to
+/// the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The optimizer stepped: record the loss and advance the cursor.
+    Applied,
+    /// The step was anomalous: gradients were dropped, nothing was
+    /// applied. Advance the cursor without recording a loss.
+    Skipped(Anomaly),
+    /// The run was rolled back to an earlier checkpoint; the cursor
+    /// moved *backwards*. Do not advance — loop again from the restored
+    /// progress.
+    RolledBack,
+}
+
+/// Shared mechanics of a resumable training loop.
+pub struct ResilienceDriver {
+    store: Option<CheckpointStore>,
+    cfg: TrainResilience,
+    fired: FxHashSet<u64>,
+}
+
+impl ResilienceDriver {
+    /// Builds the driver, creating the checkpoint directory if one is
+    /// configured.
+    ///
+    /// # Errors
+    /// [`TasteError::Serde`] when the directory cannot be created.
+    pub fn new(cfg: &TrainResilience) -> Result<ResilienceDriver, TasteError> {
+        let store = match &cfg.dir {
+            Some(dir) => Some(CheckpointStore::new(dir, cfg.policy)?),
+            None => None,
+        };
+        Ok(ResilienceDriver { store, cfg: cfg.clone(), fired: FxHashSet::default() })
+    }
+
+    /// Restores the newest intact checkpoint into `params` and `opt`,
+    /// returning its progress, or `None` when starting fresh.
+    ///
+    /// # Errors
+    /// [`TasteError::Corrupt`] when an intact-looking checkpoint does
+    /// not match the model (wrong architecture under this directory).
+    pub fn resume(&mut self, params: &mut ParamStore, opt: &mut Adam) -> Result<Option<TrainProgress>, TasteError> {
+        let Some(cs) = &self.store else { return Ok(None) };
+        let outcome = cs.load_latest()?;
+        match outcome.loaded {
+            Some((ck, _path)) => {
+                let mut progress = ck.restore(params, opt)?;
+                progress.health.resumed_from_step = Some(progress.step);
+                progress.health.checkpoints_quarantined += outcome.quarantined;
+                Ok(Some(progress))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Whether the simulated-kill point has been reached.
+    pub fn should_halt(&self, progress: &TrainProgress) -> bool {
+        self.cfg.halt_after_steps.is_some_and(|h| progress.step >= h)
+    }
+
+    /// Applies any one-shot fault configured for this step; returns the
+    /// loss value the detector should observe.
+    fn inject(&mut self, step: u64, loss: f32, params: &mut ParamStore) -> f32 {
+        if self.cfg.inject.is_empty() {
+            return loss;
+        }
+        if self.cfg.inject.nan_grad_steps.contains(&step) && self.fired.insert(step) {
+            if let Some(id) = params.ids().next() {
+                params.grad_mut(id).as_mut_slice()[0] = f32::NAN;
+            }
+            return loss;
+        }
+        if self.cfg.inject.nan_loss_steps.contains(&step) && self.fired.insert(step) {
+            return f32::NAN;
+        }
+        if self.cfg.inject.spike_loss_steps.contains(&step) && self.fired.insert(step) {
+            return loss * self.cfg.inject.spike_scale;
+        }
+        loss
+    }
+
+    /// The per-step decision point, called after backward with the
+    /// gradients accumulated (and any frozen gradients already zeroed)
+    /// but *before* the optimizer step: injects configured faults, runs
+    /// the anomaly detector, and either applies the update, skips the
+    /// step, or rolls back to the previous checkpoint.
+    ///
+    /// # Errors
+    /// [`TasteError::Training`] once the rollback budget is exhausted —
+    /// the run is not converging and silently continuing would burn
+    /// compute on a poisoned model.
+    pub fn after_backward(
+        &mut self,
+        params: &mut ParamStore,
+        opt: &mut Adam,
+        progress: &mut TrainProgress,
+        loss: f32,
+    ) -> Result<StepOutcome, TasteError> {
+        let observed = self.inject(progress.step, loss, params);
+        let grad_norm = params.grad_global_norm();
+        match progress.detector.observe(&self.cfg.anomaly, observed, grad_norm) {
+            StepVerdict::Apply => {
+                opt.step(params);
+                progress.health.steps_applied += 1;
+                Ok(StepOutcome::Applied)
+            }
+            StepVerdict::Skip(anomaly) => {
+                params.zero_grads();
+                progress.health.record_anomaly(anomaly);
+                Ok(StepOutcome::Skipped(anomaly))
+            }
+            StepVerdict::Rollback(anomaly) => {
+                params.zero_grads();
+                progress.health.record_anomaly(anomaly);
+                progress.health.rollbacks += 1;
+                if progress.health.rollbacks > self.cfg.anomaly.max_rollbacks {
+                    return Err(TasteError::Training(format!(
+                        "aborting after {} rollbacks (latest: {anomaly:?} at step {})",
+                        progress.health.rollbacks, progress.step
+                    )));
+                }
+                // Live counters must survive the restore: the restored
+                // progress carries the *old* health, and rewinding the
+                // anomaly history would both under-report and reset the
+                // rollback budget.
+                let live_health = progress.health.clone();
+                let restored = match &self.store {
+                    Some(cs) => {
+                        let outcome = cs.load_latest()?;
+                        outcome.loaded.map(|(ck, _)| (ck, outcome.quarantined))
+                    }
+                    None => None,
+                };
+                match restored {
+                    Some((ck, quarantined)) => {
+                        let mut back = ck.restore(params, opt)?;
+                        back.health = live_health;
+                        back.health.checkpoints_quarantined += quarantined;
+                        opt.config.lr *= self.cfg.anomaly.lr_backoff;
+                        *progress = back;
+                        // Persist the reduced LR and the anomaly counts
+                        // immediately: a crash right after rollback must
+                        // not resume at the un-reduced rate.
+                        self.save_now(params, opt, progress)?;
+                        Ok(StepOutcome::RolledBack)
+                    }
+                    None => {
+                        // Nothing to roll back to (no checkpointing, or
+                        // no checkpoint yet): contain locally.
+                        opt.config.lr *= self.cfg.anomaly.lr_backoff;
+                        Ok(StepOutcome::Skipped(anomaly))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Saves a checkpoint when the periodic cadence is due.
+    ///
+    /// # Errors
+    /// [`TasteError::Serde`] on I/O failure.
+    pub fn maybe_checkpoint(
+        &self,
+        params: &ParamStore,
+        opt: &Adam,
+        progress: &mut TrainProgress,
+    ) -> Result<(), TasteError> {
+        let due = self.store.as_ref().is_some_and(|cs| cs.policy().due(progress.step));
+        if due {
+            self.save_now(params, opt, progress)?;
+        }
+        Ok(())
+    }
+
+    fn save_now(&self, params: &ParamStore, opt: &Adam, progress: &mut TrainProgress) -> Result<(), TasteError> {
+        let Some(cs) = &self.store else { return Ok(()) };
+        progress.health.checkpoints_written += 1;
+        cs.save(&TrainCheckpoint::capture(params, opt, progress))?;
+        Ok(())
+    }
+
+    /// Packages the final state of a completed (or halted) run.
+    pub fn finish(progress: TrainProgress, opt: &Adam, halted: bool) -> ResumableReport {
+        let mut health = progress.health;
+        health.final_lr = opt.config.lr;
+        ResumableReport {
+            report: TrainReport { epoch_losses: progress.epoch_losses },
+            step_losses: progress.step_losses,
+            health,
+            halted,
+        }
+    }
+}

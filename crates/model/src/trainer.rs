@@ -7,10 +7,12 @@
 use crate::adtd::{rows_matrix, Adtd};
 use crate::baselines::SingleTower;
 use crate::prepare::ModelInput;
+use crate::resilience::{ResilienceDriver, ResumableReport, StepOutcome, TrainResilience};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use taste_core::TasteError;
+use taste_nn::checkpoint::TrainProgress;
 use taste_nn::losses::multilabel_bce;
 use taste_nn::{Adam, AdamConfig, LrSchedule, Tape};
 
@@ -151,6 +153,110 @@ pub fn train_adtd(model: &mut Adtd, inputs: &[ModelInput], cfg: &TrainConfig) ->
         epoch_losses.push((epoch_loss / steps.max(1) as f64) as f32);
     }
     Ok(TrainReport { epoch_losses })
+}
+
+/// Crash-safe variant of [`train_adtd`]: periodic full-state
+/// checkpoints, resume-on-start, and numerical-fault containment, all
+/// configured by `res`.
+///
+/// With a checkpoint directory set, killing the process at any point
+/// and calling this again with a freshly constructed model (same
+/// constructor seed) and the same configs resumes from the last
+/// checkpoint and produces **bit-identical** final parameters and
+/// per-step losses to an uninterrupted run: the loop's shuffle order,
+/// input subsampling, and dropout all draw from a checkpointable RNG
+/// carried in [`TrainProgress`], and parameter/moment values travel
+/// through the checkpoint as raw bits.
+///
+/// # Errors
+/// [`TasteError::InvalidArgument`] on empty input;
+/// [`TasteError::Training`] when the anomaly rollback budget is
+/// exhausted; [`TasteError::Serde`] on checkpoint I/O failure.
+pub fn train_adtd_resumable(
+    model: &mut Adtd,
+    inputs: &[ModelInput],
+    cfg: &TrainConfig,
+    res: &TrainResilience,
+) -> Result<ResumableReport, TasteError> {
+    if inputs.is_empty() {
+        return Err(TasteError::invalid("no training inputs"));
+    }
+    let steps_per_epoch = inputs.len().div_ceil(cfg.batch_size);
+    let mut opt = make_optimizer(cfg, steps_per_epoch * cfg.epochs);
+    let mut driver = ResilienceDriver::new(res)?;
+    let mut st = match driver.resume(&mut model.store, &mut opt)? {
+        Some(progress) => progress,
+        None => TrainProgress::fresh(inputs.len(), cfg.seed),
+    };
+    let batches_per_epoch = steps_per_epoch as u64;
+    let mut halted = false;
+
+    while (st.epoch as usize) < cfg.epochs {
+        if driver.should_halt(&st) {
+            halted = true;
+            break;
+        }
+        // `batch == 0` always means "epoch not started": the cursor
+        // never rests at 0 mid-epoch, so shuffling here replays
+        // identically whether the epoch boundary was crossed live or
+        // restored from a checkpoint.
+        if st.batch == 0 {
+            st.order.shuffle(&mut st.rng);
+        }
+        let lo = st.batch as usize * cfg.batch_size;
+        let hi = (lo + cfg.batch_size).min(inputs.len());
+        let batch: Vec<usize> = st.order[lo..hi].iter().map(|&i| i as usize).collect();
+
+        let mut tape = Tape::new();
+        let mut meta_losses = Vec::new();
+        let mut content_losses = Vec::new();
+        let mut meta_cols = 0usize;
+        let mut content_cols_total = 0usize;
+        for &i in &batch {
+            let input = inputs[i].shuffled(&mut st.rng);
+            let input = &input;
+            let fwd = model.forward_train(&mut tape, input, Some(&mut st.rng));
+            let targets = rows_matrix(&input.targets);
+            meta_cols += input.targets.len();
+            meta_losses.push(tape.bce_with_logits_weighted_sum(fwd.meta_logits, targets, cfg.pos_weight));
+            if let Some(logits) = fwd.content_logits {
+                let sub: Vec<Vec<f32>> = fwd
+                    .content_cols
+                    .iter()
+                    .map(|&j| input.targets[j].clone())
+                    .collect();
+                content_cols_total += sub.len();
+                content_losses.push(tape.bce_with_logits_weighted_sum(logits, rows_matrix(&sub), cfg.pos_weight));
+            }
+        }
+        let meta_sum = sum_nodes(&mut tape, &meta_losses);
+        let meta_loss = tape.scale(meta_sum, 1.0 / meta_cols.max(1) as f32);
+        let content_loss = if content_losses.is_empty() {
+            tape.leaf(taste_nn::Matrix::scalar(0.0))
+        } else {
+            let s = sum_nodes(&mut tape, &content_losses);
+            tape.scale(s, 1.0 / content_cols_total.max(1) as f32)
+        };
+        let total = model.awl.combine(&mut tape, &model.store, &[meta_loss, content_loss]);
+        let loss_val = tape.value(total).item();
+        // Unlike `train_adtd`, a non-finite loss is not fatal here: it
+        // flows to the detector, which skips (or rolls back) the step.
+        tape.backward(total);
+        tape.accumulate_param_grads(&mut model.store);
+        if cfg.freeze_awl {
+            model.store.grad_mut(model.awl.weights).fill_zero();
+        }
+        match driver.after_backward(&mut model.store, &mut opt, &mut st, loss_val)? {
+            StepOutcome::Applied => {
+                st.record_loss(loss_val);
+                st.advance(batches_per_epoch);
+                driver.maybe_checkpoint(&model.store, &opt, &mut st)?;
+            }
+            StepOutcome::Skipped(_) => st.advance(batches_per_epoch),
+            StepOutcome::RolledBack => {} // cursor rewound; just loop
+        }
+    }
+    Ok(ResilienceDriver::finish(st, &opt, halted))
 }
 
 /// Fine-tunes a [`SingleTower`] baseline on prepared inputs.

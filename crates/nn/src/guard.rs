@@ -1,0 +1,275 @@
+//! Numerical-fault containment for training loops.
+//!
+//! Training shares a failure taxonomy with serving — faults arrive
+//! mid-run and must be *contained*, not allowed to poison downstream
+//! state — but the poison is numerical instead of infrastructural: one
+//! NaN gradient silently corrupts every parameter it touches, and a
+//! single pathological batch can fling the loss far from its basin.
+//! This module is the training-side analog of the serving engine's
+//! circuit breaker: an [`AnomalyDetector`] watches each step's loss and
+//! global gradient norm, and renders a [`StepVerdict`] — apply the
+//! optimizer step, skip it (drop the gradients on the floor), or
+//! escalate to a rollback of the last checkpoint at a reduced learning
+//! rate. Everything the detector sees is counted in a
+//! [`TrainingHealth`] report returned alongside the trained model, so a
+//! "successful" run that quietly skipped half its steps is visible.
+//!
+//! The detector itself is plain serializable state: it is checkpointed
+//! with the rest of the training loop, so a killed-and-resumed run
+//! renders the same verdicts as an uninterrupted one.
+
+use serde::{Deserialize, Serialize};
+
+/// Floor for the loss-spike baseline, so a near-zero EMA (a converged
+/// loss) does not flag every subsequent step as a spike.
+const BASELINE_FLOOR: f32 = 1e-3;
+
+/// Thresholds and escalation limits for anomaly containment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AnomalyPolicy {
+    /// A finite loss above `spike_factor * max(EMA, floor)` is a spike;
+    /// `0` disables spike detection (the NaN/Inf sentinels stay active).
+    pub spike_factor: f32,
+    /// Smoothing factor of the loss EMA baseline (weight of the newest
+    /// observation).
+    pub ema_alpha: f32,
+    /// Clean steps observed before spike detection arms; early training
+    /// loss is legitimately volatile.
+    pub warmup_steps: u64,
+    /// Consecutive anomalous steps tolerated (as skips) before the
+    /// verdict escalates to rollback.
+    pub max_consecutive: u32,
+    /// Learning-rate multiplier applied on every rollback.
+    pub lr_backoff: f32,
+    /// Rollbacks tolerated across the whole run before training aborts
+    /// with [`taste_core::TasteError::Training`].
+    pub max_rollbacks: u64,
+}
+
+impl Default for AnomalyPolicy {
+    fn default() -> Self {
+        AnomalyPolicy {
+            spike_factor: 8.0,
+            ema_alpha: 0.1,
+            warmup_steps: 8,
+            max_consecutive: 3,
+            lr_backoff: 0.5,
+            max_rollbacks: 4,
+        }
+    }
+}
+
+/// The specific numerical anomaly a step tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// The loss evaluated to NaN or infinity.
+    NonFiniteLoss,
+    /// The global gradient norm is NaN or infinity.
+    NonFiniteGrad,
+    /// The loss is finite but far above its running baseline.
+    LossSpike,
+}
+
+/// The detector's decision for one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepVerdict {
+    /// The step is clean: apply the optimizer update.
+    Apply,
+    /// The step is anomalous: drop its gradients, do not update, move on.
+    Skip(Anomaly),
+    /// Too many consecutive anomalies: restore the last checkpoint and
+    /// retry at a reduced learning rate.
+    Rollback(Anomaly),
+}
+
+/// Serializable loss-EMA and sentinel state.
+///
+/// `observe` must be called exactly once per training step, *after*
+/// backward (so the gradient norm is available) and *before* the
+/// optimizer step (so a poisoned update is never applied).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyDetector {
+    ema: f32,
+    clean_steps: u64,
+    consecutive: u32,
+}
+
+impl AnomalyDetector {
+    /// Classifies one step and updates the baseline. Clean steps feed
+    /// the EMA; anomalous steps do not (a spike must not drag the
+    /// baseline up toward itself).
+    pub fn observe(&mut self, policy: &AnomalyPolicy, loss: f32, grad_norm: f32) -> StepVerdict {
+        let anomaly = if !loss.is_finite() {
+            Some(Anomaly::NonFiniteLoss)
+        } else if !grad_norm.is_finite() {
+            Some(Anomaly::NonFiniteGrad)
+        } else if policy.spike_factor > 0.0
+            && self.clean_steps >= policy.warmup_steps
+            && loss > policy.spike_factor * self.ema.max(BASELINE_FLOOR)
+        {
+            Some(Anomaly::LossSpike)
+        } else {
+            None
+        };
+        match anomaly {
+            None => {
+                self.ema = if self.clean_steps == 0 {
+                    loss
+                } else {
+                    policy.ema_alpha * loss + (1.0 - policy.ema_alpha) * self.ema
+                };
+                self.clean_steps += 1;
+                self.consecutive = 0;
+                StepVerdict::Apply
+            }
+            Some(a) => {
+                self.consecutive += 1;
+                if self.consecutive >= policy.max_consecutive.max(1) {
+                    self.consecutive = 0;
+                    StepVerdict::Rollback(a)
+                } else {
+                    StepVerdict::Skip(a)
+                }
+            }
+        }
+    }
+
+    /// The current loss baseline, or `None` before the first clean step.
+    pub fn baseline(&self) -> Option<f32> {
+        (self.clean_steps > 0).then_some(self.ema)
+    }
+}
+
+/// Anomaly and checkpoint telemetry for one training run, returned
+/// alongside the trained model (and persisted inside every checkpoint,
+/// so counts survive resume).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingHealth {
+    /// Optimizer steps actually applied.
+    pub steps_applied: u64,
+    /// Steps skipped by the anomaly detector (sum of the three causes).
+    pub steps_skipped: u64,
+    /// Skips caused by a NaN/Inf loss.
+    pub non_finite_loss: u64,
+    /// Skips caused by a NaN/Inf gradient norm.
+    pub non_finite_grad: u64,
+    /// Skips caused by a loss spike.
+    pub loss_spikes: u64,
+    /// Checkpoint rollbacks taken after consecutive anomalies.
+    pub rollbacks: u64,
+    /// Checkpoints written by this run.
+    pub checkpoints_written: u64,
+    /// Corrupt checkpoint files quarantined while loading.
+    pub checkpoints_quarantined: u64,
+    /// The step the run resumed from, if it restored a checkpoint at
+    /// startup rather than starting fresh.
+    pub resumed_from_step: Option<u64>,
+    /// The base learning rate at the end of the run (reduced from the
+    /// configured rate if rollbacks fired).
+    pub final_lr: f32,
+}
+
+impl TrainingHealth {
+    /// Counts one skipped step under its cause.
+    pub fn record_anomaly(&mut self, anomaly: Anomaly) {
+        self.steps_skipped += 1;
+        match anomaly {
+            Anomaly::NonFiniteLoss => self.non_finite_loss += 1,
+            Anomaly::NonFiniteGrad => self.non_finite_grad += 1,
+            Anomaly::LossSpike => self.loss_spikes += 1,
+        }
+    }
+
+    /// Whether the run saw no anomalies, rollbacks, or corrupt
+    /// checkpoints.
+    pub fn is_clean(&self) -> bool {
+        self.steps_skipped == 0 && self.rollbacks == 0 && self.checkpoints_quarantined == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AnomalyPolicy {
+        AnomalyPolicy { warmup_steps: 3, max_consecutive: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn clean_steps_apply_and_feed_baseline() {
+        let mut d = AnomalyDetector::default();
+        let p = policy();
+        assert_eq!(d.observe(&p, 1.0, 0.5), StepVerdict::Apply);
+        assert_eq!(d.observe(&p, 0.9, 0.5), StepVerdict::Apply);
+        let base = d.baseline().unwrap();
+        assert!(base > 0.9 && base <= 1.0);
+    }
+
+    #[test]
+    fn non_finite_loss_and_grad_are_flagged_immediately() {
+        let mut d = AnomalyDetector::default();
+        let p = policy();
+        // Sentinels are armed even at step 0, before any warmup.
+        assert_eq!(d.observe(&p, f32::NAN, 0.5), StepVerdict::Skip(Anomaly::NonFiniteLoss));
+        assert_eq!(d.observe(&p, 1.0, f32::INFINITY), StepVerdict::Rollback(Anomaly::NonFiniteGrad));
+    }
+
+    #[test]
+    fn spike_detection_waits_for_warmup() {
+        let mut d = AnomalyDetector::default();
+        let p = policy();
+        // A huge first loss is tolerated: the baseline is still forming.
+        assert_eq!(d.observe(&p, 1000.0, 0.5), StepVerdict::Apply);
+        for _ in 0..3 {
+            assert_eq!(d.observe(&p, 1.0, 0.5), StepVerdict::Apply);
+        }
+        // Armed now; a 100x excursion is a spike.
+        let ema = d.baseline().unwrap();
+        assert_eq!(d.observe(&p, ema * 100.0, 0.5), StepVerdict::Skip(Anomaly::LossSpike));
+        // ...and the spike must not have dragged the baseline up.
+        assert_eq!(d.baseline().unwrap(), ema);
+    }
+
+    #[test]
+    fn consecutive_anomalies_escalate_then_reset() {
+        let mut d = AnomalyDetector::default();
+        let p = policy(); // max_consecutive = 2
+        assert_eq!(d.observe(&p, f32::NAN, 0.5), StepVerdict::Skip(Anomaly::NonFiniteLoss));
+        assert_eq!(d.observe(&p, f32::NAN, 0.5), StepVerdict::Rollback(Anomaly::NonFiniteLoss));
+        // The rollback resets the streak: the next anomaly is a skip again.
+        assert_eq!(d.observe(&p, f32::NAN, 0.5), StepVerdict::Skip(Anomaly::NonFiniteLoss));
+        // A clean step also clears the streak.
+        assert_eq!(d.observe(&p, 1.0, 0.5), StepVerdict::Apply);
+        assert_eq!(d.observe(&p, f32::NAN, 0.5), StepVerdict::Skip(Anomaly::NonFiniteLoss));
+    }
+
+    #[test]
+    fn health_counts_by_cause() {
+        let mut h = TrainingHealth::default();
+        assert!(h.is_clean());
+        h.record_anomaly(Anomaly::NonFiniteLoss);
+        h.record_anomaly(Anomaly::LossSpike);
+        h.record_anomaly(Anomaly::LossSpike);
+        assert_eq!(h.steps_skipped, 3);
+        assert_eq!(h.non_finite_loss, 1);
+        assert_eq!(h.loss_spikes, 2);
+        assert!(!h.is_clean());
+    }
+
+    #[test]
+    fn detector_state_survives_serialization() {
+        let mut d = AnomalyDetector::default();
+        let p = policy();
+        for i in 0..5 {
+            d.observe(&p, 1.0 + i as f32 * 0.01, 0.5);
+        }
+        d.observe(&p, f32::NAN, 0.5);
+        let restored: AnomalyDetector =
+            serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(restored, d);
+        // Both must render the same verdict on the same next step.
+        let mut a = d;
+        let mut b = restored;
+        assert_eq!(a.observe(&p, f32::NAN, 0.5), b.observe(&p, f32::NAN, 0.5));
+    }
+}

@@ -28,13 +28,22 @@
 //!   MLM pre-training, and the paper's automatic weighted multi-task loss.
 //! * [`optim`] — Adam with bias correction, global-norm gradient clipping,
 //!   and warmup/decay learning-rate schedules.
+//! * [`checkpoint`] — versioned, CRC32C-framed, atomically-written
+//!   full-state training checkpoints (values + Adam moments + LR
+//!   position + loop cursor + RNG state) with rotation and corrupt-file
+//!   quarantine, enabling bit-identical resume after a crash.
+//! * [`guard`] — numerical-fault containment: NaN/Inf sentinels and a
+//!   loss-spike detector that skip poisoned steps, escalate to
+//!   checkpoint rollback, and report a [`guard::TrainingHealth`].
 //!
 //! The substitution rationale (this stack in place of PyTorch + CUDA) is
 //! documented in the workspace `DESIGN.md`.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod exec;
+pub mod guard;
 pub mod kernels;
 pub mod losses;
 pub mod matrix;
@@ -45,7 +54,9 @@ pub mod pool;
 pub mod summary;
 pub mod tape;
 
+pub use checkpoint::{CheckpointPolicy, CheckpointStore, TrainCheckpoint, TrainProgress};
 pub use exec::{ExecSession, Forward, InferExec};
+pub use guard::{Anomaly, AnomalyDetector, AnomalyPolicy, StepVerdict, TrainingHealth};
 pub use kernels::{Act, PackedB};
 pub use matrix::Matrix;
 pub use optim::{Adam, AdamConfig, LrSchedule};

@@ -69,7 +69,13 @@ impl LrSchedule {
 
 /// Adam optimizer with bias correction, optional decoupled weight decay,
 /// and optional global-norm gradient clipping.
-#[derive(Debug, Clone)]
+///
+/// The whole struct (hyperparameters, schedule, and step counter)
+/// serializes, so a checkpointed run resumes with the same
+/// [`Adam::steps`] and [`Adam::current_lr`] instead of silently
+/// restarting warmup. The per-parameter moment buffers live in the
+/// [`ParamStore`] and are checkpointed alongside the values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     /// Hyperparameters.
     pub config: AdamConfig,
@@ -203,6 +209,25 @@ mod tests {
         assert!(s.factor(99) < s.factor(50));
         assert_eq!(s.factor(1000), 0.0);
         assert_eq!(LrSchedule::Constant.factor(123), 1.0);
+    }
+
+    #[test]
+    fn serialized_optimizer_keeps_step_and_lr_position() {
+        let mut store = ParamStore::new(0);
+        let w = store.constant("w", 1, 1, 0.0);
+        let mut opt = Adam::new(
+            AdamConfig { lr: 0.5, ..Default::default() },
+            LrSchedule::LinearWarmupDecay { warmup: 10, total: 100 },
+        );
+        for _ in 0..7 {
+            store.grad_mut(w).axpy(1.0, &Matrix::scalar(0.3));
+            opt.step(&mut store);
+        }
+        let restored: Adam = serde_json::from_str(&serde_json::to_string(&opt).unwrap()).unwrap();
+        assert_eq!(restored.steps(), 7);
+        assert_eq!(restored.current_lr(), opt.current_lr());
+        // Mid-warmup, so the factor must be strictly below 1.
+        assert!(restored.current_lr() < 0.5);
     }
 
     #[test]

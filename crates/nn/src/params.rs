@@ -9,6 +9,7 @@ use crate::matrix::Matrix;
 use rand::Rng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use taste_core::TasteError;
 
 /// Dense handle to a parameter within its [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -218,6 +219,37 @@ impl ParamStore {
         (&mut p.value, m, v, grad)
     }
 
+    /// The Adam moment buffers of a parameter, in `(m, v)` order, or
+    /// `None` if the optimizer has not touched it yet.
+    pub fn adam_moments(&self, id: ParamId) -> Option<(&Matrix, &Matrix)> {
+        let p = &self.params[id.0];
+        match (&p.adam_m, &p.adam_v) {
+            (Some(m), Some(v)) => Some((m, v)),
+            _ => None,
+        }
+    }
+
+    /// Restores a parameter's Adam moment buffers from a checkpoint.
+    ///
+    /// # Errors
+    /// [`TasteError::Corrupt`] when either buffer's shape disagrees with
+    /// the parameter value.
+    pub fn restore_adam_moments(&mut self, id: ParamId, m: Matrix, v: Matrix) -> Result<(), TasteError> {
+        let p = &mut self.params[id.0];
+        if m.shape() != p.value.shape() || v.shape() != p.value.shape() {
+            return Err(TasteError::corrupt(format!(
+                "param {:?}: moment shapes {:?}/{:?} disagree with value shape {:?}",
+                p.name,
+                m.shape(),
+                v.shape(),
+                p.value.shape()
+            )));
+        }
+        p.adam_m = Some(m);
+        p.adam_v = Some(v);
+        Ok(())
+    }
+
     /// Clears every parameter's Adam moment buffers. Call when starting
     /// a new training phase over a subset of parameters: stale momentum
     /// from an earlier phase would otherwise keep moving parameters whose
@@ -235,8 +267,42 @@ impl ParamStore {
     }
 
     /// Restores a store from a JSON checkpoint.
-    pub fn from_json(json: &str) -> Result<ParamStore, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    ///
+    /// # Errors
+    /// [`TasteError::Serde`] when the JSON does not parse at all;
+    /// [`TasteError::Corrupt`] when it parses but carries garbage — a
+    /// value buffer whose length disagrees with its declared shape, or a
+    /// non-finite parameter. Loading either silently would poison every
+    /// later forward pass, so both are rejected at this edge.
+    pub fn from_json(json: &str) -> Result<ParamStore, TasteError> {
+        let store: ParamStore = serde_json::from_str(json)
+            .map_err(|e| TasteError::Serde(format!("ParamStore: {e}")))?;
+        store.validate()?;
+        Ok(store)
+    }
+
+    /// Checks every parameter for buffer/shape agreement and finiteness.
+    ///
+    /// # Errors
+    /// [`TasteError::Corrupt`] naming the first offending parameter.
+    pub fn validate(&self) -> Result<(), TasteError> {
+        for p in &self.params {
+            let (rows, cols) = p.value.shape();
+            if p.value.len() != rows * cols {
+                return Err(TasteError::corrupt(format!(
+                    "param {:?}: buffer holds {} values for declared shape {rows}x{cols}",
+                    p.name,
+                    p.value.len()
+                )));
+            }
+            if !p.value.all_finite() {
+                return Err(TasteError::corrupt(format!(
+                    "param {:?} contains non-finite values",
+                    p.name
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Copies values (matched by name) from another store; returns the
@@ -328,6 +394,44 @@ mod tests {
         assert_eq!(back.len(), 2);
         let id = back.id_by_name("enc.b").unwrap();
         assert_eq!(back.value(id).as_slice(), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn from_json_rejects_shape_buffer_disagreement() {
+        // Hand-built checkpoint whose buffer holds one value for a 2x2 shape.
+        let json = r#"{"params":[{"name":"w","value":{"rows":2,"cols":2,"data":[1.0]}}],"seed":0}"#;
+        match ParamStore::from_json(json) {
+            Err(TasteError::Corrupt(msg)) => assert!(msg.contains("2x2"), "msg: {msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_non_finite_values() {
+        // serde_json parses out-of-range literals like 1e999 as infinity.
+        let json = r#"{"params":[{"name":"w","value":{"rows":1,"cols":1,"data":[1e999]}}],"seed":0}"#;
+        match ParamStore::from_json(json) {
+            Err(TasteError::Corrupt(msg)) => assert!(msg.contains("non-finite"), "msg: {msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Unparseable input maps to Serde, not Corrupt.
+        assert!(matches!(ParamStore::from_json("not json"), Err(TasteError::Serde(_))));
+    }
+
+    #[test]
+    fn adam_moments_roundtrip_through_accessors() {
+        let mut store = ParamStore::new(0);
+        let w = store.constant("w", 2, 2, 1.0);
+        assert!(store.adam_moments(w).is_none());
+        let m = Matrix::full(2, 2, 0.25);
+        let v = Matrix::full(2, 2, 0.5);
+        store.restore_adam_moments(w, m.clone(), v.clone()).unwrap();
+        let (rm, rv) = store.adam_moments(w).unwrap();
+        assert_eq!(rm, &m);
+        assert_eq!(rv, &v);
+        // Mismatched shapes are rejected as corruption.
+        let bad = store.restore_adam_moments(w, Matrix::zeros(1, 2), Matrix::zeros(2, 2));
+        assert!(matches!(bad, Err(TasteError::Corrupt(_))));
     }
 
     #[test]
