@@ -1,6 +1,6 @@
 # Convenience targets for the TASTE reproduction workspace.
 
-.PHONY: verify build test clippy crash-resume train-resume repro infer-bench overload-sweep kernel-bench
+.PHONY: verify build test clippy crash-resume train-resume repro infer-bench overload-sweep kernel-bench batch-bench
 
 # The one gate every change must pass.
 verify:
@@ -40,3 +40,8 @@ overload-sweep:
 # Quick-scale compute-kernel benchmark (GFLOP/s per variant + serving deltas).
 kernel-bench:
 	TASTE_REPRO_SCALE=quick cargo run -p taste-bench --release --bin repro -- kernel_bench
+
+# Quick-scale micro-batched serving benchmark (cols/sec by batch size x
+# kernel width, parity-gated; writes results/BENCH_batching.json).
+batch-bench:
+	cargo run -p taste-bench --release --bin repro -- batch_bench --smoke

@@ -9,11 +9,17 @@
 use taste_bench::{experiments, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--smoke` forces the quick scale regardless of the environment —
+    // CI smoke jobs pass it so a stray TASTE_REPRO_SCALE can't slow them.
+    if args.iter().any(|a| a == "--smoke") {
+        args.retain(|a| a != "--smoke");
+        scale = Scale::quick();
+    }
     if args.is_empty() {
         eprintln!(
-            "usage: repro [table2|fig4|table3|table4|fig5|fig6|fig7|fig8|fault_sweep|overload_sweep|crash_resume|train_resume|infer_bench|kernel_bench|all]..."
+            "usage: repro [--smoke] [table2|fig4|table3|table4|fig5|fig6|fig7|fig8|fault_sweep|overload_sweep|crash_resume|train_resume|infer_bench|kernel_bench|batch_bench|all]..."
         );
         std::process::exit(2);
     }
@@ -35,6 +41,7 @@ fn main() {
             "train_resume" => experiments::train_resume(&scale),
             "infer_bench" => experiments::infer_bench(&scale),
             "kernel_bench" => experiments::kernel_bench(&scale),
+            "batch_bench" => experiments::batch_bench(&scale),
             "all" => experiments::all(&scale),
             other => {
                 eprintln!("unknown experiment: {other}");

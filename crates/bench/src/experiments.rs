@@ -1162,6 +1162,208 @@ pub fn kernel_bench(scale: &Scale) -> Result<()> {
     Ok(())
 }
 
+/// Micro-batched serving benchmark — P1/P2 columns/sec as a function of
+/// the micro-batch size (table chunks fused per forward pass) at kernel
+/// widths 1 and 4, with a bitwise parity gate against the per-chunk
+/// serving path.
+///
+/// This measures the payoff of the engine's cross-table
+/// [`taste_framework::BatchPlanner`]: fused passes amortize per-call
+/// executor dispatch and reuse packed weights across every column in
+/// the batch, while block-diagonal attention keeps each chunk's rows
+/// bit-identical to what it would get alone.
+pub fn batch_bench(scale: &Scale) -> Result<()> {
+    use taste_model::{ContentBatchItem, MetaEncoding, TableChunk};
+
+    let bundle = build_bundle(DatasetKind::Wiki, scale)?;
+    let model = models::taste_model(&bundle, scale, false, "plain")?;
+    let cfg = TasteConfig { l: bundle.kind.default_l(), ..TasteConfig::default() };
+    let ntypes = bundle.test_fast.ntypes;
+    let inputs: Vec<ModelInput> = bundle
+        .corpus
+        .split_tables(Split::Test)
+        .into_iter()
+        .flat_map(|t| training_inputs(t, ntypes, cfg.l, cfg.m, cfg.n, false))
+        .collect();
+    if inputs.is_empty() {
+        return Err(TasteError::invalid("test split produced no model inputs"));
+    }
+    let cols: usize = inputs.iter().map(|i| i.chunk.col_texts.len()).sum();
+    let repeats = scale.timing_runs.max(1);
+    let contents: Vec<Vec<Option<ColumnContent>>> = inputs
+        .iter()
+        .map(|inp| inp.contents.iter().cloned().map(Some).collect())
+        .collect();
+
+    // Parity oracle: the per-chunk serving path at kernel width 1.
+    let (ref_p1, ref_p2) = {
+        let mut inf = Inferencer::new(ExecMode::TapeFree);
+        let encs: Vec<MetaEncoding> = inputs.iter().map(|inp| inf.encode_meta(&model, &inp.chunk)).collect();
+        let p1: Vec<Vec<Vec<f32>>> = inputs
+            .iter()
+            .zip(&encs)
+            .map(|(inp, enc)| inf.predict_meta(&model, enc, &inp.chunk.nonmeta))
+            .collect();
+        let p2: Vec<Vec<Option<Vec<f32>>>> = inputs
+            .iter()
+            .zip(&encs)
+            .zip(&contents)
+            .map(|((inp, enc), cont)| inf.predict_content(&model, enc, cont, &inp.chunk.nonmeta))
+            .collect();
+        (p1, p2)
+    };
+
+    struct Point {
+        threads: usize,
+        batch: usize,
+        p1_s: f64,
+        p2_s: f64,
+    }
+    let mut points: Vec<Point> = Vec::new();
+    let batch_sizes = [1usize, 2, 4, 8, 16];
+    // Min-of-k over interleaved passes: every repetition visits all
+    // batch sizes back to back, so load drift on the host disturbs each
+    // point alike, and the minimum pass is the least-disturbed run.
+    let reps = repeats.max(3);
+    for threads in [1usize, 4] {
+        let mut inf = Inferencer::with_kernel_threads(ExecMode::TapeFree, threads);
+
+        // Untimed warm + parity pass per batch size: every point must
+        // reproduce the per-chunk oracle bit for bit before it is
+        // measured. The encodings feed the timed P2 loops below.
+        let mut encs: Vec<MetaEncoding> = Vec::with_capacity(inputs.len());
+        for &batch in &batch_sizes {
+            encs.clear();
+            let mut p1_preds = Vec::new();
+            for g in inputs.chunks(batch) {
+                let chunks: Vec<&TableChunk> = g.iter().map(|i| &i.chunk).collect();
+                let encs_g = inf.encode_meta_batch(&model, &chunks);
+                let items: Vec<(&MetaEncoding, &[Vec<f32>])> = g
+                    .iter()
+                    .zip(&encs_g)
+                    .map(|(i, e)| (e, i.chunk.nonmeta.as_slice()))
+                    .collect();
+                p1_preds.extend(inf.predict_meta_batch(&model, &items));
+                encs.extend(encs_g);
+            }
+            let mut p2_preds = Vec::new();
+            let mut off = 0;
+            for g in inputs.chunks(batch) {
+                let items: Vec<ContentBatchItem<'_>> = g
+                    .iter()
+                    .enumerate()
+                    .map(|(j, i)| (&encs[off + j], contents[off + j].as_slice(), i.chunk.nonmeta.as_slice()))
+                    .collect();
+                p2_preds.extend(inf.predict_content_batch(&model, &items));
+                off += g.len();
+            }
+            if p1_preds != ref_p1 || p2_preds != ref_p2 {
+                return Err(TasteError::invalid(format!(
+                    "batched predictions diverged from the per-chunk path (batch={batch} threads={threads})"
+                )));
+            }
+        }
+
+        let mut p1_min = vec![f64::INFINITY; batch_sizes.len()];
+        let mut p2_min = vec![f64::INFINITY; batch_sizes.len()];
+        for _ in 0..reps {
+            for (bi, &batch) in batch_sizes.iter().enumerate() {
+                let t0 = Instant::now();
+                for g in inputs.chunks(batch) {
+                    let chunks: Vec<&TableChunk> = g.iter().map(|i| &i.chunk).collect();
+                    let encs_g = inf.encode_meta_batch(&model, &chunks);
+                    let items: Vec<(&MetaEncoding, &[Vec<f32>])> = g
+                        .iter()
+                        .zip(&encs_g)
+                        .map(|(i, e)| (e, i.chunk.nonmeta.as_slice()))
+                        .collect();
+                    let _ = inf.predict_meta_batch(&model, &items);
+                }
+                p1_min[bi] = p1_min[bi].min(t0.elapsed().as_secs_f64());
+
+                let t0 = Instant::now();
+                let mut off = 0;
+                for g in inputs.chunks(batch) {
+                    let items: Vec<ContentBatchItem<'_>> = g
+                        .iter()
+                        .enumerate()
+                        .map(|(j, i)| (&encs[off + j], contents[off + j].as_slice(), i.chunk.nonmeta.as_slice()))
+                        .collect();
+                    let _ = inf.predict_content_batch(&model, &items);
+                    off += g.len();
+                }
+                p2_min[bi] = p2_min[bi].min(t0.elapsed().as_secs_f64());
+            }
+        }
+        for (bi, &batch) in batch_sizes.iter().enumerate() {
+            points.push(Point { threads, batch, p1_s: p1_min[bi], p2_s: p2_min[bi] });
+        }
+    }
+
+    let timed_cols = cols as f64;
+    let base_p2 = |threads: usize| {
+        points
+            .iter()
+            .find(|p| p.threads == threads && p.batch == 1)
+            .map(|p| p.p2_s)
+            .expect("batch=1 point")
+    };
+    let mut rows = Vec::new();
+    let mut point_json = Vec::new();
+    for p in &points {
+        let p2_speedup = base_p2(p.threads) / p.p2_s;
+        rows.push(vec![
+            p.threads.to_string(),
+            p.batch.to_string(),
+            format!("{:.0}", timed_cols / p.p1_s),
+            format!("{:.0}", timed_cols / p.p2_s),
+            format!("{p2_speedup:.2}x"),
+        ]);
+        point_json.push(json!({
+            "kernel_threads": p.threads,
+            "batch_chunks": p.batch,
+            "p1_s": p.p1_s,
+            "p2_s": p.p2_s,
+            "p1_cols_per_s": timed_cols / p.p1_s,
+            "p2_cols_per_s": timed_cols / p.p2_s,
+            "p2_speedup_vs_batch1": p2_speedup,
+        }));
+    }
+    print_table(
+        "Micro-batched serving throughput (tape-free, SynthWiki test split)",
+        &["kernel_threads", "batch (chunks)", "P1 cols/s", "P2 cols/s", "P2 vs batch=1"],
+        &rows,
+    );
+    println!("batch parity: every point bit-identical to the per-chunk path over {cols} columns");
+    println!(
+        "host parallelism: {} (kernel_threads>1 and large-batch fusion only pay off with real cores)",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    let p2_speedup_at_8 = points
+        .iter()
+        .filter(|p| p.batch >= 8)
+        .map(|p| base_p2(p.threads) / p.p2_s)
+        .fold(0.0f64, f64::max);
+    println!("best P2 speedup at batch >= 8: {p2_speedup_at_8:.2}x vs batch=1");
+
+    write_json(
+        "BENCH_batching",
+        &json!({
+            "dataset": DatasetKind::Wiki.label(),
+            "chunks": inputs.len(),
+            "columns": cols,
+            "timing": format!("min over {reps} interleaved passes"),
+            "host_parallelism": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            "batch_sizes": batch_sizes,
+            "points": point_json,
+            "p2_speedup_at_batch8_or_more": p2_speedup_at_8,
+            "bitwise_parity": true,
+        }),
+    );
+    Ok(())
+}
+
 /// Runs every experiment in paper order.
 pub fn all(scale: &Scale) -> Result<()> {
     table2(scale)?;
@@ -1178,5 +1380,6 @@ pub fn all(scale: &Scale) -> Result<()> {
     train_resume(scale)?;
     infer_bench(scale)?;
     kernel_bench(scale)?;
+    batch_bench(scale)?;
     Ok(())
 }

@@ -125,6 +125,7 @@ pub fn run_baseline(
         journal_torn_tail: false,
         cache_corrupt_entries: 0,
         overload: Default::default(),
+        batching: Default::default(),
     })
 }
 

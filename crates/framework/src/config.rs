@@ -68,6 +68,52 @@ impl ExecutionConfig {
     }
 }
 
+/// Cross-table micro-batching for the inference stages (pipelined mode).
+///
+/// With batching enabled, the scheduler stops dispatching one table's
+/// `P1Infer`/`P2Infer` stage per job. Eligible inference stages are
+/// instead queued on a [`crate::batcher::BatchPlanner`], and one job
+/// serves a whole micro-batch of columns drawn from many tables in
+/// fused, row-stacked forward passes (see
+/// [`taste_model::Adtd::encode_meta_batched`]). Batched execution is
+/// bit-identical to the per-table path — the knobs below trade latency
+/// against batch fill, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchingConfig {
+    /// Master switch; off reproduces per-table inference dispatch
+    /// exactly. Ignored (treated as off) in sequential mode, which has
+    /// no cross-table concurrency to batch.
+    pub enabled: bool,
+    /// Flush a phase's queue once this many columns are waiting. A
+    /// single table larger than the budget still flushes alone —
+    /// oversized batches are split never, delayed never.
+    pub max_batch_columns: usize,
+    /// Flush a phase's queue once its oldest column has waited this
+    /// long, so a trickle of small tables cannot stall behind the size
+    /// trigger.
+    pub flush_deadline: Duration,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig {
+            enabled: false,
+            max_batch_columns: 64,
+            flush_deadline: Duration::from_millis(2),
+        }
+    }
+}
+
+impl BatchingConfig {
+    /// Validates the batching invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.enabled && self.max_batch_columns == 0 {
+            return Err(TasteError::invalid("max_batch_columns must be positive when batching is enabled"));
+        }
+        Ok(())
+    }
+}
+
 /// Crash-safety configuration for one engine: watchdog deadlines plus
 /// deterministic fault-injection points used by the crash/resume tests.
 ///
@@ -199,6 +245,10 @@ pub struct TasteConfig {
     /// shedding, AIMD concurrency, and brownout. Disabled by default.
     #[serde(default)]
     pub overload: OverloadConfig,
+    /// Cross-table micro-batched inference dispatch (pipelined mode).
+    /// Disabled by default.
+    #[serde(default)]
+    pub batching: BatchingConfig,
 }
 
 impl Default for TasteConfig {
@@ -219,6 +269,7 @@ impl Default for TasteConfig {
             hardening: HardeningConfig::default(),
             execution: ExecutionConfig::default(),
             overload: OverloadConfig::default(),
+            batching: BatchingConfig::default(),
         }
     }
 }
@@ -257,6 +308,7 @@ impl TasteConfig {
         self.hardening.validate()?;
         self.execution.validate()?;
         self.overload.validate()?;
+        self.batching.validate()?;
         Ok(())
     }
 
@@ -423,6 +475,33 @@ mod tests {
             serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
         assert!(!restored.overload.enabled);
         assert_eq!(restored.overload, OverloadConfig::default());
+    }
+
+    #[test]
+    fn batching_defaults_off_and_validates_when_enabled() {
+        let c = TasteConfig::default();
+        assert!(!c.batching.enabled);
+        assert_eq!(c.batching.max_batch_columns, 64);
+        assert!(c.validate().is_ok());
+        // A zero column budget is rejected only when batching is on.
+        let off = BatchingConfig { max_batch_columns: 0, ..Default::default() };
+        assert!(off.validate().is_ok());
+        let bad = BatchingConfig { enabled: true, max_batch_columns: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(TasteConfig { batching: bad, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn batching_config_serde_defaults() {
+        // Configs serialized before the batching subsystem deserialize to
+        // the disabled default.
+        let legacy = serde_json::to_value(TasteConfig::default()).unwrap();
+        let mut obj = legacy.as_object().unwrap().clone();
+        obj.remove("batching");
+        let restored: TasteConfig =
+            serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
+        assert!(!restored.batching.enabled);
+        assert_eq!(restored.batching, BatchingConfig::default());
     }
 
     #[test]

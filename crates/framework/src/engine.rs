@@ -15,6 +15,34 @@
 //! tables overlap: one table's content scan (I/O sleep) proceeds while
 //! another's inference (CPU) runs.
 //!
+//! With [`crate::config::BatchingConfig`] enabled, the unit of inference
+//! becomes a *micro-batch of columns from many tables*: eligible
+//! `P1Infer`/`P2Infer` stages are routed through a [`BatchPlanner`]
+//! instead of dispatching one table per job, and one TP2 job runs a
+//! fused forward pass over every live member, scattering per-table
+//! verdicts back under each owner's state lock. Batches flush when the
+//! column budget fills, when the oldest member hits the flush deadline,
+//! or when the pipeline runs dry — and the batched path is bit-identical
+//! to the per-table path (see `crates/framework/tests/`).
+//!
+//! ```text
+//!             TP1 (prep pool)                 TP2 (inference pool)
+//!   table A ─ P1Prep ──┐                 ┌────────────────────────┐
+//!   table B ─ P1Prep ──┼→ BatchPlanner ─→│ P1Infer  [A ++ B ++ C] │
+//!   table C ─ P1Prep ──┘   (size/        └───────────┬────────────┘
+//!                           deadline/                ↓ scatter
+//!   table A ─ P2Prep ──┐    drain)       ┌────────────────────────┐
+//!   table C ─ P2Prep ──┼→ BatchPlanner ─→│ P2Infer  [A ++ C]      │
+//!     (B shed: leaves ─┘                 └───────────┬────────────┘
+//!      the queue)                                    ↓ per-table verdicts
+//! ```
+//!
+//! Shed, cancelled, and hazard tables never contribute columns to a
+//! fused pass: the scheduler removes a shed table's P2 stages from the
+//! queue before they reach the planner, and the batched job re-checks
+//! every member under its lock at execution time, routing dead members
+//! to the per-table no-op path.
+//!
 //! Every database stage runs under the retry policy of
 //! [`crate::retry`]: transient faults are retried with backoff behind a
 //! per-database circuit breaker, and — with `retry.degrade` on — a table
@@ -41,15 +69,17 @@
 //!   records, re-runs only the unfinished tables, and merges both into
 //!   one report.
 
+use crate::batcher::{BatchPhase, BatchPlanner, FlushReason};
 use crate::config::TasteConfig;
 use crate::journal::{self, JournalRecord, JournalWriter};
 use crate::overload::{Admission, LoadController};
-use crate::report::{DetectionReport, OverloadSummary, ResilienceSummary, TableResult};
+use crate::report::{BatchingSummary, DetectionReport, OverloadSummary, ResilienceSummary, TableResult};
 use crate::retry::{acquire_with_retry, connect_with_retry, run_with_retry, CircuitBreaker};
 use crate::stages::{
-    infer_phase1, infer_phase2, prep_phase1, prep_phase2, shed_finals, P1Infer, P1Prep, P2Prep,
+    infer_phase1, infer_phase1_batched, infer_phase2, infer_phase2_batched, prep_phase1,
+    prep_phase2, shed_finals, P1Infer, P1Item, P1Prep, P2Item, P2Prep,
 };
-use crate::watchdog::{CancelReason, CancelToken, StageClocks, TableDeadlines, Watchdog};
+use crate::watchdog::{CancelReason, CancelToken, StageClocks, TableDeadlines, Wakeup, Watchdog};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
@@ -75,9 +105,11 @@ pub struct TasteEngine {
 /// Shared per-table pipeline state.
 struct TableState {
     tid: TableId,
-    prep1: Option<P1Prep>,
+    // Prep outputs are Arc'd so a batched inference job can lift them
+    // out of the lock and run the fused pass without holding any state.
+    prep1: Option<Arc<P1Prep>>,
     infer1: Option<P1Infer>,
-    prep2: Option<P2Prep>,
+    prep2: Option<Arc<P2Prep>>,
     finals: Option<Vec<LabelSet>>,
     error: Option<TasteError>,
     outcome: Option<TableOutcome>,
@@ -117,6 +149,14 @@ struct BatchCtx {
     /// overload scheduler stops waiting on admission slots that will
     /// never free.
     batch_error: AtomicBool,
+    /// Progress event: workers notify after every job, the watchdog on
+    /// every fresh cancellation, so the scheduler blocks instead of
+    /// polling.
+    wake: Arc<Wakeup>,
+    /// Micro-batching telemetry: live member counts are recorded by the
+    /// batched jobs as they execute; the scheduler folds the planner's
+    /// flush accounting in when it exits.
+    batching: Mutex<BatchingSummary>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -254,6 +294,7 @@ impl TasteEngine {
             overload_on.then(|| Arc::new(LoadController::new(self.config.overload, self.config.pool_size)));
         let deadlines = (overload_on && self.config.overload.deadline.is_some())
             .then(|| Arc::new(TableDeadlines::new(tables.len())));
+        let wake = Arc::new(Wakeup::new());
         let ctx = Arc::new(BatchCtx {
             model: Arc::clone(&self.model),
             cache: Arc::clone(&self.cache),
@@ -268,6 +309,8 @@ impl TasteEngine {
             deadlines: deadlines.clone(),
             batch_start: Instant::now(),
             batch_error: AtomicBool::new(false),
+            wake: Arc::clone(&wake),
+            batching: Mutex::new(BatchingSummary::default()),
         });
         let hardening = self.config.hardening;
         let watchdog = (hardening.needs_watchdog() || deadlines.is_some()).then(|| {
@@ -278,6 +321,7 @@ impl TasteEngine {
                 clocks,
                 ctx.tokens.clone(),
                 deadlines,
+                Some(wake),
             )
         });
         let t0 = Instant::now();
@@ -319,6 +363,7 @@ impl TasteEngine {
             });
         }
         let overload = ctx.controller.as_ref().map_or_else(OverloadSummary::default, |c| c.summary());
+        let batching = ctx.batching.lock().clone();
         Ok(DetectionReport {
             approach: "TASTE".into(),
             tables: results,
@@ -334,6 +379,7 @@ impl TasteEngine {
             journal_torn_tail: false,
             cache_corrupt_entries: self.cache_corrupt.load(Ordering::SeqCst),
             overload,
+            batching,
         })
     }
 
@@ -411,6 +457,7 @@ impl TasteEngine {
         for _ in 0..pool {
             let rx = prep_rx.clone();
             let active = Arc::clone(&tp1_active);
+            let wake = Arc::clone(&ctx.wake);
             if let Some(cpool) = &conn_pool {
                 let cpool = Arc::clone(cpool);
                 handles.push(std::thread::spawn(move || {
@@ -420,6 +467,7 @@ impl TasteEngine {
                         job(conn.as_deref(), &mut inf);
                         drop(conn);
                         active.fetch_sub(1, Ordering::SeqCst);
+                        wake.notify();
                     }
                 }));
             } else {
@@ -430,6 +478,7 @@ impl TasteEngine {
                     while let Ok(job) = rx.recv() {
                         job(conn.as_ref(), &mut inf);
                         active.fetch_sub(1, Ordering::SeqCst);
+                        wake.notify();
                     }
                 }));
             }
@@ -441,14 +490,20 @@ impl TasteEngine {
         for _ in 0..pool {
             let rx = infer_rx.clone();
             let active = Arc::clone(&tp2_active);
+            let wake = Arc::clone(&ctx.wake);
             handles.push(std::thread::spawn(move || {
                 let mut inf = exec_cfg.inferencer();
                 while let Ok(job) = rx.recv() {
                     job(None, &mut inf);
                     active.fetch_sub(1, Ordering::SeqCst);
+                    wake.notify();
                 }
             }));
         }
+        // Cross-table micro-batching: eligible inference stages are
+        // routed through the planner instead of dispatching per table.
+        let mut planner =
+            self.config.batching.enabled.then(|| BatchPlanner::new(self.config.batching));
 
         if let Some(ctrl) = ctx.controller.clone() {
             let pools = Pools {
@@ -457,14 +512,20 @@ impl TasteEngine {
                 tp1_active: &tp1_active,
                 tp2_active: &tp2_active,
             };
-            schedule_overload(&states, ctx, &ctrl, conn_pool.as_deref(), pools);
+            schedule_overload(&states, ctx, &ctrl, conn_pool.as_deref(), pools, planner.as_mut());
         } else {
             // Stage queue: four stages per table, generated in order.
             let mut queue: Vec<(usize, StageKind)> = (0..tables.len())
                 .flat_map(|t| StageKind::ORDER.into_iter().map(move |s| (t, s)))
                 .collect();
 
-            while !queue.is_empty() {
+            loop {
+                if queue.is_empty() && planner.as_ref().is_none_or(BatchPlanner::is_empty) {
+                    break;
+                }
+                // Snapshot the wake generation before scanning, so any
+                // progress signalled during the pass cuts the wait short.
+                let seen = ctx.wake.gen();
                 let mut dispatched = false;
                 if tp1_active.load(Ordering::SeqCst) < pool {
                     if let Some(pos) = first_eligible(&queue, &states, true) {
@@ -474,7 +535,54 @@ impl TasteEngine {
                         dispatched = true;
                     }
                 }
-                if tp2_active.load(Ordering::SeqCst) < pool {
+                if let Some(planner) = planner.as_mut() {
+                    // Batched path: every currently eligible inference
+                    // stage moves into the planner (that is where the
+                    // cross-table fill comes from), and a full-or-late
+                    // batch flushes to a free TP2 worker.
+                    let now = Instant::now();
+                    let mut i = 0;
+                    while i < queue.len() {
+                        let (t, stage) = queue[i];
+                        if !stage.is_prep()
+                            && states[t].1.load(Ordering::SeqCst) == stage.index()
+                        {
+                            queue.remove(i);
+                            planner.push(phase_of(stage), t, batch_cols(stage, &states[t]), now);
+                            dispatched = true;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if tp2_active.load(Ordering::SeqCst) < pool {
+                        for phase in [BatchPhase::P1, BatchPhase::P2] {
+                            if let Some(reason) = planner.ready(phase, now) {
+                                let batch = planner.flush(phase, reason);
+                                tp2_active.fetch_add(1, Ordering::SeqCst);
+                                dispatch_batched(&infer_tx, phase, batch, &states, ctx);
+                                dispatched = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !dispatched
+                        && !planner.is_empty()
+                        && tp1_active.load(Ordering::SeqCst) == 0
+                        && tp2_active.load(Ordering::SeqCst) == 0
+                    {
+                        // The pipeline ran dry: waiting out the deadline
+                        // cannot improve fill, so flush what is queued.
+                        for phase in [BatchPhase::P1, BatchPhase::P2] {
+                            let batch = planner.flush(phase, FlushReason::Drain);
+                            if !batch.is_empty() {
+                                tp2_active.fetch_add(1, Ordering::SeqCst);
+                                dispatch_batched(&infer_tx, phase, batch, &states, ctx);
+                                dispatched = true;
+                                break;
+                            }
+                        }
+                    }
+                } else if tp2_active.load(Ordering::SeqCst) < pool {
                     if let Some(pos) = first_eligible(&queue, &states, false) {
                         let (t, stage) = queue.remove(pos);
                         tp2_active.fetch_add(1, Ordering::SeqCst);
@@ -483,9 +591,24 @@ impl TasteEngine {
                     }
                 }
                 if !dispatched {
-                    std::thread::sleep(Duration::from_micros(50));
+                    // Block until a worker, the watchdog, or a halt
+                    // signals progress — bounded by the next batch flush
+                    // deadline (and a coarse safety net).
+                    let mut timeout = Duration::from_millis(1);
+                    if let Some(planner) = &planner {
+                        let now = Instant::now();
+                        for phase in [BatchPhase::P1, BatchPhase::P2] {
+                            if let Some(dl) = planner.next_deadline(phase) {
+                                timeout = timeout.min(dl.saturating_duration_since(now));
+                            }
+                        }
+                    }
+                    ctx.wake.wait_past(seen, timeout.max(Duration::from_micros(50)));
                 }
             }
+        }
+        if let Some(planner) = &planner {
+            fold_planner_summary(ctx, planner);
         }
         drop(prep_tx);
         drop(infer_tx);
@@ -533,6 +656,7 @@ fn schedule_overload(
     ctrl: &Arc<LoadController>,
     conn_pool: Option<&ConnectionPool>,
     pools: Pools<'_>,
+    mut planner: Option<&mut BatchPlanner>,
 ) {
     // Offer every table up front; tables beyond the occupancy bound are
     // rejected immediately and never enter the pipeline.
@@ -568,9 +692,15 @@ fn schedule_overload(
                 StageKind::ORDER.into_iter().map(|stage| PendingStage { t, stage, since: None }),
             );
         }
-        if queue.is_empty() && waiting.is_empty() {
+        if queue.is_empty()
+            && waiting.is_empty()
+            && planner.as_ref().is_none_or(|p| p.is_empty())
+        {
             break;
         }
+        // Snapshot the wake generation before scanning, so any progress
+        // signalled during the pass cuts the wait short.
+        let seen = ctx.wake.gen();
         // Follow the AIMD connection budget.
         if let Some(cpool) = conn_pool {
             let limit = ctrl.conn_limit();
@@ -578,7 +708,7 @@ fn schedule_overload(
                 applied_conn_limit = cpool.set_limit(limit);
             }
         }
-        ctrl.note_queue_depth(queue.len());
+        ctrl.note_queue_depth(queue.len() + planner.as_ref().map_or(0, |p| p.items()));
         let now = Instant::now();
         for e in queue.iter_mut() {
             if e.since.is_none() && states[e.t].1.load(Ordering::SeqCst) == e.stage.index() {
@@ -600,7 +730,49 @@ fn schedule_overload(
                 dispatched = true;
             }
         }
-        if pools.tp2_active.load(Ordering::SeqCst) < ctrl.tp2_limit() {
+        if let Some(planner) = planner.as_deref_mut() {
+            // Batched path: runnable inference stages move into the
+            // planner. A table shed *before* this point never gets here
+            // (its P2 stages were retained out of the queue above), so a
+            // shed table's columns leave the pipeline without ever
+            // joining a batch.
+            let mut i = 0;
+            while i < queue.len() {
+                if !queue[i].stage.is_prep() && queue[i].since.is_some() {
+                    let e = queue.remove(i);
+                    planner.push(phase_of(e.stage), e.t, batch_cols(e.stage, &states[e.t]), now);
+                    dispatched = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if pools.tp2_active.load(Ordering::SeqCst) < ctrl.tp2_limit() {
+                for phase in [BatchPhase::P1, BatchPhase::P2] {
+                    if let Some(reason) = planner.ready(phase, now) {
+                        let batch = planner.flush(phase, reason);
+                        pools.tp2_active.fetch_add(1, Ordering::SeqCst);
+                        dispatch_batched(pools.infer_tx, phase, batch, states, ctx);
+                        dispatched = true;
+                        break;
+                    }
+                }
+            }
+            if !dispatched
+                && !planner.is_empty()
+                && pools.tp1_active.load(Ordering::SeqCst) == 0
+                && pools.tp2_active.load(Ordering::SeqCst) == 0
+            {
+                for phase in [BatchPhase::P1, BatchPhase::P2] {
+                    let batch = planner.flush(phase, FlushReason::Drain);
+                    if !batch.is_empty() {
+                        pools.tp2_active.fetch_add(1, Ordering::SeqCst);
+                        dispatch_batched(pools.infer_tx, phase, batch, states, ctx);
+                        dispatched = true;
+                        break;
+                    }
+                }
+            }
+        } else if pools.tp2_active.load(Ordering::SeqCst) < ctrl.tp2_limit() {
             if let Some(pos) = queue.iter().position(|e| !e.stage.is_prep() && e.since.is_some()) {
                 let e = queue.remove(pos);
                 pools.tp2_active.fetch_add(1, Ordering::SeqCst);
@@ -614,7 +786,10 @@ fn schedule_overload(
                 // stages drain, and surface the error from run().
                 break;
             }
-            std::thread::sleep(Duration::from_micros(50));
+            // Deadline shedding and the AIMD governor need periodic
+            // now-driven passes even without progress events, so the
+            // wait is capped well below the control loop's timescales.
+            ctx.wake.wait_past(seen, Duration::from_micros(500));
         }
     }
 }
@@ -688,6 +863,250 @@ fn dispatch(tx: &Sender<Job>, t: usize, stage: StageKind, states: &[Shared], ctx
         Box::new(move |_conn, inf| run_stage(stage, t, &state, None, &ctx, inf))
     };
     tx.send(job).expect("workers outlive the scheduler loop");
+}
+
+/// The planner phase an inference stage belongs to.
+fn phase_of(stage: StageKind) -> BatchPhase {
+    match stage {
+        StageKind::P1Infer => BatchPhase::P1,
+        StageKind::P2Infer => BatchPhase::P2,
+        other => unreachable!("{other:?} is a prep stage, never batched"),
+    }
+}
+
+/// The columns an inference stage would contribute to a batch: total
+/// columns for P1, uncertain columns for P2, zero for tables that will
+/// take the per-table no-op path anyway.
+fn batch_cols(stage: StageKind, state: &Shared) -> usize {
+    let st = state.0.lock();
+    if st.error.is_some() || st.outcome.is_some() || st.resilience.failed {
+        return 0;
+    }
+    match stage {
+        StageKind::P1Infer => st.prep1.as_ref().map_or(0, |p| p.ncols),
+        StageKind::P2Infer => st.infer1.as_ref().map_or(0, |i| i.uncertain.len()),
+        _ => 0,
+    }
+}
+
+/// Folds the planner's flush accounting into the batch telemetry,
+/// preserving the live member counts the executed jobs recorded.
+fn fold_planner_summary(ctx: &BatchCtx, planner: &BatchPlanner) {
+    fn take_flush(dst: &mut crate::report::PhaseBatchingSummary, src: crate::report::PhaseBatchingSummary) {
+        dst.batches = src.batches;
+        dst.mean_fill = src.mean_fill;
+        dst.p95_fill = src.p95_fill;
+        dst.size_flushes = src.size_flushes;
+        dst.deadline_flushes = src.deadline_flushes;
+        dst.drain_flushes = src.drain_flushes;
+    }
+    let s = planner.summary();
+    let mut b = ctx.batching.lock();
+    b.enabled = true;
+    take_flush(&mut b.p1, s.p1);
+    take_flush(&mut b.p2, s.p2);
+}
+
+/// Ships one flushed micro-batch to the inference pool as a single job.
+fn dispatch_batched(
+    tx: &Sender<Job>,
+    phase: BatchPhase,
+    batch: Vec<crate::batcher::BatchItem>,
+    states: &[Shared],
+    ctx: &Arc<BatchCtx>,
+) {
+    let members: Vec<(usize, Shared)> =
+        batch.iter().map(|b| (b.t, Arc::clone(&states[b.t]))).collect();
+    let ctx = Arc::clone(ctx);
+    let job: Job = Box::new(move |_conn, inf| run_batched_stage(phase, &members, &ctx, inf));
+    tx.send(job).expect("workers outlive the scheduler loop");
+}
+
+/// Advances a table's stage counter by one slot and finalizes the table
+/// when its last slot lands (shared by the per-table and batched paths).
+fn advance_stage(t: usize, state: &Shared, ctx: &BatchCtx) {
+    let done = state.1.fetch_add(1, Ordering::SeqCst) + 1;
+    if done == StageKind::ORDER.len() {
+        finalize_table(t, state, ctx);
+    }
+}
+
+/// Executes one flushed micro-batch on a TP2 worker. Members that are
+/// dead on arrival — errored, hazard-stamped, cancelled, failed, or
+/// missing upstream state — are routed through [`run_stage`] so their
+/// per-table bookkeeping (no-op, hazard mapping, degraded fallback) is
+/// exactly the unbatched behavior; the rest run one fused pass.
+fn run_batched_stage(
+    phase: BatchPhase,
+    members: &[(usize, Shared)],
+    ctx: &BatchCtx,
+    inf: &mut Inferencer,
+) {
+    match phase {
+        BatchPhase::P1 => run_batched_p1(members, ctx, inf),
+        BatchPhase::P2 => run_batched_p2(members, ctx, inf),
+    }
+}
+
+fn run_batched_p1(members: &[(usize, Shared)], ctx: &BatchCtx, inf: &mut Inferencer) {
+    let mut live: Vec<(usize, &Shared, TableId, Arc<P1Prep>)> = Vec::new();
+    for (t, state) in members {
+        let gathered = {
+            let st = state.0.lock();
+            if st.error.is_some()
+                || st.outcome.is_some()
+                || ctx.tokens[*t].is_cancelled()
+                || st.resilience.failed
+            {
+                None
+            } else {
+                st.prep1.clone().map(|p| (st.tid, p))
+            }
+        };
+        match gathered {
+            Some((tid, prep)) => live.push((*t, state, tid, prep)),
+            None => run_stage(StageKind::P1Infer, *t, state, None, ctx, inf),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    for (t, ..) in &live {
+        ctx.clocks.start(*t);
+    }
+    let started = Instant::now();
+    let items: Vec<P1Item<'_>> =
+        live.iter().map(|(_, _, tid, prep)| P1Item { tid: *tid, prep }).collect();
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<P1Infer>> {
+        for (t, _, tid, _) in &live {
+            inject_faults(StageKind::P1Infer, *tid, &ctx.cfg, &ctx.tokens[*t], &ctx.wake)?;
+        }
+        Ok(infer_phase1_batched(&ctx.model, &ctx.cfg, &items, Some(&ctx.cache), inf))
+    }));
+    let service = started.elapsed();
+    for (t, ..) in &live {
+        ctx.clocks.finish(*t);
+    }
+    match caught {
+        Ok(Ok(results)) => {
+            {
+                let mut b = ctx.batching.lock();
+                b.p1.batched_tables += live.len() as u64;
+                b.p1.batched_columns +=
+                    live.iter().map(|(_, _, _, p)| p.ncols as u64).sum::<u64>();
+            }
+            // Per-member service is the batch's share: the AIMD governor
+            // sees per-stage costs, not N copies of the fused pass.
+            let share = service / live.len() as u32;
+            for ((t, state, _, _), infer1) in live.iter().zip(results) {
+                {
+                    let mut st = state.0.lock();
+                    st.infer1 = Some(infer1);
+                }
+                if let Some(ctrl) = &ctx.controller {
+                    ctrl.observe_stage(share, false, false, Instant::now());
+                }
+                advance_stage(*t, state, ctx);
+            }
+        }
+        _ => {
+            // A panic or cancellation inside the fused pass: nothing was
+            // stored, so re-run every live member on the per-table path.
+            // Only the culprit re-triggers its fault (and is isolated by
+            // run_stage's own catch/hazard handling); the others complete
+            // normally.
+            for (t, state, _, _) in &live {
+                run_stage(StageKind::P1Infer, *t, state, None, ctx, inf);
+            }
+        }
+    }
+}
+
+fn run_batched_p2(members: &[(usize, Shared)], ctx: &BatchCtx, inf: &mut Inferencer) {
+    struct LiveP2<'a> {
+        t: usize,
+        state: &'a Shared,
+        tid: TableId,
+        prep1: Arc<P1Prep>,
+        infer1: P1Infer,
+        prep2: Arc<P2Prep>,
+    }
+    let mut live: Vec<LiveP2<'_>> = Vec::new();
+    for (t, state) in members {
+        let gathered = {
+            let st = state.0.lock();
+            if st.error.is_some()
+                || st.outcome.is_some()
+                || ctx.tokens[*t].is_cancelled()
+                || st.resilience.failed
+            {
+                None
+            } else {
+                // Degraded tables without scanned content (and any table
+                // with missing upstream state) take the per-table path,
+                // which owns those fallbacks.
+                match (&st.prep1, &st.infer1, &st.prep2) {
+                    (Some(p1), Some(i1), Some(p2)) => {
+                        Some((st.tid, Arc::clone(p1), i1.clone(), Arc::clone(p2)))
+                    }
+                    _ => None,
+                }
+            }
+        };
+        match gathered {
+            Some((tid, prep1, infer1, prep2)) => {
+                live.push(LiveP2 { t: *t, state, tid, prep1, infer1, prep2 })
+            }
+            None => run_stage(StageKind::P2Infer, *t, state, None, ctx, inf),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    for m in &live {
+        ctx.clocks.start(m.t);
+    }
+    let started = Instant::now();
+    let items: Vec<P2Item<'_>> = live
+        .iter()
+        .map(|m| P2Item { tid: m.tid, prep1: &m.prep1, infer1: &m.infer1, prep2: &m.prep2 })
+        .collect();
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Vec<LabelSet>>> {
+        for m in &live {
+            inject_faults(StageKind::P2Infer, m.tid, &ctx.cfg, &ctx.tokens[m.t], &ctx.wake)?;
+        }
+        Ok(infer_phase2_batched(&ctx.model, &ctx.cfg, &items, Some(&ctx.cache), inf))
+    }));
+    let service = started.elapsed();
+    for m in &live {
+        ctx.clocks.finish(m.t);
+    }
+    match caught {
+        Ok(Ok(results)) => {
+            {
+                let mut b = ctx.batching.lock();
+                b.p2.batched_tables += live.len() as u64;
+                b.p2.batched_columns +=
+                    live.iter().map(|m| m.infer1.uncertain.len() as u64).sum::<u64>();
+            }
+            let share = service / live.len() as u32;
+            for (m, finals) in live.iter().zip(results) {
+                {
+                    let mut st = m.state.0.lock();
+                    st.finals = Some(finals);
+                }
+                if let Some(ctrl) = &ctx.controller {
+                    ctrl.observe_stage(share, false, true, Instant::now());
+                }
+                advance_stage(m.t, m.state, ctx);
+            }
+        }
+        _ => {
+            for m in &live {
+                run_stage(StageKind::P2Infer, m.t, m.state, None, ctx, inf);
+            }
+        }
+    }
 }
 
 fn first_eligible(queue: &[(usize, StageKind)], states: &[Shared], prep: bool) -> Option<usize> {
@@ -806,10 +1225,7 @@ fn run_stage(
             }
         }
     }
-    let done = state.1.fetch_add(1, Ordering::SeqCst) + 1;
-    if done == StageKind::ORDER.len() {
-        finalize_table(t, state, ctx);
-    }
+    advance_stage(t, state, ctx);
 }
 
 /// Runs once per table, after its last stage slot: settles the final
@@ -879,8 +1295,12 @@ fn finalize_table(t: usize, state: &Shared, ctx: &BatchCtx) {
             // Simulated crash: every table not yet finalized is
             // cancelled, exactly as if the process had been killed
             // between journal appends.
+            let mut flipped = false;
             for token in &ctx.tokens {
-                token.cancel(CancelReason::Halted);
+                flipped |= token.cancel(CancelReason::Halted);
+            }
+            if flipped {
+                ctx.wake.notify();
             }
         }
     }
@@ -888,18 +1308,34 @@ fn finalize_table(t: usize, state: &Shared, ctx: &BatchCtx) {
 
 /// Deterministic fault injection (test/repro hook): panics or stalls
 /// when the configured `(table, stage)` point is reached. The stall is
-/// cancellation-aware so the watchdog can cut it short.
-fn inject_faults(stage: StageKind, tid: TableId, cfg: &TasteConfig, token: &CancelToken) -> Result<()> {
+/// cancellation-aware — it waits on the batch's wake event, which the
+/// watchdog notifies on every fresh cancellation, so the watchdog cuts
+/// it short without the stall polling a sleep loop.
+fn inject_faults(
+    stage: StageKind,
+    tid: TableId,
+    cfg: &TasteConfig,
+    token: &CancelToken,
+    wake: &Wakeup,
+) -> Result<()> {
     let h = &cfg.hardening;
     let here = (tid.0, stage.index() as u8);
     if h.panic_at == Some(here) {
         panic!("injected panic: table {} stage {:?}", tid.0, stage);
     }
     if h.stall_at == Some(here) {
-        let start = Instant::now();
-        while start.elapsed() < h.stall_for {
+        let deadline = Instant::now() + h.stall_for;
+        loop {
+            // Snapshot before the token check: a cancellation landing
+            // after the check bumps the generation, so the wait below
+            // returns immediately instead of losing the wakeup.
+            let seen = wake.gen();
             token.check("injected stall")?;
-            std::thread::sleep(Duration::from_micros(200));
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            wake.wait_past(seen, deadline - now);
         }
     }
     Ok(())
@@ -917,7 +1353,7 @@ fn execute(
     let cache = &*ctx.cache;
     let cfg = &ctx.cfg;
     let breaker = &ctx.breaker;
-    inject_faults(stage, st.tid, cfg, token)?;
+    inject_faults(stage, st.tid, cfg, token, &ctx.wake)?;
     match stage {
         StageKind::P1Prep => {
             let Some(conn) = conn else {
@@ -935,7 +1371,7 @@ fn execute(
                 run_with_retry(&cfg.retry, breaker, conn, "prep_phase1", |c| prep_phase1(c, tid, cfg));
             st.resilience.absorb(&stats);
             match res {
-                Ok(p) => st.prep1 = Some(p),
+                Ok(p) => st.prep1 = Some(Arc::new(p)),
                 Err(f) if f.retryable && cfg.retry.degrade => st.resilience.failed = true,
                 Err(f) => return Err(f.error),
             }
@@ -974,7 +1410,7 @@ fn execute(
                 });
             st.resilience.absorb(&stats);
             match res {
-                Ok(p) => st.prep2 = Some(p),
+                Ok(p) => st.prep2 = Some(Arc::new(p)),
                 Err(f) if matches!(f.error, TasteError::Cancelled(_)) => return Err(f.error),
                 Err(f) if f.retryable && cfg.retry.degrade => {
                     st.resilience.degraded = true;
@@ -1275,6 +1711,99 @@ mod tests {
         for tr in report.tables.iter().filter(|t| t.table != ids[2]) {
             assert_eq!(tr.outcome, TableOutcome::Completed);
         }
+    }
+
+    #[test]
+    fn batched_pipeline_matches_unbatched_verdicts_and_reports_fills() {
+        use crate::config::BatchingConfig;
+        let (db, ids) = fixture_db(8, LatencyProfile::zero());
+        let base = TasteConfig {
+            pipelining: true,
+            pool_size: 2,
+            alpha: 0.0001,
+            beta: 0.9999,
+            ..Default::default()
+        };
+        let plain = engine(base).detect_batch(&db, &ids).unwrap();
+        assert!(!plain.batching.enabled, "batching is off by default");
+        for max in [1usize, 3, 64] {
+            let cfg = TasteConfig {
+                batching: BatchingConfig { enabled: true, max_batch_columns: max, ..Default::default() },
+                ..base
+            };
+            let batched = engine(cfg).detect_batch(&db, &ids).unwrap();
+            assert_eq!(plain.tables.len(), batched.tables.len());
+            for (a, b) in plain.tables.iter().zip(&batched.tables) {
+                assert_eq!(a.table, b.table);
+                assert_eq!(a.admitted, b.admitted, "micro-batching must not change verdicts (max={max})");
+                assert_eq!(a.uncertain_columns, b.uncertain_columns);
+                assert_eq!(b.outcome, TableOutcome::Completed);
+            }
+            assert_eq!(plain.cache_hits, batched.cache_hits, "same latent traffic (max={max})");
+            let bt = &batched.batching;
+            assert!(bt.enabled);
+            for phase in [&bt.p1, &bt.p2] {
+                assert!(phase.batches >= 1, "max={max}");
+                assert_eq!(
+                    phase.batches,
+                    phase.size_flushes + phase.deadline_flushes + phase.drain_flushes,
+                    "every flush has exactly one reason (max={max})"
+                );
+                assert!(phase.mean_fill > 0.0 && phase.mean_fill <= phase.p95_fill + 1e-9);
+            }
+            assert_eq!(bt.p1.batched_tables, ids.len() as u64, "every table P1-infers exactly once");
+            assert_eq!(bt.p1.batched_columns, batched.total_columns);
+            assert_eq!(bt.p2.batched_columns, batched.total_columns, "wide band sends every column to P2");
+            if max == 1 {
+                // No two of these multi-column tables fit one batch.
+                assert_eq!(bt.p1.batches, ids.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn timed_out_tables_never_join_fused_batches() {
+        use crate::config::BatchingConfig;
+        let (db, ids) = fixture_db(3, LatencyProfile::zero());
+        let hardening = HardeningConfig {
+            stage_deadline: Some(Duration::from_millis(25)),
+            watchdog_poll: Duration::from_millis(1),
+            stall_at: Some((ids[2].0, 2)), // P2Prep of the last table
+            stall_for: Duration::from_secs(30),
+            ..Default::default()
+        };
+        let cfg = TasteConfig {
+            pipelining: true,
+            pool_size: 2,
+            alpha: 0.0001,
+            beta: 0.9999,
+            hardening,
+            batching: BatchingConfig { enabled: true, max_batch_columns: 64, ..Default::default() },
+            ..Default::default()
+        };
+        let report = engine(cfg).detect_batch(&db, &ids).unwrap();
+        assert_eq!(report.timed_out_tables(), 1);
+        let victim = report.tables.iter().find(|t| t.table == ids[2]).unwrap();
+        assert!(matches!(&victim.outcome, TableOutcome::TimedOut { stage } if stage == "P2Prep"));
+        assert!(!victim.admitted.is_empty(), "P1 verdicts survive the timeout");
+        let survivor_uncertain: u64 = report
+            .tables
+            .iter()
+            .filter(|t| t.table != ids[2])
+            .map(|t| {
+                assert_eq!(t.outcome, TableOutcome::Completed);
+                t.uncertain_columns as u64
+            })
+            .sum();
+        assert!(survivor_uncertain > 0, "wide band leaves survivors uncertain");
+        assert_eq!(
+            report.batching.p2.batched_columns, survivor_uncertain,
+            "a cancelled table's columns must never enter a fused P2 pass"
+        );
+        // P1 finished for all three tables before the stall; P2 excludes
+        // the victim, so strictly fewer columns reach the fused P2 pass.
+        assert_eq!(report.batching.p1.batched_columns, report.total_columns);
+        assert!(report.batching.p2.batched_columns < report.batching.p1.batched_columns);
     }
 
     #[test]

@@ -37,10 +37,16 @@
 //!   [`overload::LoadController`], CoDel-style queue-latency detection,
 //!   deadline-aware P2 load shedding, AIMD-tuned concurrency and
 //!   connection budgets, and a probing brownout mode.
+//! * [`batcher`] — cross-table micro-batching: a
+//!   [`batcher::BatchPlanner`] with per-phase queues and size-, deadline-
+//!   and drain-triggered flushes, so one TP2 job serves a fused forward
+//!   pass over columns from many tables (bit-identical to the per-table
+//!   path).
 
 #![warn(missing_docs)]
 
 pub mod baseline_run;
+pub mod batcher;
 pub mod custom_types;
 pub mod config;
 pub mod engine;
@@ -52,10 +58,14 @@ pub mod rules;
 pub mod stages;
 pub mod watchdog;
 
-pub use config::{ExecBackend, ExecutionConfig, HardeningConfig, TasteConfig};
+pub use batcher::{BatchItem, BatchPhase, BatchPlanner, FlushReason};
+pub use config::{BatchingConfig, ExecBackend, ExecutionConfig, HardeningConfig, TasteConfig};
 pub use engine::TasteEngine;
 pub use journal::{JournalRecord, JournalReplay, JournalWriter};
 pub use overload::{Admission, LoadController, OverloadConfig};
-pub use report::{evaluate_report, DetectionReport, OverloadSummary, ResilienceSummary, TableResult};
+pub use report::{
+    evaluate_report, BatchingSummary, DetectionReport, OverloadSummary, PhaseBatchingSummary,
+    ResilienceSummary, TableResult,
+};
 pub use retry::{BreakerState, CircuitBreaker, RetryConfig};
-pub use watchdog::{CancelReason, CancelToken};
+pub use watchdog::{CancelReason, CancelToken, Wakeup};

@@ -100,6 +100,44 @@ pub struct OverloadSummary {
     pub final_conn_limit: u64,
 }
 
+/// One inference phase's micro-batching telemetry: how many batches the
+/// planner flushed, how full they were, and which trigger flushed them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBatchingSummary {
+    /// Micro-batches flushed for this phase.
+    pub batches: u64,
+    /// Table-stages that executed inside a batch (live members only;
+    /// shed/cancelled members are routed to the per-table path and do
+    /// not count).
+    pub batched_tables: u64,
+    /// Columns that executed inside a batch (total columns for P1,
+    /// uncertain columns for P2).
+    pub batched_columns: u64,
+    /// Mean fill ratio (batch columns over `max_batch_columns`; can
+    /// exceed 1.0 when a single table is wider than the budget).
+    pub mean_fill: f64,
+    /// 95th-percentile fill ratio.
+    pub p95_fill: f64,
+    /// Batches flushed because the column budget filled.
+    pub size_flushes: u64,
+    /// Batches flushed because the oldest item hit the flush deadline.
+    pub deadline_flushes: u64,
+    /// Batches flushed because the pipeline ran dry.
+    pub drain_flushes: u64,
+}
+
+/// Micro-batching telemetry for the batch. All zeros when batching is
+/// disabled or the engine ran sequentially.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchingSummary {
+    /// Whether cross-table micro-batching was active for this run.
+    pub enabled: bool,
+    /// Phase-1 (metadata-tower) batching telemetry.
+    pub p1: PhaseBatchingSummary,
+    /// Phase-2 (content-tower) batching telemetry.
+    pub p2: PhaseBatchingSummary,
+}
+
 /// The outcome of one end-to-end detection batch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetectionReport {
@@ -141,6 +179,10 @@ pub struct DetectionReport {
     /// Overload-control telemetry (admission, shedding, brownout, AIMD).
     #[serde(default)]
     pub overload: OverloadSummary,
+    /// Cross-table micro-batching telemetry (batch counts, fill ratios,
+    /// flush-reason histogram).
+    #[serde(default)]
+    pub batching: BatchingSummary,
 }
 
 impl DetectionReport {
@@ -288,6 +330,7 @@ mod tests {
             journal_torn_tail: false,
             cache_corrupt_entries: 0,
             overload: OverloadSummary::default(),
+            batching: BatchingSummary::default(),
         }
     }
 
@@ -423,6 +466,35 @@ mod tests {
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: OverloadSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn batching_summary_serde_defaults() {
+        // Reports serialized before the batching subsystem deserialize to
+        // the zeroed default, and a populated summary roundtrips.
+        let r = report();
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut().unwrap().remove("batching");
+        let restored: DetectionReport = serde_json::from_value(v).unwrap();
+        assert_eq!(restored.batching, BatchingSummary::default());
+        assert!(!restored.batching.enabled);
+        let s = BatchingSummary {
+            enabled: true,
+            p1: PhaseBatchingSummary {
+                batches: 4,
+                batched_tables: 9,
+                batched_columns: 31,
+                mean_fill: 0.75,
+                p95_fill: 1.0,
+                size_flushes: 3,
+                deadline_flushes: 1,
+                drain_flushes: 0,
+            },
+            p2: PhaseBatchingSummary::default(),
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: BatchingSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 

@@ -166,6 +166,7 @@ impl RuleBaseline {
             journal_torn_tail: false,
             cache_corrupt_entries: 0,
             overload: Default::default(),
+            batching: Default::default(),
         })
     }
 }

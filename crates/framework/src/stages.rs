@@ -11,7 +11,7 @@ use std::sync::Arc;
 use taste_core::{LabelSet, Result, TableId, TypeId};
 use taste_model::cache::CacheKey;
 use taste_model::prepare::{build_chunks, TableChunk};
-use taste_model::{Adtd, Inferencer, LatentCache, MetaEncoding};
+use taste_model::{Adtd, ContentBatchItem, Inferencer, LatentCache, MetaEncoding};
 use taste_db::Connection;
 use taste_tokenizer::ColumnContent;
 
@@ -24,6 +24,7 @@ pub struct P1Prep {
 }
 
 /// Output of the Phase 1 inference stage.
+#[derive(Clone)]
 pub struct P1Infer {
     /// Admitted types per column after P1 (`A_1^c = {s | p ≥ β}`).
     pub admitted: Vec<LabelSet>,
@@ -203,6 +204,180 @@ pub fn infer_phase2(
             }
         }
         col_base += chunk.ordinals.len();
+    }
+    finals
+}
+
+// ---- cross-table micro-batched inference stages ------------------------
+//
+// The batched variants run one fused model pass over chunks drawn from
+// many tables and scatter per-table results back in input order. They
+// are bit-identical to looping the per-table functions above: row-wise
+// ops are unchanged under row-stacking and attention is computed
+// block-diagonal per sequence (see `taste_model::Adtd::encode_meta_batched`).
+
+/// One table's P1 inference stage inside a micro-batch.
+pub struct P1Item<'a> {
+    /// The owning table.
+    pub tid: TableId,
+    /// Its P1 preparation output.
+    pub prep: &'a P1Prep,
+}
+
+/// Batched P1-S2: [`infer_phase1`] over many tables in fused forward
+/// passes. Returns one [`P1Infer`] per item, in input order, each
+/// bit-identical to the per-table call; cache writes are identical too
+/// (same `(tid, chunk_index)` keys, same encodings).
+pub fn infer_phase1_batched(
+    model: &Adtd,
+    cfg: &TasteConfig,
+    items: &[P1Item<'_>],
+    cache: Option<&LatentCache>,
+    inf: &mut Inferencer,
+) -> Vec<P1Infer> {
+    let chunk_refs: Vec<&TableChunk> =
+        items.iter().flat_map(|it| it.prep.chunks.iter()).collect();
+    let encs = inf.encode_meta_batch(model, &chunk_refs);
+    let meta_items: Vec<(&MetaEncoding, &[Vec<f32>])> = encs
+        .iter()
+        .zip(&chunk_refs)
+        .map(|(e, c)| (e, c.nonmeta.as_slice()))
+        .collect();
+    let probs_per_chunk = inf.predict_meta_batch(model, &meta_items);
+
+    let mut encs = encs.into_iter();
+    let mut probs_per_chunk = probs_per_chunk.into_iter();
+    let mut out = Vec::with_capacity(items.len());
+    for it in items {
+        let mut admitted = Vec::with_capacity(it.prep.ncols);
+        let mut uncertain = Vec::new();
+        for (chunk_idx, chunk) in it.prep.chunks.iter().enumerate() {
+            let enc = Arc::new(encs.next().expect("one encoding per chunk"));
+            let probs = probs_per_chunk.next().expect("one prob block per chunk");
+            for (j, row) in probs.iter().enumerate() {
+                let ordinal = chunk.ordinals[j];
+                let mut a1 = LabelSet::empty();
+                let mut is_uncertain = false;
+                for (s, &p) in row.iter().enumerate() {
+                    if p >= cfg.beta {
+                        a1.insert(TypeId(s as u32));
+                    } else if p > cfg.alpha {
+                        is_uncertain = true;
+                    }
+                }
+                admitted.push(a1);
+                if is_uncertain && cfg.p2_possible() {
+                    uncertain.push(ordinal);
+                }
+            }
+            if cfg.caching {
+                if let Some(cache) = cache {
+                    let key: CacheKey = (it.tid, chunk_idx as u32);
+                    cache.put(key, enc);
+                }
+            }
+        }
+        out.push(P1Infer { admitted, uncertain });
+    }
+    out
+}
+
+/// One table's P2 inference stage inside a micro-batch.
+pub struct P2Item<'a> {
+    /// The owning table.
+    pub tid: TableId,
+    /// Its P1 preparation output.
+    pub prep1: &'a P1Prep,
+    /// Its P1 inference output.
+    pub infer1: &'a P1Infer,
+    /// Its P2 preparation output (scanned content).
+    pub prep2: &'a P2Prep,
+}
+
+/// A chunk with scanned content, staged for the fused content pass.
+struct ActiveChunk {
+    item: usize,
+    chunk_idx: usize,
+    col_base: usize,
+    enc: Option<Arc<MetaEncoding>>,
+}
+
+/// Batched P2-S2: [`infer_phase2`] over many tables in fused content
+/// passes. Returns each table's final admitted sets, in input order,
+/// bit-identical to the per-table calls — including the latent-cache
+/// hit/miss pattern (one `get` per chunk with content, recompute on
+/// miss).
+pub fn infer_phase2_batched(
+    model: &Adtd,
+    cfg: &TasteConfig,
+    items: &[P2Item<'_>],
+    cache: Option<&LatentCache>,
+    inf: &mut Inferencer,
+) -> Vec<Vec<LabelSet>> {
+    let mut finals: Vec<Vec<LabelSet>> =
+        items.iter().map(|it| it.infer1.admitted.clone()).collect();
+
+    // Stage every chunk that has scanned content, looking up its cached
+    // P1 encoding exactly as the per-table path would.
+    let mut actives: Vec<ActiveChunk> = Vec::new();
+    for (i, it) in items.iter().enumerate() {
+        if it.infer1.uncertain.is_empty() {
+            continue;
+        }
+        let mut col_base = 0usize;
+        for (chunk_idx, chunk) in it.prep1.chunks.iter().enumerate() {
+            let any = it.prep2.contents[chunk_idx].iter().any(Option::is_some);
+            if any {
+                let key: CacheKey = (it.tid, chunk_idx as u32);
+                let enc = cache.and_then(|c| c.get(&key));
+                actives.push(ActiveChunk { item: i, chunk_idx, col_base, enc });
+            }
+            col_base += chunk.ordinals.len();
+        }
+    }
+    if actives.is_empty() {
+        return finals;
+    }
+
+    // Recompute the metadata tower for cache misses in one fused pass.
+    let missing: Vec<usize> =
+        (0..actives.len()).filter(|&a| actives[a].enc.is_none()).collect();
+    if !missing.is_empty() {
+        let chunk_refs: Vec<&TableChunk> = missing
+            .iter()
+            .map(|&a| &items[actives[a].item].prep1.chunks[actives[a].chunk_idx])
+            .collect();
+        let encs = inf.encode_meta_batch(model, &chunk_refs);
+        for (&a, enc) in missing.iter().zip(encs) {
+            actives[a].enc = Some(Arc::new(enc));
+        }
+    }
+
+    // One fused content pass over every active chunk.
+    let content_items: Vec<ContentBatchItem<'_>> = actives
+        .iter()
+        .map(|a| {
+            let it = &items[a.item];
+            let chunk = &it.prep1.chunks[a.chunk_idx];
+            let enc = a.enc.as_deref().expect("every active chunk has an encoding");
+            (enc, it.prep2.contents[a.chunk_idx].as_slice(), chunk.nonmeta.as_slice())
+        })
+        .collect();
+    let probs_per_chunk = inf.predict_content_batch(model, &content_items);
+
+    // Scatter thresholded verdicts back to the owning tables.
+    for (a, probs) in actives.iter().zip(probs_per_chunk) {
+        for (j, p) in probs.iter().enumerate() {
+            if let Some(row) = p {
+                let a2 = LabelSet::from_iter(
+                    row.iter()
+                        .enumerate()
+                        .filter(|(_, &p)| p >= cfg.p2_threshold)
+                        .map(|(s, _)| TypeId(s as u32)),
+                );
+                finals[a.item][a.col_base + j] = a2;
+            }
+        }
     }
     finals
 }
@@ -391,6 +566,138 @@ mod tests {
         let f_free = infer_phase2(&m, &cfg, tid, &prep, &i1_free, &p2, None, &mut free);
         let f_taped = infer_phase2(&m, &cfg, tid, &prep, &i1_taped, &p2, None, &mut taped);
         assert_eq!(f_free, f_taped, "backends must agree on final verdicts");
+    }
+
+    fn db_with_tables(widths: &[usize]) -> (Arc<Database>, Vec<TableId>) {
+        let db = Database::new("d", LatencyProfile::zero());
+        let tids = widths
+            .iter()
+            .enumerate()
+            .map(|(k, &ncols)| {
+                let tid = TableId(k as u32);
+                let columns: Vec<ColumnMeta> = (0..ncols)
+                    .map(|i| ColumnMeta {
+                        id: ColumnId::new(tid, i as u16),
+                        name: if (i + k) % 2 == 0 { "city".into() } else { format!("num{i}") },
+                        comment: None,
+                        raw_type: RawType::Text,
+                        nullable: false,
+                        stats: Default::default(),
+                        histogram: None,
+                    })
+                    .collect();
+                let rows: Vec<Vec<Cell>> = (0..12)
+                    .map(|r| {
+                        (0..ncols).map(|c| Cell::Text(format!("alpha{}", r + c + k))).collect()
+                    })
+                    .collect();
+                let table = Table {
+                    meta: TableMeta {
+                        id: tid,
+                        name: format!("users_demo{k}"),
+                        comment: None,
+                        row_count: 12,
+                    },
+                    columns,
+                    rows,
+                    labels: vec![LabelSet::empty(); ncols],
+                };
+                db.create_table(&table).unwrap()
+            })
+            .collect();
+        (db, tids)
+    }
+
+    #[test]
+    fn batched_p1_matches_per_table_and_fills_cache_identically() {
+        let (db, tids) = db_with_tables(&[1, 3, 2, 5]);
+        let conn = db.connect();
+        let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, l: 2, ..Default::default() };
+        let m = model(4);
+        let preps: Vec<P1Prep> =
+            tids.iter().map(|&tid| prep_phase1(&conn, tid, &cfg).unwrap()).collect();
+
+        let solo_cache = LatentCache::new(64);
+        let solo: Vec<P1Infer> = tids
+            .iter()
+            .zip(&preps)
+            .map(|(&tid, p)| infer_phase1(&m, &cfg, tid, p, Some(&solo_cache), &mut inf()))
+            .collect();
+
+        let batch_cache = LatentCache::new(64);
+        let items: Vec<P1Item> =
+            tids.iter().zip(&preps).map(|(&tid, prep)| P1Item { tid, prep }).collect();
+        let batched = infer_phase1_batched(&m, &cfg, &items, Some(&batch_cache), &mut inf());
+
+        assert_eq!(batched.len(), solo.len());
+        for (b, s) in batched.iter().zip(&solo) {
+            assert_eq!(b.admitted, s.admitted);
+            assert_eq!(b.uncertain, s.uncertain);
+        }
+        // Same keys, same cached bytes.
+        assert_eq!(batch_cache.len(), solo_cache.len());
+        for (&tid, prep) in tids.iter().zip(&preps) {
+            for chunk_idx in 0..prep.chunks.len() {
+                let key: CacheKey = (tid, chunk_idx as u32);
+                let a = solo_cache.get(&key).expect("per-table path cached this chunk");
+                let b = batch_cache.get(&key).expect("batched path must cache this chunk");
+                assert_eq!(a.layer_latents, b.layer_latents, "cache entry {key:?}");
+                assert_eq!(a.col_marker_pos, b.col_marker_pos);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_p2_matches_per_table_with_and_without_cache() {
+        let (db, tids) = db_with_tables(&[2, 4, 1]);
+        let conn = db.connect();
+        let cfg = TasteConfig { alpha: 0.0001, beta: 0.9999, l: 2, ..Default::default() };
+        let m = model(4);
+        for use_cache in [true, false] {
+            let cache = use_cache.then(|| LatentCache::new(64));
+            let preps: Vec<P1Prep> =
+                tids.iter().map(|&tid| prep_phase1(&conn, tid, &cfg).unwrap()).collect();
+            let infer1s: Vec<P1Infer> = tids
+                .iter()
+                .zip(&preps)
+                .map(|(&tid, p)| infer_phase1(&m, &cfg, tid, p, cache.as_ref(), &mut inf()))
+                .collect();
+            // One table rides along with no uncertain columns at all.
+            let mut infer1s = infer1s;
+            infer1s[2].uncertain.clear();
+            let p2s: Vec<P2Prep> = tids
+                .iter()
+                .zip(&preps)
+                .zip(&infer1s)
+                .map(|((&tid, p), i1)| {
+                    prep_phase2(&conn, tid, p, &i1.uncertain, &cfg, &CancelToken::new()).unwrap()
+                })
+                .collect();
+
+            let solo: Vec<Vec<LabelSet>> = tids
+                .iter()
+                .enumerate()
+                .map(|(k, &tid)| {
+                    infer_phase2(
+                        &m, &cfg, tid, &preps[k], &infer1s[k], &p2s[k], cache.as_ref(),
+                        &mut inf(),
+                    )
+                })
+                .collect();
+
+            let items: Vec<P2Item> = tids
+                .iter()
+                .enumerate()
+                .map(|(k, &tid)| P2Item {
+                    tid,
+                    prep1: &preps[k],
+                    infer1: &infer1s[k],
+                    prep2: &p2s[k],
+                })
+                .collect();
+            let batched = infer_phase2_batched(&m, &cfg, &items, cache.as_ref(), &mut inf());
+            assert_eq!(batched, solo, "use_cache={use_cache}");
+        }
     }
 
     #[test]

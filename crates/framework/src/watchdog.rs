@@ -15,11 +15,60 @@
 //! racing the watchdog may finish its work after the flip; the table is
 //! still reported as timed out — the deadline had passed.
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taste_core::{Result, TasteError};
+
+/// A lost-wakeup-safe event for the scheduler thread: waiters snapshot
+/// the generation, do a scheduling pass, and only block if the
+/// generation has not moved since the snapshot. Workers, the watchdog,
+/// and `finalize_table` notify it whenever progress may have been made
+/// (a job finished, a token flipped, a table was halted), so the
+/// scheduler never needs to poll on a fixed sleep.
+#[derive(Default)]
+pub struct Wakeup {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for Wakeup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wakeup").field("gen", &*self.gen.lock()).finish()
+    }
+}
+
+impl Wakeup {
+    /// A fresh event at generation zero.
+    pub fn new() -> Wakeup {
+        Wakeup::default()
+    }
+
+    /// The current generation; pass it to [`Wakeup::wait_past`].
+    pub fn gen(&self) -> u64 {
+        *self.gen.lock()
+    }
+
+    /// Signals that progress may have been made, waking all waiters.
+    pub fn notify(&self) {
+        *self.gen.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the generation moves past `seen` or `timeout`
+    /// elapses, whichever is first. Returns immediately if a notify
+    /// already landed after `seen` was snapshotted.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut gen = self.gen.lock();
+        while *gen == seen {
+            if self.cv.wait_until(&mut gen, deadline).timed_out() {
+                return;
+            }
+        }
+    }
+}
 
 /// Why a [`CancelToken`] was flipped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,14 +122,12 @@ impl CancelToken {
     }
 
     /// Flips the token. The first reason to land is kept; subsequent
-    /// cancellations are no-ops.
-    pub fn cancel(&self, reason: CancelReason) {
-        let _ = self.flag.compare_exchange(
-            LIVE,
-            reason.code(),
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        );
+    /// cancellations are no-ops. Returns whether this call was the one
+    /// that flipped the token — callers use the edge to notify waiters.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.flag
+            .compare_exchange(LIVE, reason.code(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
     }
 
     /// Whether the token has been cancelled.
@@ -178,7 +225,9 @@ impl Watchdog {
     /// table's token after `stage_deadline` of one in-flight stage,
     /// every token after `batch_deadline` of total batch runtime, and —
     /// when `deadlines` is given — any table past its stamped per-table
-    /// admission deadline ([`CancelReason::DeadlineExceeded`]).
+    /// admission deadline ([`CancelReason::DeadlineExceeded`]). When a
+    /// `wake` event is given, it is notified whenever any token newly
+    /// flips, so the scheduler re-plans without polling.
     pub fn spawn(
         stage_deadline: Option<Duration>,
         batch_deadline: Option<Duration>,
@@ -186,16 +235,24 @@ impl Watchdog {
         clocks: Arc<StageClocks>,
         tokens: Vec<CancelToken>,
         deadlines: Option<Arc<TableDeadlines>>,
+        wake: Option<Arc<Wakeup>>,
     ) -> Watchdog {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let batch_start = Instant::now();
         let handle = std::thread::spawn(move || {
+            let notify_if = |flipped: bool| {
+                if flipped {
+                    if let Some(wake) = &wake {
+                        wake.notify();
+                    }
+                }
+            };
             while !stop_flag.load(Ordering::Acquire) {
                 if let Some(batch_dl) = batch_deadline {
                     if batch_start.elapsed() >= batch_dl {
                         for token in &tokens {
-                            token.cancel(CancelReason::BatchTimeout);
+                            notify_if(token.cancel(CancelReason::BatchTimeout));
                         }
                         return;
                     }
@@ -204,7 +261,7 @@ impl Watchdog {
                     for (t, token) in tokens.iter().enumerate() {
                         if let Some(elapsed) = clocks.elapsed(t) {
                             if elapsed >= stage_dl {
-                                token.cancel(CancelReason::StageTimeout);
+                                notify_if(token.cancel(CancelReason::StageTimeout));
                             }
                         }
                     }
@@ -213,7 +270,7 @@ impl Watchdog {
                     let now = Instant::now();
                     for (t, token) in tokens.iter().enumerate() {
                         if matches!(deadlines.get(t), Some(d) if now >= d) {
-                            token.cancel(CancelReason::DeadlineExceeded);
+                            notify_if(token.cancel(CancelReason::DeadlineExceeded));
                         }
                     }
                 }
@@ -251,8 +308,8 @@ mod tests {
         let token = CancelToken::new();
         assert!(!token.is_cancelled());
         assert!(token.check("stage").is_ok());
-        token.cancel(CancelReason::StageTimeout);
-        token.cancel(CancelReason::BatchTimeout);
+        assert!(token.cancel(CancelReason::StageTimeout), "first cancel flips");
+        assert!(!token.cancel(CancelReason::BatchTimeout), "second cancel is a no-op");
         assert!(token.is_cancelled());
         assert_eq!(token.reason(), Some(CancelReason::StageTimeout));
         let err = token.check("P2Prep row loop").unwrap_err();
@@ -279,6 +336,7 @@ mod tests {
             Arc::clone(&clocks),
             tokens.clone(),
             None,
+            None,
         );
         clocks.start(0); // table 0 wedges; table 1 never starts a stage
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -300,6 +358,7 @@ mod tests {
             Duration::from_millis(1),
             Arc::clone(&clocks),
             tokens.clone(),
+            None,
             None,
         );
         let deadline = Instant::now() + Duration::from_secs(5);
@@ -325,6 +384,7 @@ mod tests {
             Arc::clone(&clocks),
             tokens.clone(),
             None,
+            None,
         );
         std::thread::sleep(Duration::from_millis(20));
         dog.stop();
@@ -345,6 +405,7 @@ mod tests {
             Arc::clone(&clocks),
             tokens.clone(),
             Some(Arc::clone(&deadlines)),
+            None,
         );
         let wait = Instant::now() + Duration::from_secs(5);
         while !tokens[0].is_cancelled() && Instant::now() < wait {
@@ -356,6 +417,65 @@ mod tests {
         // A cleared deadline stops mattering.
         deadlines.clear(0);
         assert_eq!(deadlines.get(0), None);
+    }
+
+    #[test]
+    fn wakeup_notify_before_wait_is_not_lost() {
+        let w = Wakeup::new();
+        let seen = w.gen();
+        w.notify();
+        // A notify that lands between snapshot and wait returns at once
+        // (well before the generous timeout).
+        let t0 = Instant::now();
+        w.wait_past(seen, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_ne!(w.gen(), seen);
+    }
+
+    #[test]
+    fn wakeup_wait_times_out_without_notify() {
+        let w = Wakeup::new();
+        let seen = w.gen();
+        let t0 = Instant::now();
+        w.wait_past(seen, Duration::from_millis(5));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(w.gen(), seen);
+    }
+
+    #[test]
+    fn wakeup_crosses_threads() {
+        let w = Arc::new(Wakeup::new());
+        let seen = w.gen();
+        let notifier = Arc::clone(&w);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            notifier.notify();
+        });
+        w.wait_past(seen, Duration::from_secs(5));
+        handle.join().unwrap();
+        assert_ne!(w.gen(), seen);
+    }
+
+    #[test]
+    fn watchdog_notifies_wakeup_on_cancel() {
+        let clocks = Arc::new(StageClocks::new(1));
+        let tokens = vec![CancelToken::new()];
+        let wake = Arc::new(Wakeup::new());
+        let seen = wake.gen();
+        clocks.start(0);
+        let dog = Watchdog::spawn(
+            Some(Duration::from_millis(2)),
+            None,
+            Duration::from_millis(1),
+            Arc::clone(&clocks),
+            tokens.clone(),
+            None,
+            Some(Arc::clone(&wake)),
+        );
+        wake.wait_past(seen, Duration::from_secs(5));
+        dog.stop();
+        assert!(tokens[0].is_cancelled());
+        assert_ne!(wake.gen(), seen);
     }
 
     #[test]

@@ -32,6 +32,11 @@ use taste_tokenizer::{ColumnContent, PackedContent, PackedMeta, Packer, Tokenize
 /// cache stores.
 pub type MetaEncoding = CachedMeta;
 
+/// One chunk's entry in a P2 micro-batch: its cached metadata encoding,
+/// per-column content (`None` = metadata-only column), and non-meta
+/// feature rows.
+pub type ContentBatchItem<'a> = (&'a MetaEncoding, &'a [Option<ColumnContent>], &'a [Vec<f32>]);
+
 /// A two-layer classifier head: `sigmoid(W2 · ReLU(W1 x + b1) + b2)`
 /// (probabilities are produced by the caller; the head emits logits).
 #[derive(Debug, Clone, Copy)]
@@ -269,6 +274,238 @@ impl Adtd {
         let mut out = vec![None; contents.len()];
         for (row, j) in prob_rows.into_iter().zip(&included) {
             out[*j] = Some(row);
+        }
+        out
+    }
+
+    // ---- micro-batched serving entry points --------------------------
+    //
+    // The unit of inference here is a micro-batch of chunks drawn from
+    // many tables. Encoder passes row-stack every chunk's packed
+    // sequence — lengths may differ freely, since attention is
+    // block-diagonal per sequence and every other op is row-wise — so
+    // one ragged fused forward serves the whole batch with no padding
+    // ever introduced. Classifier heads are purely row-wise, so every
+    // column in the batch goes through a single fused head pass. All
+    // outputs are bit-identical to the per-chunk entry points above.
+
+    /// Batched [`Adtd::encode_meta`]: one ragged fused metadata-tower
+    /// pass over the whole batch, scattering the stacked per-layer
+    /// latents back into one cacheable [`MetaEncoding`] per chunk.
+    /// Tape-free on a throwaway executor.
+    pub fn encode_meta_batched(&self, chunks: &[&TableChunk]) -> Vec<MetaEncoding> {
+        self.encode_meta_batched_in(&mut InferExec::new(), chunks)
+    }
+
+    /// [`Adtd::encode_meta_batched`] on a caller-pooled executor.
+    pub fn encode_meta_batched_in(
+        &self,
+        exec: &mut InferExec,
+        chunks: &[&TableChunk],
+    ) -> Vec<MetaEncoding> {
+        if chunks.is_empty() {
+            return Vec::new();
+        }
+        let mut sess = exec.session(&self.store);
+        self.encode_meta_batched_ex(&mut sess, chunks)
+    }
+
+    /// Backend-generic body of [`Adtd::encode_meta_batched`].
+    pub fn encode_meta_batched_ex<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        chunks: &[&TableChunk],
+    ) -> Vec<MetaEncoding> {
+        let packed: Vec<PackedMeta> = chunks.iter().map(|c| self.pack_meta(c)).collect();
+        let tokens: Vec<Vec<usize>> =
+            packed.iter().map(|p| p.tokens.iter().map(|&t| t as usize).collect()).collect();
+        let seqs: Vec<&[usize]> = tokens.iter().map(Vec::as_slice).collect();
+        let latents = self.encoder.forward_meta_batched(ex, &self.store, &seqs);
+        let mut out = Vec::with_capacity(chunks.len());
+        let mut off = 0;
+        for (i, seq) in seqs.iter().enumerate() {
+            out.push(MetaEncoding {
+                layer_latents: latents
+                    .iter()
+                    .map(|&l| {
+                        // Copy the chunk's row range straight out of the
+                        // stacked latent — no slice node, one copy.
+                        let m = ex.value(l);
+                        let cols = m.cols();
+                        let rows = &m.as_slice()[off * cols..(off + seq.len()) * cols];
+                        Matrix::from_vec(seq.len(), cols, rows.to_vec())
+                    })
+                    .collect(),
+                col_marker_pos: packed[i].col_marker_pos.clone(),
+            });
+            off += seq.len();
+        }
+        out
+    }
+
+    /// Batched [`Adtd::predict_meta`]: classifies every column of every
+    /// chunk in one fused head pass (the head is row-wise, so ragged
+    /// stacking is free). `items[i]` pairs chunk `i`'s encoding with
+    /// its per-column non-metadata features; returns one probability
+    /// matrix per chunk, bit-identical to per-chunk [`Adtd::predict_meta`].
+    pub fn predict_meta_batched(
+        &self,
+        items: &[(&MetaEncoding, &[Vec<f32>])],
+    ) -> Vec<Vec<Vec<f32>>> {
+        self.predict_meta_batched_in(&mut InferExec::new(), items)
+    }
+
+    /// [`Adtd::predict_meta_batched`] on a caller-pooled executor.
+    pub fn predict_meta_batched_in(
+        &self,
+        exec: &mut InferExec,
+        items: &[(&MetaEncoding, &[Vec<f32>])],
+    ) -> Vec<Vec<Vec<f32>>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut sess = exec.session(&self.store);
+        self.predict_meta_batched_ex(&mut sess, items)
+    }
+
+    /// Backend-generic body of [`Adtd::predict_meta_batched`].
+    pub fn predict_meta_batched_ex<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        items: &[(&MetaEncoding, &[Vec<f32>])],
+    ) -> Vec<Vec<Vec<f32>>> {
+        let mut latent_rows: Vec<&[f32]> = Vec::new();
+        let mut feat_rows: Vec<&[f32]> = Vec::new();
+        for (enc, nonmeta) in items {
+            assert_eq!(enc.col_marker_pos.len(), nonmeta.len(), "column count mismatch");
+            let final_latent = enc.layer_latents.last().expect("encoder has layers");
+            for (&pos, feats) in enc.col_marker_pos.iter().zip(nonmeta.iter()) {
+                latent_rows.push(final_latent.row_slice(pos));
+                feat_rows.push(feats.as_slice());
+            }
+        }
+        if latent_rows.is_empty() {
+            return items.iter().map(|_| Vec::new()).collect();
+        }
+        let latent_node = ex.leaf_rows(&latent_rows);
+        let feat_node = ex.leaf_rows(&feat_rows);
+        let x = ex.hcat(latent_node, feat_node);
+        let logits = self.meta_head.forward(ex, &self.store, x);
+        let probs = ex.sigmoid(logits);
+        let mut rows = matrix_rows(ex.value(probs)).into_iter();
+        items
+            .iter()
+            .map(|(_, nonmeta)| (0..nonmeta.len()).map(|_| rows.next().expect("row per column")).collect())
+            .collect()
+    }
+
+    /// Batched [`Adtd::predict_content`]: gathers each chunk's cached
+    /// metadata latents, runs the content tower once over the whole
+    /// ragged batch (each sequence keeps its *own* per-layer key/value
+    /// stack), and classifies every scanned column of the batch in one
+    /// fused head pass. Returns per chunk what [`Adtd::predict_content`]
+    /// returns, bit-identically.
+    pub fn predict_content_batched(
+        &self,
+        items: &[ContentBatchItem<'_>],
+    ) -> Vec<Vec<Option<Vec<f32>>>> {
+        self.predict_content_batched_in(&mut InferExec::new(), items)
+    }
+
+    /// [`Adtd::predict_content_batched`] on a caller-pooled executor.
+    pub fn predict_content_batched_in(
+        &self,
+        exec: &mut InferExec,
+        items: &[ContentBatchItem<'_>],
+    ) -> Vec<Vec<Option<Vec<f32>>>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut sess = exec.session(&self.store);
+        self.predict_content_batched_ex(&mut sess, items)
+    }
+
+    /// Backend-generic body of [`Adtd::predict_content_batched`].
+    pub fn predict_content_batched_ex<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        items: &[ContentBatchItem<'_>],
+    ) -> Vec<Vec<Option<Vec<f32>>>> {
+        // Pack every chunk; chunks whose packed sequence is empty (or
+        // whose columns were all dropped by the cap) short-circuit to
+        // all-`None`, exactly as the unbatched path does.
+        struct Prep {
+            item: usize,
+            tokens: Vec<usize>,
+            included: Vec<usize>,
+            content_rows: Vec<usize>,
+        }
+        let mut out: Vec<Vec<Option<Vec<f32>>>> = Vec::with_capacity(items.len());
+        let mut preps: Vec<Prep> = Vec::new();
+        for (i, (enc, contents, nonmeta)) in items.iter().enumerate() {
+            assert_eq!(contents.len(), nonmeta.len(), "column count mismatch");
+            assert_eq!(contents.len(), enc.col_marker_pos.len(), "column count mismatch");
+            out.push(vec![None; contents.len()]);
+            let packed = self.pack_content(contents);
+            if packed.tokens.is_empty() {
+                continue;
+            }
+            let mut included = Vec::new();
+            let mut content_rows = Vec::new();
+            for (j, pos) in packed.val_marker_pos.iter().enumerate() {
+                if let Some(p) = pos {
+                    included.push(j);
+                    content_rows.push(*p);
+                }
+            }
+            if included.is_empty() {
+                continue;
+            }
+            preps.push(Prep {
+                item: i,
+                tokens: packed.tokens.iter().map(|&t| t as usize).collect(),
+                included,
+                content_rows,
+            });
+        }
+        if preps.is_empty() {
+            return out;
+        }
+
+        let seqs: Vec<&[usize]> = preps.iter().map(|p| p.tokens.as_slice()).collect();
+        let meta_nodes: Vec<Vec<NodeId>> = preps
+            .iter()
+            .map(|p| items[p.item].0.layer_latents.iter().map(|m| ex.leaf_copy(m)).collect())
+            .collect();
+        let content_latent = self.encoder.forward_content_batched(ex, &self.store, &seqs, &meta_nodes);
+
+        // One head pass over every scanned column in the batch.
+        let mut gather_rows: Vec<usize> = Vec::new();
+        let mut meta_rows: Vec<&[f32]> = Vec::new();
+        let mut feat_rows: Vec<&[f32]> = Vec::new();
+        let mut off = 0;
+        for p in &preps {
+            let (enc, _, nonmeta) = &items[p.item];
+            let meta_final = enc.layer_latents.last().expect("encoder has layers");
+            for (&j, &row) in p.included.iter().zip(&p.content_rows) {
+                gather_rows.push(off + row);
+                meta_rows.push(meta_final.row_slice(enc.col_marker_pos[j]));
+                feat_rows.push(nonmeta[j].as_slice());
+            }
+            off += p.tokens.len();
+        }
+        let c = ex.gather_rows(content_latent, &gather_rows);
+        let m = ex.leaf_rows(&meta_rows);
+        let f = ex.leaf_rows(&feat_rows);
+        let cm = ex.hcat(c, m);
+        let x = ex.hcat(cm, f);
+        let logits = self.content_head.forward(ex, &self.store, x);
+        let probs = ex.sigmoid(logits);
+        let mut rows = matrix_rows(ex.value(probs)).into_iter();
+        for p in &preps {
+            for &j in &p.included {
+                out[p.item][j] = Some(rows.next().expect("row per scanned column"));
+            }
         }
         out
     }
@@ -558,6 +795,90 @@ mod tests {
         let enc2 = restored.encode_meta(&c);
         let probs2 = restored.predict_meta(&enc2, &c.nonmeta);
         assert_eq!(probs, probs2);
+    }
+
+    /// A chunk with a distinct shape per index so batched tests mix
+    /// sequence lengths (different column counts pack to different
+    /// lengths).
+    fn varied_chunk(i: usize) -> TableChunk {
+        let ncols = 1 + (i % 3);
+        TableChunk {
+            table_text: "orders demo".into(),
+            col_texts: (0..ncols).map(|c| format!("city{c} name{i}")).collect(),
+            nonmeta: (0..ncols).map(|c| vec![0.1 * (i + c) as f32; NONMETA_DIM]).collect(),
+            ordinals: (0..ncols as u16).collect(),
+        }
+    }
+
+    #[test]
+    fn batched_encode_meta_is_bit_identical_to_per_chunk() {
+        let m = model(4);
+        let chunks: Vec<TableChunk> = (0..7).map(varied_chunk).collect();
+        let refs: Vec<&TableChunk> = chunks.iter().collect();
+        let batched = m.encode_meta_batched(&refs);
+        for (c, b) in chunks.iter().zip(&batched) {
+            let solo = m.encode_meta(c);
+            assert_eq!(solo.layer_latents, b.layer_latents, "latent bytes diverged");
+            assert_eq!(solo.col_marker_pos, b.col_marker_pos);
+        }
+    }
+
+    #[test]
+    fn batched_predict_meta_is_bit_identical_to_per_chunk() {
+        let m = model(5);
+        let chunks: Vec<TableChunk> = (0..5).map(varied_chunk).collect();
+        let encs: Vec<MetaEncoding> = chunks.iter().map(|c| m.encode_meta(c)).collect();
+        let items: Vec<(&MetaEncoding, &[Vec<f32>])> =
+            encs.iter().zip(&chunks).map(|(e, c)| (e, c.nonmeta.as_slice())).collect();
+        let batched = m.predict_meta_batched(&items);
+        for ((enc, c), b) in encs.iter().zip(&chunks).zip(&batched) {
+            assert_eq!(&m.predict_meta(enc, &c.nonmeta), b);
+        }
+    }
+
+    #[test]
+    fn batched_predict_content_is_bit_identical_to_per_chunk() {
+        let m = model(4);
+        let chunks: Vec<TableChunk> = (0..6).map(varied_chunk).collect();
+        let encs: Vec<MetaEncoding> = chunks.iter().map(|c| m.encode_meta(c)).collect();
+        // Mixed scan patterns, including an all-None chunk.
+        let contents: Vec<Vec<Option<ColumnContent>>> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (0..c.col_texts.len())
+                    .map(|j| {
+                        if i == 2 || (i + j) % 2 == 0 {
+                            None
+                        } else {
+                            Some(ColumnContent { cells: vec![format!("phone{i}"), "city".into()] })
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let items: Vec<ContentBatchItem<'_>> = encs
+            .iter()
+            .zip(&contents)
+            .zip(&chunks)
+            .map(|((e, ct), c)| (e, ct.as_slice(), c.nonmeta.as_slice()))
+            .collect();
+        let batched = m.predict_content_batched(&items);
+        for (((enc, ct), c), b) in encs.iter().zip(&contents).zip(&chunks).zip(&batched) {
+            assert_eq!(&m.predict_content(enc, ct, &c.nonmeta), b);
+        }
+    }
+
+    #[test]
+    fn batched_entry_points_accept_empty_and_singleton_batches() {
+        let m = model(4);
+        assert!(m.encode_meta_batched(&[]).is_empty());
+        assert!(m.predict_meta_batched(&[]).is_empty());
+        assert!(m.predict_content_batched(&[]).is_empty());
+        let c = chunk(2);
+        let enc = m.encode_meta_batched(&[&c]);
+        assert_eq!(enc.len(), 1);
+        assert_eq!(enc[0].layer_latents, m.encode_meta(&c).layer_latents);
     }
 
     #[test]

@@ -81,6 +81,77 @@ impl Encoder {
         x
     }
 
+    /// Batched metadata-tower forward over B row-stacked sequences: one
+    /// embedding gather and one set of fused projection/FFN/LN passes
+    /// serve the whole micro-batch, with attention kept block-diagonal
+    /// per sequence. Returns the per-layer *stacked* latents
+    /// `[Σ len_b, hidden]`; sequence `b` occupies the row range starting
+    /// at `Σ_{a<b} len_a`. Every row is bit-identical to the unbatched
+    /// [`Encoder::forward_meta`] row for that sequence.
+    pub fn forward_meta_batched<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        seqs: &[&[usize]],
+    ) -> Vec<NodeId> {
+        let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+        let mut latents = Vec::with_capacity(self.layers.len() + 1);
+        let mut x = self.emb.forward_batched(ex, store, seqs);
+        latents.push(x);
+        for layer in &self.layers {
+            x = layer.forward_batched(ex, store, x, x, &lens, &lens);
+            latents.push(x);
+        }
+        latents
+    }
+
+    /// Batched content-tower forward: `seqs[b]` is sequence `b`'s content
+    /// tokens and `meta_latents[b]` its full `[Encode_0..Encode_L]`
+    /// metadata latents (cached or live — each sequence brings its own,
+    /// which is why the per-layer key/value stack is assembled per
+    /// sequence: `kv_b = meta_latents[b][i] ⊕ x_b`). Returns the stacked
+    /// final content latent `[Σ len_b, hidden]` with the same row layout
+    /// as [`Encoder::forward_meta_batched`].
+    ///
+    /// # Panics
+    /// Panics when the batch is empty or any `meta_latents[b]` does not
+    /// hold `layers + 1` latents.
+    pub fn forward_content_batched<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        seqs: &[&[usize]],
+        meta_latents: &[Vec<NodeId>],
+    ) -> NodeId {
+        assert_eq!(seqs.len(), meta_latents.len(), "one latent vector per sequence");
+        assert!(!seqs.is_empty(), "cannot encode an empty batch");
+        for m in meta_latents {
+            assert_eq!(m.len(), self.layers.len() + 1, "need one metadata latent per layer input");
+        }
+        let lens: Vec<usize> = seqs.iter().map(|s| s.len()).collect();
+        let mut x = self.emb.forward_batched(ex, store, seqs);
+        let mut kv_ranges = Vec::with_capacity(2 * seqs.len());
+        let mut kv_lens = Vec::with_capacity(seqs.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            kv_ranges.clear();
+            kv_lens.clear();
+            let mut off = 0;
+            for (b, &l) in lens.iter().enumerate() {
+                let mb = meta_latents[b][i];
+                let mrows = ex.value(mb).rows();
+                kv_lens.push(mrows + l);
+                kv_ranges.push((mb, 0, mrows));
+                kv_ranges.push((x, off, l));
+                off += l;
+            }
+            // One copy assembles every sequence's meta ⊕ content stack
+            // straight from the source buffers.
+            let kv = ex.vcat_rows(&kv_ranges);
+            x = layer.forward_batched(ex, store, x, kv, &lens, &kv_lens);
+        }
+        x
+    }
+
     /// Plain self-attention forward returning only the final latent —
     /// the path used by the single-tower baselines and MLM pre-training.
     pub fn forward_self<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, tokens: &[usize]) -> NodeId {

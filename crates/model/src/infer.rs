@@ -9,7 +9,7 @@
 //! forward bodies through a fresh recording [`taste_nn::Tape`] per call,
 //! reproducing the pre-split serving behavior.
 
-use crate::adtd::{Adtd, MetaEncoding};
+use crate::adtd::{Adtd, ContentBatchItem, MetaEncoding};
 use crate::prepare::TableChunk;
 use taste_nn::{InferExec, Tape};
 use taste_tokenizer::ColumnContent;
@@ -97,6 +97,58 @@ impl Inferencer {
             ExecMode::Taped => model.predict_content_ex(&mut Tape::new(), enc, contents, nonmeta),
         }
     }
+
+    // ---- micro-batch entry points ------------------------------------
+    //
+    // One call serves a micro-batch of chunks drawn from many tables;
+    // outputs are bit-identical to looping the per-chunk methods above.
+
+    /// [`Adtd::encode_meta_batched`] on this inferencer's backend:
+    /// encodes many chunks' metadata in one ragged row-stacked forward
+    /// and scatters the per-layer latents back into one cacheable
+    /// [`MetaEncoding`] per chunk.
+    pub fn encode_meta_batch(&mut self, model: &Adtd, chunks: &[&TableChunk]) -> Vec<MetaEncoding> {
+        if chunks.is_empty() {
+            return Vec::new();
+        }
+        match self.mode {
+            ExecMode::TapeFree => model.encode_meta_batched_in(&mut self.exec, chunks),
+            ExecMode::Taped => model.encode_meta_batched_ex(&mut Tape::new(), chunks),
+        }
+    }
+
+    /// [`Adtd::predict_meta_batched`] on this inferencer's backend.
+    pub fn predict_meta_batch(
+        &mut self,
+        model: &Adtd,
+        items: &[(&MetaEncoding, &[Vec<f32>])],
+    ) -> Vec<Vec<Vec<f32>>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        match self.mode {
+            ExecMode::TapeFree => model.predict_meta_batched_in(&mut self.exec, items),
+            ExecMode::Taped => model.predict_meta_batched_ex(&mut Tape::new(), items),
+        }
+    }
+
+    /// [`Adtd::predict_content_batched`] on this inferencer's backend:
+    /// gathers each chunk's latent-cache entry, runs the content tower
+    /// once over the ragged row-stacked batch, and scatters per-column
+    /// verdicts back in chunk order.
+    pub fn predict_content_batch(
+        &mut self,
+        model: &Adtd,
+        items: &[ContentBatchItem<'_>],
+    ) -> Vec<Vec<Option<Vec<f32>>>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        match self.mode {
+            ExecMode::TapeFree => model.predict_content_batched_in(&mut self.exec, items),
+            ExecMode::Taped => model.predict_content_batched_ex(&mut Tape::new(), items),
+        }
+    }
 }
 
 impl Default for Inferencer {
@@ -180,6 +232,46 @@ mod tests {
             one.predict_content(&m, &enc1, &contents, &c.nonmeta),
             four.predict_content(&m, &enc4, &contents, &c.nonmeta)
         );
+    }
+
+    #[test]
+    fn batch_entry_points_agree_with_per_chunk_calls_in_both_modes() {
+        let m = model();
+        let chunks: Vec<TableChunk> = (1..=3).map(chunk).collect();
+        let refs: Vec<&TableChunk> = chunks.iter().collect();
+        let contents: Vec<Vec<Option<ColumnContent>>> = chunks
+            .iter()
+            .map(|c| {
+                (0..c.col_texts.len())
+                    .map(|j| (j % 2 == 0).then(|| ColumnContent { cells: vec!["phone".into()] }))
+                    .collect()
+            })
+            .collect();
+        for mode in [ExecMode::TapeFree, ExecMode::Taped] {
+            let mut inf = Inferencer::new(mode);
+            let encs = inf.encode_meta_batch(&m, &refs);
+            let meta_items: Vec<(&MetaEncoding, &[Vec<f32>])> =
+                encs.iter().zip(&chunks).map(|(e, c)| (e, c.nonmeta.as_slice())).collect();
+            let meta_probs = inf.predict_meta_batch(&m, &meta_items);
+            let content_items: Vec<ContentBatchItem<'_>> = encs
+                .iter()
+                .zip(&contents)
+                .zip(&chunks)
+                .map(|((e, ct), c)| (e, ct.as_slice(), c.nonmeta.as_slice()))
+                .collect();
+            let content_probs = inf.predict_content_batch(&m, &content_items);
+
+            let mut solo = Inferencer::new(mode);
+            for (i, c) in chunks.iter().enumerate() {
+                let enc = solo.encode_meta(&m, c);
+                assert_eq!(enc.layer_latents, encs[i].layer_latents, "mode {mode:?}");
+                assert_eq!(solo.predict_meta(&m, &enc, &c.nonmeta), meta_probs[i]);
+                assert_eq!(
+                    solo.predict_content(&m, &enc, &contents[i], &c.nonmeta),
+                    content_probs[i]
+                );
+            }
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod pretrain;
 pub mod resilience;
 pub mod trainer;
 
-pub use adtd::{Adtd, MetaEncoding};
+pub use adtd::{Adtd, ContentBatchItem, MetaEncoding};
 pub use baselines::{BaselineKind, SingleTower};
 pub use cache::{CacheRestoreStats, LatentCache};
 pub use config::ModelConfig;

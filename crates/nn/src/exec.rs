@@ -159,6 +159,23 @@ pub trait Forward {
         acc.expect("non-empty indices")
     }
 
+    /// Vertical concatenation of many nodes — the batch-assembly
+    /// primitive behind micro-batched serving, where B column sequences
+    /// are row-stacked into one node. The default folds [`Forward::vcat`]
+    /// pairwise (differentiable on a tape); eager backends override it
+    /// with a single-allocation copy.
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty.
+    fn vcat_all(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "cannot vcat zero parts");
+        let mut acc = parts[0];
+        for &p in &parts[1..] {
+            acc = self.vcat(acc, p);
+        }
+        acc
+    }
+
     // ---- fused composites --------------------------------------------
     //
     // Defaults compose the primitives above, so the tape records the
@@ -210,6 +227,91 @@ pub trait Forward {
     fn softmax_rows_scaled(&mut self, x: NodeId, alpha: f32) -> NodeId {
         let s = self.scale(x, alpha);
         self.softmax_rows(s)
+    }
+
+    /// Vertical concatenation of row *ranges* `(node, start, len)` —
+    /// the key/value assembly primitive of batched cross-attention,
+    /// where each sequence's KV stack interleaves rows of different
+    /// nodes. The default slices each range out and folds
+    /// [`Forward::vcat_all`] (differentiable on a tape); the serving
+    /// backend overrides it with a single-allocation copy straight from
+    /// the source buffers.
+    ///
+    /// # Panics
+    /// Panics when `parts` is empty or a range is out of bounds.
+    fn vcat_rows(&mut self, parts: &[(NodeId, usize, usize)]) -> NodeId {
+        assert!(!parts.is_empty(), "cannot vcat zero ranges");
+        let sliced: Vec<NodeId> = parts
+            .iter()
+            .map(|&(p, start, len)| {
+                if start == 0 && len == self.value(p).rows() {
+                    p
+                } else {
+                    self.slice_rows(p, start, len)
+                }
+            })
+            .collect();
+        self.vcat_all(&sliced)
+    }
+
+    /// Block-diagonal multi-head attention over row-stacked sequences:
+    /// `q` is the projected query stack `[Σ q_lens, dim]`, `k`/`v` the
+    /// projected key/value stacks `[Σ kv_lens, dim]`, and sequence `b`'s
+    /// queries attend only to sequence `b`'s keys/values. Returns the
+    /// head-merged context `[Σ q_lens, dim]` (pre-output-projection).
+    ///
+    /// The default composes the primitive ops — per head, column slices
+    /// of the stacks, per-sequence row slices, `matmul_bt`,
+    /// `softmax_rows_scaled`, `matmul`, then `vcat_all`/`hcat` assembly —
+    /// so the tape records the exact differentiable sequence. The serving
+    /// backend overrides it with [`crate::kernels::attn_blocks_into`],
+    /// which reads the stacks in place and writes the merged context
+    /// directly: bit-identical, with zero intermediate copies.
+    ///
+    /// # Panics
+    /// Panics when the batch is empty, the length vectors disagree, or
+    /// `heads` does not divide the stack width.
+    #[allow(clippy::too_many_arguments)] // the full attention-block geometry
+    fn attn_blocks(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        q_lens: &[usize],
+        kv_lens: &[usize],
+        heads: usize,
+        scale: f32,
+    ) -> NodeId {
+        assert_eq!(q_lens.len(), kv_lens.len(), "per-sequence length mismatch");
+        assert!(!q_lens.is_empty(), "cannot attend over an empty batch");
+        let dim = self.value(q).cols();
+        assert!(heads > 0 && dim.is_multiple_of(heads), "heads {heads} must divide dim {dim}");
+        let dh = dim / heads;
+        let mut merged: Option<NodeId> = None;
+        let mut blocks = Vec::with_capacity(q_lens.len());
+        for h in 0..heads {
+            let qh = self.slice_cols(q, h * dh, dh);
+            let kh = self.slice_cols(k, h * dh, dh);
+            let vh = self.slice_cols(v, h * dh, dh);
+            blocks.clear();
+            let (mut qo, mut ko) = (0, 0);
+            for (&ql, &kl) in q_lens.iter().zip(kv_lens) {
+                let qb = self.slice_rows(qh, qo, ql);
+                let kb = self.slice_rows(kh, ko, kl);
+                let vb = self.slice_rows(vh, ko, kl);
+                let scores = self.matmul_bt(qb, kb);
+                let attn = self.softmax_rows_scaled(scores, scale);
+                blocks.push(self.matmul(attn, vb));
+                qo += ql;
+                ko += kl;
+            }
+            let out = self.vcat_all(&blocks);
+            merged = Some(match merged {
+                Some(prev) => self.hcat(prev, out),
+                None => out,
+            });
+        }
+        merged.expect("at least one head")
     }
 
     /// `layer_norm(x) * gain + bias` — the full LayerNorm module forward.
@@ -733,6 +835,30 @@ impl Forward for ExecSession<'_> {
         })
     }
 
+    fn vcat_all(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "cannot vcat zero parts");
+        if parts.len() == 1 {
+            return parts[0];
+        }
+        let cols = self.get(parts[0]).cols();
+        let total: usize = parts
+            .iter()
+            .map(|&p| {
+                let (r, c) = self.get(p).shape();
+                assert_eq!(c, cols, "vcat_all column mismatch");
+                r
+            })
+            .sum();
+        self.compute(total, cols, |s, out| {
+            let mut off = 0;
+            for &p in parts {
+                let src = s.get(p).as_slice();
+                out.as_mut_slice()[off..off + src.len()].copy_from_slice(src);
+                off += src.len();
+            }
+        })
+    }
+
     // ---- fused overrides: one pass, bit-identical to the defaults ----
 
     fn linear(&mut self, store: &ParamStore, x: NodeId, w: ParamId, b: ParamId) -> NodeId {
@@ -775,6 +901,55 @@ impl Forward for ExecSession<'_> {
         let (rows, cols) = self.get(x).shape();
         self.compute(rows, cols, |s, out| {
             kernels::softmax_rows_scaled_into(s.get(x), alpha, out)
+        })
+    }
+
+    fn vcat_rows(&mut self, parts: &[(NodeId, usize, usize)]) -> NodeId {
+        assert!(!parts.is_empty(), "cannot vcat zero ranges");
+        let cols = self.get(parts[0].0).cols();
+        let total: usize = parts
+            .iter()
+            .map(|&(p, start, len)| {
+                let (r, c) = self.get(p).shape();
+                assert_eq!(c, cols, "vcat_rows column mismatch");
+                assert!(start + len <= r, "vcat_rows range out of bounds");
+                len
+            })
+            .sum();
+        self.compute(total, cols, |s, out| {
+            let mut off = 0;
+            for &(p, start, len) in parts {
+                let src = &s.get(p).as_slice()[start * cols..(start + len) * cols];
+                out.as_mut_slice()[off..off + src.len()].copy_from_slice(src);
+                off += src.len();
+            }
+        })
+    }
+
+    fn attn_blocks(
+        &mut self,
+        q: NodeId,
+        k: NodeId,
+        v: NodeId,
+        q_lens: &[usize],
+        kv_lens: &[usize],
+        heads: usize,
+        scale: f32,
+    ) -> NodeId {
+        let (rows, dim) = self.get(q).shape();
+        let threads = self.exec.kernel_threads();
+        self.compute(rows, dim, |s, out| {
+            kernels::attn_blocks_into(
+                s.get(q),
+                s.get(k),
+                s.get(v),
+                q_lens,
+                kv_lens,
+                heads,
+                scale,
+                threads,
+                out,
+            )
         })
     }
 

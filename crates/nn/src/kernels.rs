@@ -497,6 +497,129 @@ pub fn matmul_packed_into(
     });
 }
 
+// ---- fused block-diagonal attention ----------------------------------------
+
+/// Block-diagonal multi-head attention over row-stacked sequences, in one
+/// pass: for every sequence `b` and head `h`,
+///
+/// ```text
+/// out[qb, h·dh..(h+1)·dh] = softmax(scale · Q[qb,h] @ K[kb,h]^T) @ V[kb,h]
+/// ```
+///
+/// where `qb` / `kb` are sequence `b`'s row ranges of the projected
+/// stacks. This replaces, per head, the composed
+/// `slice_cols → slice_rows×3 → matmul_bt → softmax_rows_scaled → matmul
+/// → vcat_all → hcat` chain — which materializes several full-stack
+/// copies per layer — with strided reads of `q`/`k`/`v` and direct
+/// writes into the head-merged output. No intermediate matrix is ever
+/// allocated beyond one scores row.
+///
+/// Bit-identity: every score is one ascending-`c` accumulator chain
+/// (exactly [`matmul_bt_into_mt`] on the sliced block), the scaled
+/// softmax materializes `score · scale` per element before
+/// [`softmax_row`] (exactly [`softmax_rows_scaled_into`]), and every
+/// output element accumulates `attn[i,j] · v[j,c]` in ascending-`j`
+/// order (exactly [`matmul_into_mt`] on the sliced block) — so the
+/// result matches the composed ops byte for byte.
+///
+/// Parallelism is per sequence: a block's rows are written entirely by
+/// one thread, so thread count cannot affect values.
+///
+/// # Panics
+/// Panics when shapes, lengths, or `heads` disagree.
+#[allow(clippy::too_many_arguments)]
+pub fn attn_blocks_into(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    q_lens: &[usize],
+    kv_lens: &[usize],
+    heads: usize,
+    scale: f32,
+    threads: usize,
+    out: &mut Matrix,
+) {
+    let dim = q.cols();
+    assert!(heads > 0 && dim.is_multiple_of(heads), "heads {heads} must divide dim {dim}");
+    assert_eq!(k.cols(), dim, "key width mismatch");
+    assert_eq!(v.cols(), dim, "value width mismatch");
+    assert_eq!(q_lens.len(), kv_lens.len(), "per-sequence length mismatch");
+    let total_q: usize = q_lens.iter().sum();
+    let total_kv: usize = kv_lens.iter().sum();
+    assert_eq!(q.rows(), total_q, "query stack height mismatch");
+    assert_eq!(k.rows(), total_kv, "key stack height mismatch");
+    assert_eq!(v.rows(), total_kv, "value stack height mismatch");
+    assert_eq!(out.shape(), (total_q, dim), "attn_blocks output shape");
+
+    let dh = dim / heads;
+    let nb = q_lens.len();
+    let mut q_offs = Vec::with_capacity(nb);
+    let mut kv_offs = Vec::with_capacity(nb);
+    let (mut qo, mut ko) = (0usize, 0usize);
+    for (&ql, &kl) in q_lens.iter().zip(kv_lens) {
+        q_offs.push(qo);
+        kv_offs.push(ko);
+        qo += ql;
+        ko += kl;
+    }
+    let flops: usize = q_lens.iter().zip(kv_lens).map(|(&ql, &kl)| 4 * ql * kl * dim).sum();
+    let mo = RowsOut::new(out);
+    run_row_ranges(threads, nb, flops, &|b0, b1| {
+        let mut scores: Vec<f32> = Vec::new();
+        for b in b0..b1 {
+            let (qoff, ql) = (q_offs[b], q_lens[b]);
+            let (koff, kl) = (kv_offs[b], kv_lens[b]);
+            for h in 0..heads {
+                let c0 = h * dh;
+                for i in 0..ql {
+                    let qrow = &q.row_slice(qoff + i)[c0..c0 + dh];
+                    scores.clear();
+                    scores.resize(kl, 0.0);
+                    // Eight independent ascending-`c` chains per pass,
+                    // one accumulator per key row — the matmul_bt lane
+                    // kernel applied to the strided block.
+                    let mut j = 0;
+                    while j < kl {
+                        let w = LANES.min(kl - j);
+                        let mut acc = [0.0f32; LANES];
+                        if w == LANES {
+                            let kr: [&[f32]; LANES] =
+                                std::array::from_fn(|l| &k.row_slice(koff + j + l)[c0..c0 + dh]);
+                            for (c, &qv) in qrow.iter().enumerate() {
+                                for (o, krow) in acc.iter_mut().zip(&kr) {
+                                    // SAFETY: c < dh == krow.len().
+                                    *o += qv * unsafe { *krow.get_unchecked(c) };
+                                }
+                            }
+                        } else {
+                            for (l, o) in acc.iter_mut().enumerate().take(w) {
+                                let mut s = 0.0f32;
+                                for (&x, &y) in qrow.iter().zip(&k.row_slice(koff + j + l)[c0..c0 + dh]) {
+                                    s += x * y;
+                                }
+                                *o = s;
+                            }
+                        }
+                        scores[j..j + w].copy_from_slice(&acc[..w]);
+                        j += w;
+                    }
+                    for s in scores.iter_mut() {
+                        *s *= scale;
+                    }
+                    softmax_row(&mut scores);
+                    // SAFETY: block row ranges are disjoint and this
+                    // block belongs exclusively to this thread.
+                    let seg = &mut unsafe { mo.row(qoff + i) }[c0..c0 + dh];
+                    seg.fill(0.0);
+                    for (j, &aw) in scores.iter().enumerate() {
+                        axpy_lanes(seg, aw, &v.row_slice(koff + j)[c0..c0 + dh]);
+                    }
+                }
+            }
+        }
+    });
+}
+
 // ---- fused row kernels -----------------------------------------------------
 
 /// Numerically-stabilized softmax of one row, in place. Shared by
@@ -677,6 +800,60 @@ mod tests {
             }
         }
         assert_eq!(ln.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn attn_blocks_matches_composed_ops_bitwise() {
+        let heads = 2;
+        let dim = 16;
+        let dh = dim / heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        // The third block alone clears PAR_MIN_FLOPS, so the threaded
+        // runs below genuinely exercise the pool path.
+        let q_lens = [3usize, 1, 40, 9];
+        let kv_lens = [4usize, 7, 30, 9];
+        let tq: usize = q_lens.iter().sum();
+        let tk: usize = kv_lens.iter().sum();
+        let q = wavy(tq, dim, 0.3);
+        let k = wavy(tk, dim, 1.3);
+        let v = wavy(tk, dim, 2.3);
+
+        // Composed reference: per head, slice the blocks out, run the
+        // standalone kernels, and merge heads into the output layout.
+        let mut want = Matrix::zeros(tq, dim);
+        for h in 0..heads {
+            let c0 = h * dh;
+            let (mut qo, mut ko) = (0usize, 0usize);
+            for (&ql, &kl) in q_lens.iter().zip(&kv_lens) {
+                let slice_block = |m: &Matrix, r0: usize, rows: usize| {
+                    let mut s = Matrix::zeros(rows, dh);
+                    for r in 0..rows {
+                        s.row_slice_mut(r).copy_from_slice(&m.row_slice(r0 + r)[c0..c0 + dh]);
+                    }
+                    s
+                };
+                let qb = slice_block(&q, qo, ql);
+                let kb = slice_block(&k, ko, kl);
+                let vb = slice_block(&v, ko, kl);
+                let mut raw = Matrix::zeros(ql, kl);
+                matmul_bt_into_mt(&qb, &kb, 1, &mut raw);
+                let mut attn = Matrix::zeros(ql, kl);
+                softmax_rows_scaled_into(&raw, scale, &mut attn);
+                let mut ob = Matrix::zeros(ql, dh);
+                matmul_into_mt(&attn, &vb, 1, &mut ob);
+                for r in 0..ql {
+                    want.row_slice_mut(qo + r)[c0..c0 + dh].copy_from_slice(ob.row_slice(r));
+                }
+                qo += ql;
+                ko += kl;
+            }
+        }
+
+        for threads in [1, 3] {
+            let mut got = Matrix::zeros(tq, dim);
+            attn_blocks_into(&q, &k, &v, &q_lens, &kv_lens, heads, scale, threads, &mut got);
+            assert_eq!(got.as_slice(), want.as_slice(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -120,6 +120,38 @@ impl Embedding {
         let pos = ex.gather_param_rows(store, self.positions, &pos_idx);
         ex.add(tok, pos)
     }
+
+    /// Embeds a batch of token sequences row-stacked into one
+    /// `[Σ len_i, dim]` node. Position indices restart at 0 for every
+    /// sequence, so each row is bit-identical to the row the unbatched
+    /// [`Embedding::forward`] would produce for that sequence alone.
+    ///
+    /// # Panics
+    /// Panics when the batch is empty or any sequence exceeds `max_len`.
+    pub fn forward_batched<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        seqs: &[&[usize]],
+    ) -> NodeId {
+        assert!(!seqs.is_empty(), "cannot embed an empty batch");
+        let total: usize = seqs.iter().map(|s| s.len()).sum();
+        let mut tok_idx = Vec::with_capacity(total);
+        let mut pos_idx = Vec::with_capacity(total);
+        for seq in seqs {
+            assert!(
+                seq.len() <= self.max_len,
+                "sequence length {} exceeds max_len {}",
+                seq.len(),
+                self.max_len
+            );
+            tok_idx.extend_from_slice(seq);
+            pos_idx.extend(0..seq.len());
+        }
+        let tok = ex.gather_param_rows(store, self.table, &tok_idx);
+        let pos = ex.gather_param_rows(store, self.positions, &pos_idx);
+        ex.add(tok, pos)
+    }
 }
 
 /// Multi-head scaled-dot-product attention supporting distinct query and
@@ -190,6 +222,39 @@ impl MultiHeadAttention {
     pub fn self_attention<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, x: NodeId) -> NodeId {
         self.forward(ex, store, x, x)
     }
+
+    /// Block-diagonal batched attention over B row-stacked sequences.
+    ///
+    /// `q_in` is `[Σ q_lens, dim]`, `kv_in` is `[Σ kv_lens, dim]`;
+    /// sequence `b`'s queries attend only to sequence `b`'s keys/values.
+    /// The Q/K/V/output projections are row-wise, so they run as single
+    /// fused matmuls over the whole stack — that is where batching earns
+    /// its throughput. Only the score/softmax/value products are taken
+    /// per sequence (attention is the one op that mixes rows), via the
+    /// backend's [`Forward::attn_blocks`] — a single fused kernel on the
+    /// serving executor — which makes every output row bit-identical to
+    /// what the unbatched [`MultiHeadAttention::forward`] produces for
+    /// that sequence alone.
+    ///
+    /// # Panics
+    /// Panics when the batch is empty or the length vectors disagree.
+    pub fn forward_batched<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        q_in: NodeId,
+        kv_in: NodeId,
+        q_lens: &[usize],
+        kv_lens: &[usize],
+    ) -> NodeId {
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.forward(ex, store, q_in);
+        let k = self.wk.forward(ex, store, kv_in);
+        let v = self.wv.forward(ex, store, kv_in);
+        let ctx = ex.attn_blocks(q, k, v, q_lens, kv_lens, self.heads, scale);
+        self.wo.forward(ex, store, ctx)
+    }
 }
 
 /// Position-wise feed-forward network: `GELU(x W1 + b1) W2 + b2`.
@@ -248,6 +313,28 @@ impl TransformerLayer {
     /// query's sequence length. Self-attention is `forward(x, x)`.
     pub fn forward<E: Forward + ?Sized>(&self, ex: &mut E, store: &ParamStore, q_in: NodeId, kv_in: NodeId) -> NodeId {
         let attn_out = self.attn.forward(ex, store, q_in, kv_in);
+        let res1 = ex.add(q_in, attn_out);
+        let x = self.ln1.forward(ex, store, res1);
+        let ffn_out = self.ffn.forward(ex, store, x);
+        let res2 = ex.add(x, ffn_out);
+        self.ln2.forward(ex, store, res2)
+    }
+
+    /// Batched block over B row-stacked sequences: attention is
+    /// block-diagonal (per-sequence, via
+    /// [`MultiHeadAttention::forward_batched`]) while the residuals,
+    /// layer norms, and FFN — all row-wise — run as single fused passes
+    /// over the whole `[Σ q_lens, dim]` stack.
+    pub fn forward_batched<E: Forward + ?Sized>(
+        &self,
+        ex: &mut E,
+        store: &ParamStore,
+        q_in: NodeId,
+        kv_in: NodeId,
+        q_lens: &[usize],
+        kv_lens: &[usize],
+    ) -> NodeId {
+        let attn_out = self.attn.forward_batched(ex, store, q_in, kv_in, q_lens, kv_lens);
         let res1 = ex.add(q_in, attn_out);
         let x = self.ln1.forward(ex, store, res1);
         let ffn_out = self.ffn.forward(ex, store, x);
@@ -453,6 +540,89 @@ mod tests {
         let xs = sess.leaf_copy(&input);
         let ys = layer.forward(&mut sess, &s, xs, xs);
         assert_eq!(sess.value(ys), &taped);
+    }
+
+    #[test]
+    fn batched_embedding_matches_per_sequence_rows() {
+        let mut s = store();
+        let emb = Embedding::new(&mut s, "e", 12, 8, 16);
+        let seqs: [&[usize]; 3] = [&[1, 2, 3], &[4, 5], &[1, 2, 3, 4, 5, 6]];
+        let mut t = Tape::new();
+        let stacked = emb.forward_batched(&mut t, &s, &seqs);
+        let mut off = 0;
+        for seq in seqs {
+            let mut t2 = Tape::new();
+            let solo = emb.forward(&mut t2, &s, seq);
+            for r in 0..seq.len() {
+                assert_eq!(
+                    t.value(stacked).row_slice(off + r),
+                    t2.value(solo).row_slice(r),
+                    "embedding row diverged"
+                );
+            }
+            off += seq.len();
+        }
+    }
+
+    #[test]
+    fn batched_transformer_layer_is_bit_identical_per_sequence() {
+        // Variable-length sequences, distinct q/kv lengths (the content
+        // tower's cross-attention shape), both backends, threaded kernels:
+        // every output row of the batched stack must equal the row the
+        // unbatched forward produces for its sequence — exactly.
+        let mut s = store();
+        let layer = TransformerLayer::new(&mut s, "t0", 8, 2, 16);
+        let q_lens = [3usize, 5, 2];
+        let kv_lens = [7usize, 6, 9];
+        let mk = |rows: usize, seed: f32| {
+            Matrix::from_vec(rows, 8, (0..rows * 8).map(|i| (i as f32 * seed).sin()).collect())
+        };
+        let qs: Vec<Matrix> = q_lens.iter().enumerate().map(|(i, &l)| mk(l, 0.31 + i as f32 * 0.11)).collect();
+        let kvs: Vec<Matrix> = kv_lens.iter().enumerate().map(|(i, &l)| mk(l, 0.17 + i as f32 * 0.07)).collect();
+
+        // Reference: each sequence through the unbatched forward (tape).
+        let mut want: Vec<Matrix> = Vec::new();
+        for (q, kv) in qs.iter().zip(&kvs) {
+            let mut t = Tape::new();
+            let qn = t.leaf(q.clone());
+            let kvn = t.leaf(kv.clone());
+            let y = layer.forward(&mut t, &s, qn, kvn);
+            want.push(t.value(y).clone());
+        }
+
+        for threads in [1usize, 4] {
+            let mut exec = InferExec::with_kernel_threads(threads);
+            let mut sess = exec.session(&s);
+            let qn: Vec<_> = qs.iter().map(|q| sess.leaf_copy(q)).collect();
+            let kvn: Vec<_> = kvs.iter().map(|kv| sess.leaf_copy(kv)).collect();
+            let q_stack = sess.vcat_all(&qn);
+            let kv_stack = sess.vcat_all(&kvn);
+            let y = layer.forward_batched(&mut sess, &s, q_stack, kv_stack, &q_lens, &kv_lens);
+            let mut off = 0;
+            for (b, w) in want.iter().enumerate() {
+                for r in 0..q_lens[b] {
+                    assert_eq!(
+                        sess.value(y).row_slice(off + r),
+                        w.row_slice(r),
+                        "batched row diverged (seq {b}, row {r}, threads {threads})"
+                    );
+                }
+                off += q_lens[b];
+            }
+        }
+    }
+
+    #[test]
+    fn batched_layer_with_single_sequence_matches_unbatched() {
+        let mut s = store();
+        let layer = TransformerLayer::new(&mut s, "t0", 8, 4, 16);
+        let x = Matrix::from_vec(5, 8, (0..40).map(|i| (i as f32 * 0.23).cos()).collect());
+        let mut exec = InferExec::new();
+        let mut sess = exec.session(&s);
+        let xn = sess.leaf_copy(&x);
+        let solo = layer.forward(&mut sess, &s, xn, xn);
+        let batched = layer.forward_batched(&mut sess, &s, xn, xn, &[5], &[5]);
+        assert_eq!(sess.value(solo), sess.value(batched));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Batched-forward parity: row-stacking B sequences through
+//! `Embedding::forward_batched` / `TransformerLayer::forward_batched`
+//! must be **bit-identical** to running each sequence through the
+//! unbatched forwards alone, for any random batch and at every kernel
+//! thread width. This is the contract the serving-side micro-batcher
+//! leans on — fused passes may change throughput, never verdicts.
+//!
+//! Comparisons are exact (`==` on the f32 payload), not tolerance-based:
+//! batching only reorders *rows*, never the reduction order inside a
+//! row, and threaded kernels partition by row too.
+
+use proptest::prelude::*;
+use taste_nn::modules::{Embedding, MultiHeadAttention, TransformerLayer};
+use taste_nn::{Forward, InferExec, Matrix, ParamStore};
+
+const DIM: usize = 8;
+const HEADS: usize = 2;
+const VOCAB: usize = 32;
+const MAX_LEN: usize = 12;
+
+/// A random batch: per-sequence token ids, 1..=8 sequences of 1..=6 tokens.
+fn batch_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..VOCAB, 1..=6), 1..=8)
+}
+
+fn rows_of(m: &Matrix, offset: usize, len: usize) -> &[f32] {
+    &m.as_slice()[offset * m.cols()..(offset + len) * m.cols()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn embedding_and_layer_batched_match_per_sequence(seqs in batch_strategy()) {
+        let mut store = ParamStore::new(17);
+        let emb = Embedding::new(&mut store, "emb", VOCAB, DIM, MAX_LEN);
+        let layer = TransformerLayer::new(&mut store, "layer", DIM, HEADS, DIM * 2);
+        let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+
+        for threads in [1usize, 4] {
+            // Batched: one fused pass over the row-stacked batch.
+            let mut exec = InferExec::with_kernel_threads(threads);
+            let mut sess = exec.session(&store);
+            let refs: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
+            let stacked = emb.forward_batched(&mut sess, &store, &refs);
+            let enc = layer.forward_batched(&mut sess, &store, stacked, stacked, &lens, &lens);
+            let (emb_all, enc_all) = (sess.value(stacked).clone(), sess.value(enc).clone());
+            prop_assert_eq!(emb_all.rows(), lens.iter().sum::<usize>());
+
+            // Per-sequence: each alone on a fresh executor.
+            let mut offset = 0;
+            for seq in &seqs {
+                let mut solo_exec = InferExec::with_kernel_threads(threads);
+                let mut solo = solo_exec.session(&store);
+                let e = emb.forward(&mut solo, &store, seq);
+                let x = layer.forward(&mut solo, &store, e, e);
+                prop_assert_eq!(
+                    rows_of(&emb_all, offset, seq.len()),
+                    solo.value(e).as_slice(),
+                    "embedding rows diverged (threads={})", threads
+                );
+                prop_assert_eq!(
+                    rows_of(&enc_all, offset, seq.len()),
+                    solo.value(x).as_slice(),
+                    "encoder rows diverged (threads={})", threads
+                );
+                offset += seq.len();
+            }
+        }
+    }
+
+    #[test]
+    fn cross_attention_batched_matches_per_pair(
+        pairs in prop::collection::vec(
+            (prop::collection::vec(0usize..VOCAB, 1..=4), prop::collection::vec(0usize..VOCAB, 1..=6)),
+            1..=6,
+        ),
+    ) {
+        // The asymmetric content-tower case: Q comes from one stream,
+        // K/V from another, with per-pair lengths that disagree.
+        let mut store = ParamStore::new(23);
+        let emb = Embedding::new(&mut store, "emb", VOCAB, DIM, MAX_LEN);
+        let attn = MultiHeadAttention::new(&mut store, "xattn", DIM, HEADS);
+        let q_lens: Vec<usize> = pairs.iter().map(|(q, _)| q.len()).collect();
+        let kv_lens: Vec<usize> = pairs.iter().map(|(_, kv)| kv.len()).collect();
+
+        for threads in [1usize, 4] {
+            let mut exec = InferExec::with_kernel_threads(threads);
+            let mut sess = exec.session(&store);
+            let q_refs: Vec<&[usize]> = pairs.iter().map(|(q, _)| q.as_slice()).collect();
+            let kv_refs: Vec<&[usize]> = pairs.iter().map(|(_, kv)| kv.as_slice()).collect();
+            let q = emb.forward_batched(&mut sess, &store, &q_refs);
+            let kv = emb.forward_batched(&mut sess, &store, &kv_refs);
+            let out = attn.forward_batched(&mut sess, &store, q, kv, &q_lens, &kv_lens);
+            let out_all = sess.value(out).clone();
+            prop_assert_eq!(out_all.rows(), q_lens.iter().sum::<usize>());
+
+            let mut offset = 0;
+            for (qs, kvs) in &pairs {
+                let mut solo_exec = InferExec::with_kernel_threads(threads);
+                let mut solo = solo_exec.session(&store);
+                let q1 = emb.forward(&mut solo, &store, qs);
+                let kv1 = emb.forward(&mut solo, &store, kvs);
+                let o1 = attn.forward(&mut solo, &store, q1, kv1);
+                prop_assert_eq!(
+                    rows_of(&out_all, offset, qs.len()),
+                    solo.value(o1).as_slice(),
+                    "cross-attention rows diverged (threads={})", threads
+                );
+                offset += qs.len();
+            }
+        }
+    }
+}
