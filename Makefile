@@ -1,6 +1,6 @@
 # Convenience targets for the TASTE reproduction workspace.
 
-.PHONY: verify build test clippy crash-resume train-resume repro infer-bench overload-sweep kernel-bench batch-bench
+.PHONY: verify build test clippy crash-resume train-resume repro infer-bench overload-sweep kernel-bench batch-bench swap-bench
 
 # The one gate every change must pass.
 verify:
@@ -45,3 +45,8 @@ kernel-bench:
 # kernel width, parity-gated; writes results/BENCH_batching.json).
 batch-bench:
 	cargo run -p taste-bench --release --bin repro -- batch_bench --smoke
+
+# Quick-scale hot-reload benchmark (registry publish/load, swap latency,
+# canary overhead; writes results/BENCH_swap.json).
+swap-bench:
+	cargo run -p taste-bench --release --bin repro -- swap_bench --smoke

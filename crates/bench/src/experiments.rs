@@ -1364,6 +1364,186 @@ pub fn batch_bench(scale: &Scale) -> Result<()> {
     Ok(())
 }
 
+/// Hot model reload benchmark — registry publish/load latency, swap
+/// visibility latency (offer → promoted incumbent), pin overhead on the
+/// serving path, and the end-to-end throughput cost of an active canary
+/// (shadow-scored Phase-1) against the rollout-disabled engine.
+pub fn swap_bench(scale: &Scale) -> Result<()> {
+    use taste_framework::{CanaryObservation, RolloutConfig, RolloutController};
+    use taste_model::registry::{ModelRegistry, VersionedModel};
+
+    let bundle = build_bundle(DatasetKind::Wiki, scale)?;
+    let model = models::taste_model(&bundle, scale, false, "plain")?;
+    let split = &bundle.test_fast;
+    let ids = split.db.table_ids();
+    let base = TasteConfig { l: bundle.kind.default_l(), ..TasteConfig::default() };
+    let reps = scale.timing_runs.max(3);
+
+    // 1. Registry artifact lifecycle: CRC-framed publish (temp + fsync +
+    // rename) and validated load, per version.
+    let dir = std::env::temp_dir().join("taste-repro-swap-registry");
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = ModelRegistry::new(&dir)?;
+    let mut publish_t = Vec::new();
+    let mut load_t = Vec::new();
+    let mut artifact_bytes = 0u64;
+    for v in 1..=reps as u64 {
+        let t0 = Instant::now();
+        let path = registry.publish(&model, v)?;
+        publish_t.push(t0.elapsed());
+        artifact_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let t0 = Instant::now();
+        let loaded = registry.load(v)?;
+        load_t.push(t0.elapsed());
+        if loaded.version != v {
+            return Err(TasteError::invalid("registry returned the wrong version"));
+        }
+    }
+    let (publish_mean, publish_std) = mean_std(&publish_t);
+    let (load_mean, load_std) = mean_std(&load_t);
+
+    // 2. Swap mechanics on the controller: pin cost (per table, on the
+    // hot path) and offer → promotion visibility latency.
+    let rollout_on = |fraction: f64, min_tables: u64| RolloutConfig {
+        enabled: true,
+        canary_fraction: fraction,
+        min_canary_tables: min_tables,
+        ..RolloutConfig::default()
+    };
+    let rc = RolloutController::new(
+        VersionedModel { version: 1, model: Arc::clone(&model) },
+        rollout_on(1.0, 1),
+    );
+    const PINS: u32 = 100_000;
+    let t0 = Instant::now();
+    for _ in 0..PINS {
+        std::hint::black_box(rc.pin());
+    }
+    let pin_ns = t0.elapsed().as_secs_f64() * 1e9 / f64::from(PINS);
+    let mut swap_t = Vec::new();
+    for v in 2..=(reps as u64 + 1) {
+        let candidate = VersionedModel { version: v, model: Arc::clone(&model) };
+        let t0 = Instant::now();
+        if !rc.offer(candidate) {
+            return Err(TasteError::invalid("controller rejected a fresh candidate"));
+        }
+        let _ = rc.pin();
+        rc.observe_canary(CanaryObservation {
+            agree_cols: 4,
+            total_cols: 4,
+            nonfinite: false,
+            candidate_ms: 1.0,
+            incumbent_ms: 1.0,
+        });
+        swap_t.push(t0.elapsed());
+        if rc.current_version() != v {
+            return Err(TasteError::invalid("promotion did not become visible"));
+        }
+    }
+    let (swap_mean, swap_std) = mean_std(&swap_t);
+
+    // 3. End-to-end canary cost: the engine with a candidate held in
+    // canary for the whole run (judgment unreachable) vs rollout off.
+    // Candidate weights are identical, so the delta is pure subsystem
+    // overhead: pin routing plus the shadow Phase-1 on canary tables.
+    let cols: f64 = {
+        let probe = run_taste(&model, split, base)?;
+        probe.total_columns as f64
+    };
+    let mut modes = Vec::new();
+    for (label, fraction) in [("rollout off", None), ("canary 20%", Some(0.2)), ("canary 100%", Some(1.0))] {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let cfg = match fraction {
+                None => base,
+                Some(f) => TasteConfig { rollout: rollout_on(f, u64::MAX), ..base },
+            };
+            let engine = TasteEngine::new(Arc::clone(&model), cfg)?;
+            if fraction.is_some() {
+                let rc = engine.rollout().expect("rollout enabled");
+                if !rc.offer(VersionedModel { version: 2, model: Arc::clone(&model) }) {
+                    return Err(TasteError::invalid("canary candidate rejected"));
+                }
+            }
+            let report = engine.detect_batch(&split.db, &ids)?;
+            best = best.min(report.wall_time.as_secs_f64());
+            if report.tables.iter().any(|t| t.outcome != taste_core::TableOutcome::Completed) {
+                return Err(TasteError::invalid("canary run harmed a table"));
+            }
+        }
+        modes.push((label, fraction, best));
+    }
+    let base_s = modes[0].2;
+
+    let mut rows = vec![
+        vec![
+            "registry publish".into(),
+            format!("{:.2} ± {:.2} ms", publish_mean * 1e3, publish_std * 1e3),
+            format!("{artifact_bytes} B artifact"),
+        ],
+        vec![
+            "registry load+validate".into(),
+            format!("{:.2} ± {:.2} ms", load_mean * 1e3, load_std * 1e3),
+            "CRC frame + finite params".into(),
+        ],
+        vec![
+            "offer → promoted".into(),
+            format!("{:.1} ± {:.1} µs", swap_mean * 1e6, swap_std * 1e6),
+            "visibility latency".into(),
+        ],
+        vec!["pin (per table)".into(), format!("{pin_ns:.0} ns"), "serving hot path".into()],
+    ];
+    for (label, _, wall) in &modes {
+        rows.push(vec![
+            (*label).into(),
+            format!("{:.0} cols/s", cols / wall),
+            format!("{:.3}x vs off", base_s / wall),
+        ]);
+    }
+    print_table(
+        "Hot model reload: swap latency and canary overhead (SynthWiki test)",
+        &["measure", "value", "notes"],
+        &rows,
+    );
+
+    let mode_json: Vec<serde_json::Value> = modes
+        .iter()
+        .map(|(label, fraction, wall)| {
+            json!({
+                "mode": label,
+                "canary_fraction": fraction,
+                "wall_s": wall,
+                "cols_per_s": cols / wall,
+                "throughput_vs_off": base_s / wall,
+            })
+        })
+        .collect();
+    write_json(
+        "BENCH_swap",
+        &json!({
+            "dataset": DatasetKind::Wiki.label(),
+            "tables": ids.len(),
+            "columns": cols,
+            "timing": format!("min/mean over {reps} passes"),
+            "registry": {
+                "publish_mean_s": publish_mean,
+                "publish_std_s": publish_std,
+                "load_mean_s": load_mean,
+                "load_std_s": load_std,
+                "artifact_bytes": artifact_bytes,
+            },
+            "swap": {
+                "offer_to_promoted_mean_s": swap_mean,
+                "offer_to_promoted_std_s": swap_std,
+                "pin_ns": pin_ns,
+            },
+            "serving": mode_json,
+        }),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 /// Runs every experiment in paper order.
 pub fn all(scale: &Scale) -> Result<()> {
     table2(scale)?;
@@ -1381,5 +1561,6 @@ pub fn all(scale: &Scale) -> Result<()> {
     infer_bench(scale)?;
     kernel_bench(scale)?;
     batch_bench(scale)?;
+    swap_bench(scale)?;
     Ok(())
 }

@@ -106,6 +106,7 @@ pub fn run_baseline(
             outcome: Default::default(),
             resilience: Default::default(),
             latency: t_table.elapsed(),
+            model_version: 0,
         });
     }
     let wall_time = t0.elapsed();
@@ -126,6 +127,7 @@ pub fn run_baseline(
         cache_corrupt_entries: 0,
         overload: Default::default(),
         batching: Default::default(),
+        rollout: Default::default(),
     })
 }
 

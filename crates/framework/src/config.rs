@@ -4,6 +4,7 @@
 
 use crate::overload::OverloadConfig;
 use crate::retry::RetryConfig;
+use crate::rollout::RolloutConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use taste_core::{Result, TasteError};
@@ -249,6 +250,10 @@ pub struct TasteConfig {
     /// Disabled by default.
     #[serde(default)]
     pub batching: BatchingConfig,
+    /// Hot model reload: versioned canary serving with health-gated
+    /// automatic rollback. Disabled by default.
+    #[serde(default)]
+    pub rollout: RolloutConfig,
 }
 
 impl Default for TasteConfig {
@@ -270,6 +275,7 @@ impl Default for TasteConfig {
             execution: ExecutionConfig::default(),
             overload: OverloadConfig::default(),
             batching: BatchingConfig::default(),
+            rollout: RolloutConfig::default(),
         }
     }
 }
@@ -309,6 +315,7 @@ impl TasteConfig {
         self.execution.validate()?;
         self.overload.validate()?;
         self.batching.validate()?;
+        self.rollout.validate()?;
         Ok(())
     }
 
@@ -502,6 +509,33 @@ mod tests {
             serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
         assert!(!restored.batching.enabled);
         assert_eq!(restored.batching, BatchingConfig::default());
+    }
+
+    #[test]
+    fn rollout_defaults_off_and_validates_when_enabled() {
+        let c = TasteConfig::default();
+        assert!(!c.rollout.enabled);
+        assert_eq!(c.rollout.initial_version, 1);
+        assert!(c.validate().is_ok());
+        // Bad knobs are rejected only when rollout is on.
+        let off = RolloutConfig { canary_fraction: 0.0, ..Default::default() };
+        assert!(off.validate().is_ok());
+        let bad = RolloutConfig { enabled: true, canary_fraction: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(TasteConfig { rollout: bad, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn rollout_config_serde_defaults() {
+        // Configs serialized before the rollout subsystem deserialize to
+        // the disabled default.
+        let legacy = serde_json::to_value(TasteConfig::default()).unwrap();
+        let mut obj = legacy.as_object().unwrap().clone();
+        obj.remove("rollout");
+        let restored: TasteConfig =
+            serde_json::from_value(serde_json::Value::Object(obj)).unwrap();
+        assert!(!restored.rollout.enabled);
+        assert_eq!(restored.rollout, RolloutConfig::default());
     }
 
     #[test]

@@ -75,6 +75,7 @@ use crate::journal::{self, JournalRecord, JournalWriter};
 use crate::overload::{Admission, LoadController};
 use crate::report::{BatchingSummary, DetectionReport, OverloadSummary, ResilienceSummary, TableResult};
 use crate::retry::{acquire_with_retry, connect_with_retry, run_with_retry, CircuitBreaker};
+use crate::rollout::{CanaryObservation, Pinned, RolloutController};
 use crate::stages::{
     infer_phase1, infer_phase1_batched, infer_phase2, infer_phase2_batched, prep_phase1,
     prep_phase2, shed_finals, P1Infer, P1Item, P1Prep, P2Item, P2Prep,
@@ -91,6 +92,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use taste_core::{LabelSet, Result, ShedReason, TableId, TableOutcome, TasteError};
 use taste_db::{Connection, ConnectionPool, Database};
+use taste_model::registry::VersionedModel;
 use taste_model::{Adtd, CacheRestoreStats, Inferencer, LatentCache};
 
 /// The TASTE detection engine: a trained model plus a configuration.
@@ -100,6 +102,9 @@ pub struct TasteEngine {
     pub config: TasteConfig,
     cache: Arc<LatentCache>,
     cache_corrupt: AtomicU64,
+    /// Present when `config.rollout.enabled`: the hot-reload coordinator
+    /// shared between this engine's runs and external publishers.
+    rollout: Option<Arc<RolloutController>>,
 }
 
 /// Shared per-table pipeline state.
@@ -122,6 +127,10 @@ struct TableState {
     deadline: Option<Instant>,
     /// End-to-end latency, stamped at finalization.
     latency: Duration,
+    /// The model pinned at the table's first inference stage. Every
+    /// later stage of the table runs on this `Arc`, so a promotion or
+    /// rollback mid-run never tears a table across versions.
+    pinned: Option<Pinned>,
 }
 
 type Shared = Arc<(Mutex<TableState>, AtomicUsize)>;
@@ -157,6 +166,10 @@ struct BatchCtx {
     /// batched jobs as they execute; the scheduler folds the planner's
     /// flush accounting in when it exits.
     batching: Mutex<BatchingSummary>,
+    /// The hot-reload coordinator, when rollout is enabled: tables pin
+    /// their serving model through it and canary tables report shadow
+    /// scores back to its health gates.
+    rollout: Option<Arc<RolloutController>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,20 +193,42 @@ impl StageKind {
 }
 
 impl TasteEngine {
-    /// Builds an engine; validates the configuration.
+    /// Builds an engine; validates the configuration. With
+    /// `config.rollout.enabled`, the construction-time model becomes the
+    /// incumbent at `config.rollout.initial_version` and the engine
+    /// exposes a [`RolloutController`] via [`rollout`](Self::rollout)
+    /// for publishers to offer candidates through.
     pub fn new(model: Arc<Adtd>, config: TasteConfig) -> Result<TasteEngine> {
         config.validate()?;
+        let rollout = config.rollout.enabled.then(|| {
+            Arc::new(RolloutController::new(
+                VersionedModel {
+                    version: config.rollout.initial_version,
+                    model: Arc::clone(&model),
+                },
+                config.rollout,
+            ))
+        });
         Ok(TasteEngine {
             model,
             config,
             cache: Arc::new(LatentCache::new(512)),
             cache_corrupt: AtomicU64::new(0),
+            rollout,
         })
     }
 
     /// The model in service.
     pub fn model(&self) -> &Arc<Adtd> {
         &self.model
+    }
+
+    /// The hot-reload coordinator (present when `config.rollout.enabled`).
+    /// Publishers offer candidates through it — directly via
+    /// [`RolloutController::offer`] or from disk via
+    /// [`RolloutController::adopt_latest`] — while detection runs serve.
+    pub fn rollout(&self) -> Option<&Arc<RolloutController>> {
+        self.rollout.as_ref()
     }
 
     /// Detects semantic types for a batch of tables end-to-end,
@@ -311,6 +346,7 @@ impl TasteEngine {
             batch_error: AtomicBool::new(false),
             wake: Arc::clone(&wake),
             batching: Mutex::new(BatchingSummary::default()),
+            rollout: self.rollout.clone(),
         });
         let hardening = self.config.hardening;
         let watchdog = (hardening.needs_watchdog() || deadlines.is_some()).then(|| {
@@ -360,10 +396,12 @@ impl TasteEngine {
                 outcome: st.outcome.unwrap_or_default(),
                 resilience: st.resilience,
                 latency: st.latency,
+                model_version: st.pinned.as_ref().map_or(0, |p| p.version),
             });
         }
         let overload = ctx.controller.as_ref().map_or_else(OverloadSummary::default, |c| c.summary());
         let batching = ctx.batching.lock().clone();
+        let rollout = ctx.rollout.as_ref().map_or_else(Default::default, |r| r.summary());
         Ok(DetectionReport {
             approach: "TASTE".into(),
             tables: results,
@@ -380,6 +418,7 @@ impl TasteEngine {
             cache_corrupt_entries: self.cache_corrupt.load(Ordering::SeqCst),
             overload,
             batching,
+            rollout,
         })
     }
 
@@ -401,6 +440,7 @@ impl TasteEngine {
                         admitted_at: None,
                         deadline: None,
                         latency: Duration::ZERO,
+                        pinned: None,
                     }),
                     AtomicUsize::new(0),
                 ))
@@ -948,65 +988,112 @@ fn run_batched_stage(
     }
 }
 
+/// Groups live batch members by their pinned model version, preserving
+/// member order within each group. With rollout disabled there is
+/// exactly one group (the fixed batch model); across a mid-run swap,
+/// tables pinned to different versions each get their own fused pass —
+/// a fused pass never mixes weights.
+fn version_groups<T>(
+    live: &[T],
+    pin_of: impl for<'b> Fn(&'b T) -> &'b Pinned,
+) -> Vec<(Arc<Adtd>, Vec<usize>)> {
+    let mut groups: Vec<(u64, Arc<Adtd>, Vec<usize>)> = Vec::new();
+    for (i, m) in live.iter().enumerate() {
+        let pin = pin_of(m);
+        match groups.iter_mut().find(|g| g.0 == pin.version) {
+            Some(g) => g.2.push(i),
+            None => groups.push((pin.version, Arc::clone(&pin.model), vec![i])),
+        }
+    }
+    groups.into_iter().map(|(_, model, idxs)| (model, idxs)).collect()
+}
+
 fn run_batched_p1(members: &[(usize, Shared)], ctx: &BatchCtx, inf: &mut Inferencer) {
-    let mut live: Vec<(usize, &Shared, TableId, Arc<P1Prep>)> = Vec::new();
+    struct LiveP1<'a> {
+        t: usize,
+        state: &'a Shared,
+        tid: TableId,
+        prep: Arc<P1Prep>,
+        pin: Pinned,
+    }
+    let mut live: Vec<LiveP1<'_>> = Vec::new();
     for (t, state) in members {
         let gathered = {
-            let st = state.0.lock();
+            let mut st = state.0.lock();
             if st.error.is_some()
                 || st.outcome.is_some()
                 || ctx.tokens[*t].is_cancelled()
                 || st.resilience.failed
             {
                 None
+            } else if let Some(prep) = st.prep1.clone() {
+                let tid = st.tid;
+                let pin = pinned_model(ctx, &mut st);
+                // Canary tables take the per-table path: they must
+                // shadow-score the incumbent on the same input, which a
+                // fused pass cannot do.
+                if pin.canary {
+                    None
+                } else {
+                    Some((tid, prep, pin))
+                }
             } else {
-                st.prep1.clone().map(|p| (st.tid, p))
+                None
             }
         };
         match gathered {
-            Some((tid, prep)) => live.push((*t, state, tid, prep)),
+            Some((tid, prep, pin)) => live.push(LiveP1 { t: *t, state, tid, prep, pin }),
             None => run_stage(StageKind::P1Infer, *t, state, None, ctx, inf),
         }
     }
     if live.is_empty() {
         return;
     }
-    for (t, ..) in &live {
-        ctx.clocks.start(*t);
+    for m in &live {
+        ctx.clocks.start(m.t);
     }
     let started = Instant::now();
-    let items: Vec<P1Item<'_>> =
-        live.iter().map(|(_, _, tid, prep)| P1Item { tid: *tid, prep }).collect();
+    let groups = version_groups(&live, |m: &LiveP1<'_>| &m.pin);
     let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<P1Infer>> {
-        for (t, _, tid, _) in &live {
-            inject_faults(StageKind::P1Infer, *tid, &ctx.cfg, &ctx.tokens[*t], &ctx.wake)?;
+        for m in &live {
+            inject_faults(StageKind::P1Infer, m.tid, &ctx.cfg, &ctx.tokens[m.t], &ctx.wake)?;
         }
-        Ok(infer_phase1_batched(&ctx.model, &ctx.cfg, &items, Some(&ctx.cache), inf))
+        let mut results: Vec<Option<P1Infer>> = live.iter().map(|_| None).collect();
+        for (model, idxs) in &groups {
+            let items: Vec<P1Item<'_>> = idxs
+                .iter()
+                .map(|&i| P1Item { tid: live[i].tid, prep: &live[i].prep })
+                .collect();
+            let out = infer_phase1_batched(model, &ctx.cfg, &items, Some(&ctx.cache), inf);
+            for (&i, r) in idxs.iter().zip(out) {
+                results[i] = Some(r);
+            }
+        }
+        Ok(results.into_iter().map(|r| r.expect("every live member grouped")).collect())
     }));
     let service = started.elapsed();
-    for (t, ..) in &live {
-        ctx.clocks.finish(*t);
+    for m in &live {
+        ctx.clocks.finish(m.t);
     }
     match caught {
         Ok(Ok(results)) => {
             {
                 let mut b = ctx.batching.lock();
                 b.p1.batched_tables += live.len() as u64;
-                b.p1.batched_columns +=
-                    live.iter().map(|(_, _, _, p)| p.ncols as u64).sum::<u64>();
+                b.p1.batched_columns += live.iter().map(|m| m.prep.ncols as u64).sum::<u64>();
             }
             // Per-member service is the batch's share: the AIMD governor
             // sees per-stage costs, not N copies of the fused pass.
             let share = service / live.len() as u32;
-            for ((t, state, _, _), infer1) in live.iter().zip(results) {
+            for (m, infer1) in live.iter().zip(results) {
                 {
-                    let mut st = state.0.lock();
+                    let mut st = m.state.0.lock();
                     st.infer1 = Some(infer1);
                 }
                 if let Some(ctrl) = &ctx.controller {
                     ctrl.observe_stage(share, false, false, Instant::now());
                 }
-                advance_stage(*t, state, ctx);
+                advance_stage(m.t, m.state, ctx);
             }
         }
         _ => {
@@ -1015,8 +1102,8 @@ fn run_batched_p1(members: &[(usize, Shared)], ctx: &BatchCtx, inf: &mut Inferen
             // Only the culprit re-triggers its fault (and is isolated by
             // run_stage's own catch/hazard handling); the others complete
             // normally.
-            for (t, state, _, _) in &live {
-                run_stage(StageKind::P1Infer, *t, state, None, ctx, inf);
+            for m in &live {
+                run_stage(StageKind::P1Infer, m.t, m.state, None, ctx, inf);
             }
         }
     }
@@ -1030,11 +1117,12 @@ fn run_batched_p2(members: &[(usize, Shared)], ctx: &BatchCtx, inf: &mut Inferen
         prep1: Arc<P1Prep>,
         infer1: P1Infer,
         prep2: Arc<P2Prep>,
+        pin: Pinned,
     }
     let mut live: Vec<LiveP2<'_>> = Vec::new();
     for (t, state) in members {
         let gathered = {
-            let st = state.0.lock();
+            let mut st = state.0.lock();
             if st.error.is_some()
                 || st.outcome.is_some()
                 || ctx.tokens[*t].is_cancelled()
@@ -1044,18 +1132,26 @@ fn run_batched_p2(members: &[(usize, Shared)], ctx: &BatchCtx, inf: &mut Inferen
             } else {
                 // Degraded tables without scanned content (and any table
                 // with missing upstream state) take the per-table path,
-                // which owns those fallbacks.
+                // which owns those fallbacks. So do canary tables: their
+                // latents were never cached, and the per-table path runs
+                // them cache-free on their pinned candidate.
                 match (&st.prep1, &st.infer1, &st.prep2) {
                     (Some(p1), Some(i1), Some(p2)) => {
-                        Some((st.tid, Arc::clone(p1), i1.clone(), Arc::clone(p2)))
+                        let seed = (st.tid, Arc::clone(p1), i1.clone(), Arc::clone(p2));
+                        let pin = pinned_model(ctx, &mut st);
+                        if pin.canary {
+                            None
+                        } else {
+                            Some((seed, pin))
+                        }
                     }
                     _ => None,
                 }
             }
         };
         match gathered {
-            Some((tid, prep1, infer1, prep2)) => {
-                live.push(LiveP2 { t: *t, state, tid, prep1, infer1, prep2 })
+            Some(((tid, prep1, infer1, prep2), pin)) => {
+                live.push(LiveP2 { t: *t, state, tid, prep1, infer1, prep2, pin })
             }
             None => run_stage(StageKind::P2Infer, *t, state, None, ctx, inf),
         }
@@ -1067,15 +1163,26 @@ fn run_batched_p2(members: &[(usize, Shared)], ctx: &BatchCtx, inf: &mut Inferen
         ctx.clocks.start(m.t);
     }
     let started = Instant::now();
-    let items: Vec<P2Item<'_>> = live
-        .iter()
-        .map(|m| P2Item { tid: m.tid, prep1: &m.prep1, infer1: &m.infer1, prep2: &m.prep2 })
-        .collect();
+    let groups = version_groups(&live, |m: &LiveP2<'_>| &m.pin);
     let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Vec<LabelSet>>> {
         for m in &live {
             inject_faults(StageKind::P2Infer, m.tid, &ctx.cfg, &ctx.tokens[m.t], &ctx.wake)?;
         }
-        Ok(infer_phase2_batched(&ctx.model, &ctx.cfg, &items, Some(&ctx.cache), inf))
+        let mut results: Vec<Option<Vec<LabelSet>>> = live.iter().map(|_| None).collect();
+        for (model, idxs) in &groups {
+            let items: Vec<P2Item<'_>> = idxs
+                .iter()
+                .map(|&i| {
+                    let m = &live[i];
+                    P2Item { tid: m.tid, prep1: &m.prep1, infer1: &m.infer1, prep2: &m.prep2 }
+                })
+                .collect();
+            let out = infer_phase2_batched(model, &ctx.cfg, &items, Some(&ctx.cache), inf);
+            for (&i, r) in idxs.iter().zip(out) {
+                results[i] = Some(r);
+            }
+        }
+        Ok(results.into_iter().map(|r| r.expect("every live member grouped")).collect())
     }));
     let service = started.elapsed();
     for m in &live {
@@ -1282,6 +1389,7 @@ fn finalize_table(t: usize, state: &Shared, ctx: &BatchCtx) {
             uncertain_columns: st.infer1.as_ref().map_or(0, |i| i.uncertain.len()),
             resilience: st.resilience,
             latency: st.latency,
+            model_version: st.pinned.as_ref().map_or(0, |p| p.version),
         };
         if let Err(e) = journal.lock().append(&record) {
             st.error = Some(e);
@@ -1341,6 +1449,22 @@ fn inject_faults(
     Ok(())
 }
 
+/// Returns the table's pinned model, pinning one on first use: through
+/// the rollout controller when hot reload is enabled (which may route
+/// the table to an in-canary candidate), otherwise the batch's fixed
+/// construction-time model. Idempotent — later stages reuse the pin, so
+/// a promotion or rollback between a table's stages changes nothing for
+/// that table.
+fn pinned_model(ctx: &BatchCtx, st: &mut TableState) -> Pinned {
+    if st.pinned.is_none() {
+        st.pinned = Some(match &ctx.rollout {
+            Some(rc) => rc.pin(),
+            None => Pinned::fixed(Arc::clone(&ctx.model)),
+        });
+    }
+    st.pinned.clone().expect("pinned just above")
+}
+
 fn execute(
     stage: StageKind,
     st: &mut TableState,
@@ -1349,7 +1473,6 @@ fn execute(
     ctx: &BatchCtx,
     inf: &mut Inferencer,
 ) -> Result<()> {
-    let model = &*ctx.model;
     let cache = &*ctx.cache;
     let cfg = &ctx.cfg;
     let breaker = &ctx.breaker;
@@ -1380,8 +1503,58 @@ fn execute(
             if st.resilience.failed {
                 return Ok(());
             }
-            let prep = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P1Infer before P1Prep".into()))?;
-            st.infer1 = Some(infer_phase1(model, cfg, st.tid, prep, Some(cache), inf));
+            let prep = Arc::clone(
+                st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P1Infer before P1Prep".into()))?,
+            );
+            let pin = pinned_model(ctx, st);
+            if pin.canary {
+                // Canary serving: run the candidate AND the incumbent on
+                // the same input — both without touching the latent
+                // cache, so no cross-version latent can ever be reused —
+                // and feed the agreement / sentinel / latency gates.
+                let shadow = pin.shadow.clone().expect("canary pins carry their incumbent");
+                let c0 = Instant::now();
+                let cand = infer_phase1(&pin.model, cfg, st.tid, &prep, None, inf);
+                let candidate_ms = c0.elapsed().as_secs_f64() * 1e3;
+                let i0 = Instant::now();
+                let inc = infer_phase1(&shadow.model, cfg, st.tid, &prep, None, inf);
+                let incumbent_ms = i0.elapsed().as_secs_f64() * 1e3;
+                let ncols = cand.admitted.len();
+                let agree_cols = (0..ncols)
+                    .filter(|&j| {
+                        let o = j as u16;
+                        cand.admitted[j] == inc.admitted[j]
+                            && cand.uncertain.contains(&o) == inc.uncertain.contains(&o)
+                    })
+                    .count() as u64;
+                let obs = CanaryObservation {
+                    agree_cols,
+                    total_cols: ncols as u64,
+                    nonfinite: cand.nonfinite,
+                    candidate_ms,
+                    incumbent_ms,
+                };
+                if cand.nonfinite {
+                    // The candidate is numerically broken: this table
+                    // falls back to the incumbent's shadow verdicts (and
+                    // re-pins so its P2 runs the incumbent too), so the
+                    // broken candidate harms no request.
+                    st.pinned = Some(Pinned {
+                        model: Arc::clone(&shadow.model),
+                        version: shadow.version,
+                        canary: false,
+                        shadow: None,
+                    });
+                    st.infer1 = Some(inc);
+                } else {
+                    st.infer1 = Some(cand);
+                }
+                if let Some(rc) = &ctx.rollout {
+                    rc.observe_canary(obs);
+                }
+            } else {
+                st.infer1 = Some(infer_phase1(&pin.model, cfg, st.tid, &prep, Some(cache), inf));
+            }
         }
         StageKind::P2Prep => {
             if st.resilience.failed {
@@ -1433,9 +1606,21 @@ fn execute(
                 st.finals = Some(infer1.admitted.clone());
                 return Ok(());
             }
-            let prep1 = st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?;
-            let prep2 = st.prep2.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P2Prep".into()))?;
-            st.finals = Some(infer_phase2(model, cfg, st.tid, prep1, infer1, prep2, Some(cache), inf));
+            let prep1 = Arc::clone(
+                st.prep1.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P1Prep".into()))?,
+            );
+            let prep2 = Arc::clone(
+                st.prep2.as_ref().ok_or_else(|| TasteError::Scheduler("P2Infer before P2Prep".into()))?,
+            );
+            let infer1 = infer1.clone();
+            let pin = pinned_model(ctx, st);
+            // Canary tables skip the latent cache end-to-end: their P1
+            // wrote no latents, and reading here could only surface an
+            // entry computed by a different model version.
+            let cache_opt = if pin.canary { None } else { Some(cache) };
+            st.finals = Some(infer_phase2(
+                &pin.model, cfg, st.tid, &prep1, &infer1, &prep2, cache_opt, inf,
+            ));
         }
     }
     Ok(())

@@ -39,6 +39,12 @@ pub struct JournalRecord {
     /// written before latency tracking existed deserialize to zero.
     #[serde(default)]
     pub latency: std::time::Duration,
+    /// Version of the model the table's verdicts were served on, so a
+    /// resumed run knows which weights produced them. Records written
+    /// before the rollout subsystem existed deserialize to zero (the
+    /// same value a rollout-disabled run stamps).
+    #[serde(default)]
+    pub model_version: u64,
 }
 
 impl JournalRecord {
@@ -51,6 +57,7 @@ impl JournalRecord {
             outcome: self.outcome,
             resilience: self.resilience,
             latency: self.latency,
+            model_version: self.model_version,
         }
     }
 }
@@ -182,6 +189,7 @@ mod tests {
             uncertain_columns: 1,
             resilience: ResilienceSummary { attempts: 2, ..Default::default() },
             latency: std::time::Duration::from_millis(3),
+            model_version: 5,
         }
     }
 
@@ -275,6 +283,15 @@ mod tests {
         assert_eq!(tr.outcome, TableOutcome::Degraded);
         assert_eq!(tr.resilience, r.resilience);
         assert_eq!(tr.latency, std::time::Duration::from_millis(3));
+        assert_eq!(tr.model_version, 5);
+    }
+
+    #[test]
+    fn pre_rollout_records_deserialize_with_version_zero() {
+        let mut v = serde_json::to_value(record(0, TableOutcome::Completed)).unwrap();
+        v.as_object_mut().unwrap().remove("model_version");
+        let r: JournalRecord = serde_json::from_value(v).unwrap();
+        assert_eq!(r.model_version, 0);
     }
 
     #[test]

@@ -42,6 +42,12 @@
 //!   and drain-triggered flushes, so one TP2 job serves a fused forward
 //!   pass over columns from many tables (bit-identical to the per-table
 //!   path).
+//! * [`rollout`] — health-gated hot model reload: a
+//!   [`rollout::RolloutController`] that swaps model versions under live
+//!   traffic with epoch-style pinning (in-flight tables finish on their
+//!   `Arc`'d model), canary routing with shadow scoring against the
+//!   incumbent, and automatic rollback when an agreement, non-finite
+//!   sentinel, or p99-latency gate fails.
 
 #![warn(missing_docs)]
 
@@ -54,6 +60,7 @@ pub mod journal;
 pub mod overload;
 pub mod report;
 pub mod retry;
+pub mod rollout;
 pub mod rules;
 pub mod stages;
 pub mod watchdog;
@@ -68,4 +75,8 @@ pub use report::{
     ResilienceSummary, TableResult,
 };
 pub use retry::{BreakerState, CircuitBreaker, RetryConfig};
+pub use rollout::{
+    CanaryObservation, EpisodeOutcome, GateVerdicts, Pinned, RolloutConfig, RolloutController,
+    RolloutEpisode, RolloutSummary,
+};
 pub use watchdog::{CancelReason, CancelToken, Wakeup};

@@ -61,6 +61,11 @@ pub struct TableResult {
     /// recorded latency).
     #[serde(default)]
     pub latency: Duration,
+    /// Version of the model this table's verdicts were served on. Zero
+    /// when the rollout subsystem is disabled (or for results recorded
+    /// before it existed).
+    #[serde(default)]
+    pub model_version: u64,
 }
 
 /// What the overload controller did during one batch: admission
@@ -183,6 +188,10 @@ pub struct DetectionReport {
     /// flush-reason histogram).
     #[serde(default)]
     pub batching: BatchingSummary,
+    /// Hot model reload activity: versions served, canary gate verdicts,
+    /// promotions and rollbacks (disabled default when rollout is off).
+    #[serde(default)]
+    pub rollout: crate::rollout::RolloutSummary,
 }
 
 impl DetectionReport {
@@ -308,6 +317,7 @@ mod tests {
                     outcome: TableOutcome::Completed,
                     resilience: ResilienceSummary::default(),
                     latency: Duration::from_millis(2),
+                    model_version: 0,
                 },
                 TableResult {
                     table: TableId(1),
@@ -316,6 +326,7 @@ mod tests {
                     outcome: TableOutcome::Completed,
                     resilience: ResilienceSummary::default(),
                     latency: Duration::from_millis(4),
+                    model_version: 0,
                 },
             ],
             wall_time: Duration::from_millis(5),
@@ -331,6 +342,7 @@ mod tests {
             cache_corrupt_entries: 0,
             overload: OverloadSummary::default(),
             batching: BatchingSummary::default(),
+            rollout: crate::rollout::RolloutSummary::default(),
         }
     }
 
@@ -373,6 +385,7 @@ mod tests {
             outcome: TableOutcome::Rejected,
             resilience: ResilienceSummary::default(),
             latency: Duration::ZERO,
+            model_version: 0,
         });
         // Table 2's truth has columns, but the rejected table carries no
         // verdicts: it must not panic the evaluation or move the scores.
@@ -416,6 +429,7 @@ mod tests {
             outcome: TableOutcome::Cancelled,
             resilience: ResilienceSummary::default(),
             latency: Duration::ZERO,
+            model_version: 0,
         });
         assert_eq!(r.panicked_tables(), 1);
         assert_eq!(r.timed_out_tables(), 1);
@@ -434,6 +448,7 @@ mod tests {
             outcome: TableOutcome::Rejected,
             resilience: ResilienceSummary::default(),
             latency: Duration::ZERO,
+            model_version: 0,
         });
         assert_eq!(r.shed_tables(), 1);
         assert_eq!(r.rejected_tables(), 1);
@@ -495,6 +510,43 @@ mod tests {
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: BatchingSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn rollout_summary_serde_defaults() {
+        use crate::rollout::{EpisodeOutcome, GateVerdicts, RolloutEpisode, RolloutSummary};
+        // Reports serialized before the rollout subsystem deserialize to
+        // the disabled default (and model_version to 0), and a populated
+        // summary roundtrips.
+        let r = report();
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut().unwrap().remove("rollout");
+        let restored: DetectionReport = serde_json::from_value(v).unwrap();
+        assert_eq!(restored.rollout, RolloutSummary::default());
+        assert!(!restored.rollout.enabled);
+        let mut tv = serde_json::to_value(&r.tables[0]).unwrap();
+        tv.as_object_mut().unwrap().remove("model_version");
+        let tr: TableResult = serde_json::from_value(tv).unwrap();
+        assert_eq!(tr.model_version, 0);
+        let s = RolloutSummary {
+            enabled: true,
+            initial_version: 1,
+            final_version: 2,
+            candidates_offered: 2,
+            rejected_artifacts: 1,
+            promotions: 1,
+            rollbacks: 1,
+            episodes: vec![RolloutEpisode {
+                candidate_version: 2,
+                incumbent_version: 1,
+                gates: GateVerdicts { canary_tables: 4, agreement: 0.97, ..Default::default() },
+                outcome: EpisodeOutcome::Promoted,
+                cause: None,
+            }],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RolloutSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
     }
 

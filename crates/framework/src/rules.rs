@@ -149,6 +149,7 @@ impl RuleBaseline {
                 outcome: Default::default(),
                 resilience: Default::default(),
                 latency: t_table.elapsed(),
+                model_version: 0,
             });
         }
         Ok(DetectionReport {
@@ -167,6 +168,7 @@ impl RuleBaseline {
             cache_corrupt_entries: 0,
             overload: Default::default(),
             batching: Default::default(),
+            rollout: Default::default(),
         })
     }
 }

@@ -30,6 +30,11 @@ pub struct P1Infer {
     pub admitted: Vec<LabelSet>,
     /// Ordinals of the uncertain columns (`C_u`).
     pub uncertain: Vec<u16>,
+    /// Whether the metadata tower emitted any non-finite probability —
+    /// the rollout subsystem's sentinel for a numerically broken model
+    /// (a NaN compares false against both thresholds, so it would
+    /// otherwise silently read as "rejected").
+    pub nonfinite: bool,
 }
 
 /// The verdicts a table settles on when its P2 work is skipped — by
@@ -76,6 +81,7 @@ pub fn infer_phase1(
 ) -> P1Infer {
     let mut admitted = Vec::with_capacity(prep.ncols);
     let mut uncertain = Vec::new();
+    let mut nonfinite = false;
     for (chunk_idx, chunk) in prep.chunks.iter().enumerate() {
         let enc = Arc::new(inf.encode_meta(model, chunk));
         let probs = inf.predict_meta(model, &enc, &chunk.nonmeta);
@@ -84,6 +90,7 @@ pub fn infer_phase1(
             let mut a1 = LabelSet::empty();
             let mut is_uncertain = false;
             for (s, &p) in row.iter().enumerate() {
+                nonfinite |= !p.is_finite();
                 if p >= cfg.beta {
                     a1.insert(TypeId(s as u32));
                 } else if p > cfg.alpha {
@@ -102,7 +109,7 @@ pub fn infer_phase1(
             }
         }
     }
-    P1Infer { admitted, uncertain }
+    P1Infer { admitted, uncertain, nonfinite }
 }
 
 /// P2-S1: scan the uncertain columns' content (only theirs — columns in
@@ -251,6 +258,7 @@ pub fn infer_phase1_batched(
     for it in items {
         let mut admitted = Vec::with_capacity(it.prep.ncols);
         let mut uncertain = Vec::new();
+        let mut nonfinite = false;
         for (chunk_idx, chunk) in it.prep.chunks.iter().enumerate() {
             let enc = Arc::new(encs.next().expect("one encoding per chunk"));
             let probs = probs_per_chunk.next().expect("one prob block per chunk");
@@ -259,6 +267,7 @@ pub fn infer_phase1_batched(
                 let mut a1 = LabelSet::empty();
                 let mut is_uncertain = false;
                 for (s, &p) in row.iter().enumerate() {
+                    nonfinite |= !p.is_finite();
                     if p >= cfg.beta {
                         a1.insert(TypeId(s as u32));
                     } else if p > cfg.alpha {
@@ -277,7 +286,7 @@ pub fn infer_phase1_batched(
                 }
             }
         }
-        out.push(P1Infer { admitted, uncertain });
+        out.push(P1Infer { admitted, uncertain, nonfinite });
     }
     out
 }

@@ -46,6 +46,7 @@ fn sample_records(n: usize, salt: u64) -> Vec<JournalRecord> {
                 uncertain_columns: i % 2,
                 resilience: ResilienceSummary::default(),
                 latency: std::time::Duration::from_millis(1 + (i as u64 + salt) % 9),
+                model_version: salt % 3,
             }
         })
         .collect()

@@ -27,6 +27,9 @@
 //! * [`pretrain`] — Masked Language Model pre-training on the unlabeled
 //!   table corpus, standing in for the TURL pre-trained checkpoint.
 //! * [`trainer`] — mini-batch fine-tuning loops for ADTD and baselines.
+//! * [`registry`] — versioned on-disk model artifacts for hot reload:
+//!   CRC32C-framed, atomically published, quarantined on corruption —
+//!   the source the serving-side rollout controller promotes from.
 //! * [`resilience`] — crash-safe training: the driver behind
 //!   [`trainer::train_adtd_resumable`] and
 //!   [`pretrain::pretrain_encoder_resumable`] (periodic full-state
@@ -46,6 +49,7 @@ pub mod features;
 pub mod infer;
 pub mod prepare;
 pub mod pretrain;
+pub mod registry;
 pub mod resilience;
 pub mod trainer;
 
@@ -55,5 +59,6 @@ pub use cache::{CacheRestoreStats, LatentCache};
 pub use config::ModelConfig;
 pub use infer::{ExecMode, Inferencer};
 pub use prepare::{ModelInput, TableChunk};
+pub use registry::{ModelRegistry, RegistryLoadOutcome, VersionedModel};
 pub use resilience::{FaultInjection, ResumableReport, TrainResilience};
 pub use trainer::TrainConfig;

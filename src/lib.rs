@@ -43,8 +43,9 @@ pub mod prelude {
     pub use taste_framework::{
         evaluate_report, BatchingConfig, BatchingSummary, DetectionReport, ExecBackend,
         ExecutionConfig, HardeningConfig, LoadController, OverloadConfig, OverloadSummary,
-        ResilienceSummary, RetryConfig, TasteConfig, TasteEngine,
+        ResilienceSummary, RetryConfig, RolloutConfig, RolloutSummary, TasteConfig, TasteEngine,
     };
+    pub use taste_model::registry::{ModelRegistry, VersionedModel};
     pub use taste_model::{Adtd, Inferencer, ModelConfig, TrainConfig};
     pub use taste_tokenizer::{Tokenizer, Vocab, VocabBuilder};
 }
